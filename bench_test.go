@@ -1,0 +1,258 @@
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// DESIGN.md §5 for the index). Each benchmark regenerates its artifact and
+// prints the same rows/series the paper reports (once, on first run), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Trace length per workload defaults to
+// 400k instructions and can be scaled with ACIC_BENCH_N. Results are
+// memoized inside a shared suite, so figures that share simulations (10,
+// 11, 13, 16, ...) pay for them once.
+package acic_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"acic/internal/experiments"
+	"acic/internal/stats"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	printed   sync.Map
+)
+
+func sharedSuite() *experiments.Suite {
+	suiteOnce.Do(func() { suite = experiments.NewSuite(0) })
+	return suite
+}
+
+// emit prints an artifact once per process so bench output contains each
+// table exactly once regardless of b.N.
+func emit(name, body string) {
+	if _, dup := printed.LoadOrStore(name, true); !dup {
+		fmt.Printf("\n=== %s ===\n%s\n", name, body)
+	}
+}
+
+func benchTable(b *testing.B, name string, f func(s *experiments.Suite) *stats.Table) {
+	b.Helper()
+	s := sharedSuite()
+	var out *stats.Table
+	for i := 0; i < b.N; i++ {
+		out = f(s)
+	}
+	emit(name, out.String())
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Storage(b *testing.B) {
+	benchTable(b, "Table I: ACIC storage breakdown", func(*experiments.Suite) *stats.Table {
+		return experiments.Table1()
+	})
+}
+
+func BenchmarkTable2Parameters(b *testing.B) {
+	benchTable(b, "Table II: simulation parameters", func(*experiments.Suite) *stats.Table {
+		return experiments.Table2()
+	})
+}
+
+func BenchmarkTable3MPKI(b *testing.B) {
+	benchTable(b, "Table III: baseline L1i MPKI per app", func(s *experiments.Suite) *stats.Table {
+		return s.Table3()
+	})
+}
+
+func BenchmarkTable4Storage(b *testing.B) {
+	benchTable(b, "Table IV: per-scheme storage overhead", func(*experiments.Suite) *stats.Table {
+		return experiments.Table4()
+	})
+}
+
+// --- Motivation figures ---
+
+func BenchmarkFig1aReuseDistance(b *testing.B) {
+	benchTable(b, "Fig 1a: reuse-distance distributions", func(s *experiments.Suite) *stats.Table {
+		return s.Fig1a()
+	})
+}
+
+func BenchmarkFig1bMarkov(b *testing.B) {
+	benchTable(b, "Fig 1b: reuse-distance Markov chain (media-streaming)", func(s *experiments.Suite) *stats.Table {
+		return s.Fig1b("media-streaming")
+	})
+}
+
+func BenchmarkFig3aFilterOnly(b *testing.B) {
+	benchTable(b, "Fig 3a: i-Filter / access-count / OPT speedups", func(s *experiments.Suite) *stats.Table {
+		return s.Fig3a()
+	})
+}
+
+func BenchmarkFig3bReuseDelta(b *testing.B) {
+	s := sharedSuite()
+	var wrong float64
+	for i := 0; i < b.N; i++ {
+		_, wrong = s.Fig3b("media-streaming")
+	}
+	b.ReportMetric(wrong*100, "wrong-insert-%")
+	emit("Fig 3b: wrong-insertion fraction (media-streaming)",
+		fmt.Sprintf("delta>0 in %s of filter->cache insertions (paper: 38.38%%)\n", stats.Percent(wrong)))
+}
+
+func BenchmarkFig6CSHR(b *testing.B) {
+	s := sharedSuite()
+	var h *stats.Histogram
+	for i := 0; i < b.N; i++ {
+		h = s.Fig6("data-caching")
+	}
+	labels := []string{"0-50", "50-100", "100-150", "150-200", "200-250", "250-300", "300-350", "350-400", "InF"}
+	t := &stats.Table{Header: []string{"comparisons", "fraction"}}
+	for i, f := range h.Fractions() {
+		t.AddRow(labels[i], stats.Percent(f))
+	}
+	emit("Fig 6: CSHR entry lifetime distribution (data-caching)", t.String())
+}
+
+// --- Headline comparison ---
+
+func BenchmarkFig10Speedup(b *testing.B) {
+	benchTable(b, "Fig 10: speedups over LRU+FDP", func(s *experiments.Suite) *stats.Table {
+		return s.Fig10()
+	})
+}
+
+func BenchmarkFig11MPKI(b *testing.B) {
+	benchTable(b, "Fig 11: MPKI reductions over LRU+FDP", func(s *experiments.Suite) *stats.Table {
+		return s.Fig11()
+	})
+}
+
+// --- ACIC analysis figures ---
+
+func BenchmarkFig12aAccuracy(b *testing.B) {
+	benchTable(b, "Fig 12a: ACIC bypass accuracy by reuse range", func(s *experiments.Suite) *stats.Table {
+		return s.Fig12a()
+	})
+}
+
+func BenchmarkFig12bRandom(b *testing.B) {
+	benchTable(b, "Fig 12b: random-60% bypass vs ACIC", func(s *experiments.Suite) *stats.Table {
+		return s.Fig12b()
+	})
+}
+
+func BenchmarkFig13Admission(b *testing.B) {
+	benchTable(b, "Fig 13: fraction of i-Filter victims admitted", func(s *experiments.Suite) *stats.Table {
+		return s.Fig13()
+	})
+}
+
+func BenchmarkFig14UpdateLatency(b *testing.B) {
+	benchTable(b, "Fig 14: parallel vs instant predictor update", func(s *experiments.Suite) *stats.Table {
+		return s.Fig14()
+	})
+}
+
+func BenchmarkFig15Sensitivity(b *testing.B) {
+	benchTable(b, "Fig 15: parameter sensitivity (gmean speedup)", func(s *experiments.Suite) *stats.Table {
+		return s.Fig15()
+	})
+}
+
+func BenchmarkFig16OverIFilter(b *testing.B) {
+	benchTable(b, "Fig 16: ACIC speedup over LRU+i-Filter", func(s *experiments.Suite) *stats.Table {
+		return s.Fig16()
+	})
+}
+
+func BenchmarkFig17Ablation(b *testing.B) {
+	benchTable(b, "Fig 17: simplified-design ablation", func(s *experiments.Suite) *stats.Table {
+		return s.Fig17()
+	})
+}
+
+// --- SPEC and alternative-prefetcher figures ---
+
+func BenchmarkFig18SPECSpeedup(b *testing.B) {
+	benchTable(b, "Fig 18: SPEC speedups", func(s *experiments.Suite) *stats.Table {
+		return s.Fig18()
+	})
+}
+
+func BenchmarkFig19SPECMPKI(b *testing.B) {
+	benchTable(b, "Fig 19: SPEC MPKI reductions", func(s *experiments.Suite) *stats.Table {
+		return s.Fig19()
+	})
+}
+
+func BenchmarkFig20Entangling(b *testing.B) {
+	benchTable(b, "Fig 20: speedups over entangling baseline", func(s *experiments.Suite) *stats.Table {
+		return s.Fig20()
+	})
+}
+
+func BenchmarkFig21EntanglingMPKI(b *testing.B) {
+	benchTable(b, "Fig 21: MPKI reductions over entangling baseline", func(s *experiments.Suite) *stats.Table {
+		return s.Fig21()
+	})
+}
+
+// --- Energy and ablations beyond the paper's figures ---
+
+func BenchmarkEnergyModel(b *testing.B) {
+	benchTable(b, "Section III-D: chip-energy delta of ACIC", func(s *experiments.Suite) *stats.Table {
+		return s.Energy()
+	})
+}
+
+// BenchmarkExtensionSchemes evaluates the extra baselines this repo adds
+// beyond Fig 10: the DIP insertion-policy family, the evicted-address
+// filter, PLRU, and the prefetch-aware ACIC variant.
+func BenchmarkExtensionSchemes(b *testing.B) {
+	benchTable(b, "Extension: DIP family / EAF / PLRU / prefetch-aware ACIC", func(s *experiments.Suite) *stats.Table {
+		return s.ExtendedComparison()
+	})
+}
+
+// BenchmarkExtensionPrefetchAware evaluates the paper's §VI future-work
+// idea: admission control that discounts prefetch-covered reuse.
+func BenchmarkExtensionPrefetchAware(b *testing.B) {
+	benchTable(b, "Extension: prefetch-aware ACIC (paper §VI)", func(s *experiments.Suite) *stats.Table {
+		return s.PrefetchAware()
+	})
+}
+
+// BenchmarkAblationHeadroom quantifies §IV-F's capacity-vs-discretion
+// argument as a full LRU miss-ratio curve per application.
+func BenchmarkAblationHeadroom(b *testing.B) {
+	benchTable(b, "Ablation: LRU miss-ratio curve over capacity (§IV-F)", func(s *experiments.Suite) *stats.Table {
+		return s.Headroom()
+	})
+}
+
+// BenchmarkAblationPrefetchers brackets the evaluation platforms with
+// simpler prefetchers (none / next-line / stream) alongside entangling and
+// FDP.
+func BenchmarkAblationPrefetchers(b *testing.B) {
+	benchTable(b, "Ablation: baseline under each prefetcher", func(s *experiments.Suite) *stats.Table {
+		return s.PrefetcherBaselines()
+	})
+}
+
+// BenchmarkAblationCSHRDefault compares the three readings of the paper's
+// "benefit of the doubt" rule for CSHR entries evicted unresolved: train
+// nothing (our default), train admit (the literal prose), train drop.
+func BenchmarkAblationCSHRDefault(b *testing.B) {
+	s := sharedSuite()
+	var out *stats.Table
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationCSHRDefault(s)
+	}
+	emit("Ablation: CSHR unresolved-eviction training", out.String())
+}

@@ -1,0 +1,134 @@
+// Command acic-sim runs a single (workload, scheme) simulation and prints
+// cycles, IPC, MPKI, and subsystem statistics. It is the low-level probe
+// tool; use acic-bench to regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	acic-sim -workload media-streaming -scheme acic -n 1000000
+//	acic-sim -workload web-search -schemes lru,acic,opt -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acic/internal/analysis"
+	"acic/internal/core"
+	"acic/internal/experiments"
+	"acic/internal/icache"
+	"acic/internal/stats"
+	"acic/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "media-streaming", "workload profile name (see acic-trace -list)")
+		schemes  = flag.String("schemes", "lru,acic,opt", "comma-separated scheme names")
+		n        = flag.Int("n", 1_000_000, "trace length in instructions")
+		pf       = flag.String("prefetcher", "fdp", "prefetcher: fdp, entangling, none")
+		warmup   = flag.Float64("warmup", 0.1, "warmup fraction")
+		showDist = flag.Bool("reuse", false, "also print the reuse-distance distribution")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	w := experiments.Prepare(prof, *n)
+	fmt.Printf("workload %s: %d instructions, %d block accesses, footprint %d blocks\n",
+		prof.Name, len(w.Trace.Insts), len(w.Blocks), w.Trace.Footprint())
+
+	if *showDist {
+		dists := analysis.ReuseDistances(w.Blocks)
+		fr := analysis.Distribution(dists, analysis.Fig1aEdges)
+		fmt.Printf("reuse distances: 0:%.1f%% 1-16:%.2f%% 16-512:%.2f%% 512-1024:%.2f%% 1024-10000:%.2f%% >10000:%.2f%%\n",
+			fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100, fr[5]*100)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Prefetcher = *pf
+	opts.WarmupFrac = *warmup
+
+	tbl := &stats.Table{Header: []string{"scheme", "cycles", "IPC", "MPKI", "speedup", "filter-hit%", "miss-reduction"}}
+	var baseCycles int64
+	var baseMPKI float64
+	var acicNotes []string
+	for _, s := range strings.Split(*schemes, ",") {
+		s = strings.TrimSpace(s)
+		sub, err := experiments.NewScheme(s, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var decisions []core.Decision
+		if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
+			cx.ACIC().OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
+		}
+		res := experiments.RunSubsystem(w, sub, opts)
+		if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
+			a := cx.ACIC()
+			correct, shouldAdmit := 0, 0
+			for _, d := range decisions {
+				vNext := w.Oracle.NextUse(d.Victim, d.AccessIdx)
+				cNext := w.Oracle.NextUse(d.Contender, d.AccessIdx)
+				ideal := vNext < cNext
+				if ideal {
+					shouldAdmit++
+				}
+				if ideal == d.Admitted {
+					correct++
+				}
+			}
+			// Per-victim-block majority vote: the ceiling for any
+			// per-address admission predictor.
+			wins := map[uint64][2]int{}
+			for _, d := range decisions {
+				c := wins[d.Victim]
+				if w.Oracle.NextUse(d.Victim, d.AccessIdx) < w.Oracle.NextUse(d.Contender, d.AccessIdx) {
+					c[0]++
+				} else {
+					c[1]++
+				}
+				wins[d.Victim] = c
+			}
+			ceiling := 0
+			for _, c := range wins {
+				if c[0] > c[1] {
+					ceiling += c[0]
+				} else {
+					ceiling += c[1]
+				}
+			}
+			acicNotes = append(acicNotes, fmt.Sprintf(
+				"%s: decisions=%d admit=%.1f%% ideal-admit=%.1f%% accuracy=%.1f%% ceiling=%.1f%% cshr[v=%d c=%d evict=%d]",
+				s, a.Decisions, 100*a.AdmitFraction(),
+				100*float64(shouldAdmit)/float64(len(decisions)+1),
+				100*float64(correct)/float64(len(decisions)+1),
+				100*float64(ceiling)/float64(len(decisions)+1),
+				a.CSHR.ResolvedVictim, a.CSHR.ResolvedContend, a.CSHR.EvictedUnres))
+		}
+		if baseCycles == 0 {
+			baseCycles = res.Cycles
+			baseMPKI = res.MPKI()
+		}
+		ic := res.ICache
+		filterPct := 0.0
+		if ic.Accesses > 0 {
+			filterPct = 100 * float64(ic.FilterHits) / float64(ic.Accesses)
+		}
+		mpkiRed := 0.0
+		if baseMPKI > 0 {
+			mpkiRed = (baseMPKI - res.MPKI()) / baseMPKI
+		}
+		tbl.AddRow(s, res.Cycles, res.IPC(), res.MPKI(),
+			float64(baseCycles)/float64(res.Cycles), fmt.Sprintf("%.1f", filterPct), stats.Percent(mpkiRed))
+	}
+	fmt.Print(tbl.String())
+	for _, n := range acicNotes {
+		fmt.Println(n)
+	}
+}

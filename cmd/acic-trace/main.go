@@ -1,0 +1,123 @@
+// Command acic-trace generates, saves, loads, and characterizes synthetic
+// instruction traces.
+//
+// Usage:
+//
+//	acic-trace -list                                  # available profiles
+//	acic-trace -workload tpcc -n 500000 -o tpcc.actr  # generate & save
+//	acic-trace -i tpcc.actr -stats                    # load & characterize
+//	acic-trace -workload web-search -stats            # generate & characterize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acic/internal/analysis"
+	"acic/internal/stats"
+	"acic/internal/trace"
+	"acic/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "", "profile to generate")
+		n       = flag.Int("n", 500_000, "instructions to generate")
+		out     = flag.String("o", "", "write binary trace to this path")
+		in      = flag.String("i", "", "read binary trace from this path")
+		list    = flag.Bool("list", false, "list profiles and exit")
+		doStats = flag.Bool("stats", false, "print trace characterization")
+	)
+	flag.Parse()
+
+	if *list {
+		t := &stats.Table{Header: []string{"profile", "suite", "paper MPKI"}}
+		for _, p := range workload.Datacenter() {
+			t.AddRow(p.Name, "datacenter", fmt.Sprintf("%.1f", p.PaperMPKI))
+		}
+		for _, p := range workload.SPEC() {
+			t.AddRow(p.Name, "spec2017int", fmt.Sprintf("%.1f", p.PaperMPKI))
+		}
+		fmt.Print(t.String())
+		return
+	}
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *name != "":
+		p, ok := workload.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *name)
+			os.Exit(1)
+		}
+		tr = workload.Generate(p, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "need -workload or -i (or -list)")
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d instructions\n", *out, tr.Len())
+	}
+
+	if *doStats || *out == "" {
+		characterize(tr)
+	}
+}
+
+func characterize(tr *trace.Trace) {
+	fmt.Printf("trace %q: %d instructions\n", tr.Name, tr.Len())
+	fmt.Printf("code footprint: %d blocks (%.1f KB)\n", tr.Footprint(), float64(tr.Footprint())*64/1024)
+
+	classes := map[string]int{}
+	for i := range tr.Insts {
+		classes[tr.Insts[i].Class.String()]++
+	}
+	t := &stats.Table{Header: []string{"class", "count", "fraction"}}
+	for _, c := range []string{"alu", "load", "store", "br", "jmp", "call", "ret", "ind"} {
+		if classes[c] > 0 {
+			t.AddRow(c, classes[c], stats.Percent(float64(classes[c])/float64(tr.Len())))
+		}
+	}
+	fmt.Print(t.String())
+
+	refs := analysis.InstBlockRefs(tr)
+	dists := analysis.ReuseDistances(refs)
+	fr := analysis.Distribution(dists, analysis.Fig1aEdges)
+	labels := []string{"0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}
+	rt := &stats.Table{Header: []string{"reuse distance", "fraction"}}
+	for i, f := range fr {
+		rt.AddRow(labels[i], stats.Percent(f))
+	}
+	fmt.Print(rt.String())
+
+	bs := analysis.Bursts(tr.BlockAccesses(), 16)
+	fmt.Printf("bursts: %d, mean length %.2f accesses, %.1f%% of accesses intra-burst\n",
+		bs.Bursts, bs.MeanLength, bs.FracInBurst*100)
+}

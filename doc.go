@@ -1,0 +1,13 @@
+// Package acic is a pure-Go reproduction of "ACIC: Admission-Controlled
+// Instruction Cache" (HPCA 2023): the ACIC mechanism itself (i-Filter,
+// two-level admission predictor, CSHR), every baseline scheme the paper
+// compares against, and the trace-driven CPU/memory-hierarchy simulator the
+// evaluation runs on.
+//
+// The implementation lives under internal/; the public surfaces are the
+// three command-line tools (cmd/acic-sim, cmd/acic-bench, cmd/acic-trace),
+// the runnable examples (examples/), and the benchmark harness
+// (bench_test.go) that regenerates every table and figure of the paper.
+// See README.md for a tour and DESIGN.md for the system inventory and
+// per-experiment index.
+package acic

@@ -1,0 +1,47 @@
+// Headroom: compute the exact fully-associative LRU miss-ratio curve for a
+// workload (Mattson stack analysis) and its working-set sizes. This is the
+// §IV-F question — "would the ACIC real estate be better spent on more
+// capacity?" — answered per application: a flat curve around 32KB with the
+// drop far to the right means capacity cannot buy what discretion can.
+//
+//	go run ./examples/headroom [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"acic/internal/analysis"
+	"acic/internal/stats"
+	"acic/internal/trace"
+	"acic/internal/workload"
+)
+
+func main() {
+	app := "media-streaming"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	prof, ok := workload.ByName(app)
+	if !ok {
+		log.Fatalf("unknown workload %q", app)
+	}
+	tr := workload.Generate(prof, 400_000)
+	blocks := tr.BlockAccesses()
+
+	capacities := []int{64, 128, 256, 512, 576, 768, 1024, 2048, 4096, 8192}
+	curve := analysis.MissRatioCurve(blocks, capacities)
+	t := &stats.Table{Header: []string{"capacity", "size", "LRU miss ratio"}}
+	for i, c := range capacities {
+		t.AddRow(c, fmt.Sprintf("%dKB", c*trace.BlockSize/1024), stats.Percent(curve[i]))
+	}
+	fmt.Printf("%s: fully-associative LRU miss-ratio curve (block accesses: %d)\n%s\n",
+		app, len(blocks), t.String())
+
+	for _, f := range []float64{0.5, 0.9, 0.99} {
+		fmt.Printf("%2.0f%% working set: %d blocks (%d KB)\n",
+			f*100, analysis.WorkingSet(blocks, f),
+			analysis.WorkingSet(blocks, f)*trace.BlockSize/1024)
+	}
+}

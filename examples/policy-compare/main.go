@@ -1,0 +1,48 @@
+// Policy comparison: run every Fig 10 scheme on one workload and print the
+// speedup/MPKI table — a single-application slice of the paper's headline
+// result.
+//
+//	go run ./examples/policy-compare [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"acic/internal/experiments"
+	"acic/internal/stats"
+	"acic/internal/workload"
+)
+
+func main() {
+	app := "web-search"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	prof, ok := workload.ByName(app)
+	if !ok {
+		log.Fatalf("unknown workload %q", app)
+	}
+	w := experiments.Prepare(prof, 400_000)
+	opts := experiments.DefaultOptions()
+
+	base, err := experiments.Run(w, experiments.Baseline, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: baseline LRU+FDP: MPKI %.2f, IPC %.3f\n\n", app, base.MPKI(), base.IPC())
+
+	tbl := &stats.Table{Header: []string{"scheme", "speedup", "MPKI", "MPKI reduction"}}
+	for _, scheme := range experiments.Fig10Schemes {
+		res, err := experiments.Run(w, scheme, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(scheme,
+			fmt.Sprintf("%.4f", experiments.Speedup(base, res)),
+			fmt.Sprintf("%.2f", res.MPKI()),
+			stats.Percent(experiments.MPKIReduction(base, res)))
+	}
+	fmt.Print(tbl.String())
+}

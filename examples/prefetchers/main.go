@@ -1,0 +1,49 @@
+// Prefetchers: compare the LRU baseline and ACIC under every implemented
+// instruction prefetcher (none, next-line, stream, entangling, FDP),
+// showing how admission control composes with prefetching — the paper's
+// complementarity claim (§II, §IV-H4).
+//
+//	go run ./examples/prefetchers [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"acic/internal/experiments"
+	"acic/internal/stats"
+	"acic/internal/workload"
+)
+
+func main() {
+	app := "data-caching"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	prof, ok := workload.ByName(app)
+	if !ok {
+		log.Fatalf("unknown workload %q", app)
+	}
+	w := experiments.Prepare(prof, 400_000)
+
+	t := &stats.Table{Header: []string{"prefetcher", "LRU MPKI", "ACIC MPKI", "ACIC speedup", "ACIC MPKI red."}}
+	for _, pf := range []string{"none", "next-line", "stream", "entangling", "fdp"} {
+		opts := experiments.DefaultOptions()
+		opts.Prefetcher = pf
+		base, err := experiments.Run(w, experiments.Baseline, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acic, err := experiments.Run(w, "acic", opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(pf,
+			fmt.Sprintf("%.2f", base.MPKI()),
+			fmt.Sprintf("%.2f", acic.MPKI()),
+			fmt.Sprintf("%.4f", experiments.Speedup(base, acic)),
+			stats.Percent(experiments.MPKIReduction(base, acic)))
+	}
+	fmt.Printf("%s: ACIC under each prefetcher\n%s", app, t.String())
+}

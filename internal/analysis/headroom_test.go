@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMissRatioCurveExact(t *testing.T) {
+	// Cycle over 4 blocks: distances are 3 after the first round, so a
+	// capacity-4 cache hits everything after compulsories and capacity-2
+	// misses everything.
+	var blocks []uint64
+	for r := 0; r < 100; r++ {
+		for b := uint64(0); b < 4; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	curve := MissRatioCurve(blocks, []int{2, 4, 8})
+	if curve[0] != 1.0 {
+		t.Errorf("capacity 2 miss ratio = %v, want 1.0 (LRU thrash)", curve[0])
+	}
+	// Capacity 4: only 4 compulsory misses over 400 accesses.
+	if want := 4.0 / 400.0; curve[1] != want {
+		t.Errorf("capacity 4 miss ratio = %v, want %v", curve[1], want)
+	}
+	if curve[2] != curve[1] {
+		t.Error("extra capacity beyond the working set must not help")
+	}
+}
+
+func TestMissRatioCurveMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := make([]uint64, 3000)
+		for i := range blocks {
+			blocks[i] = uint64(rng.Intn(64))
+		}
+		curve := MissRatioCurve(blocks, []int{1, 2, 4, 8, 16, 32, 64, 128})
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-12 {
+				return false // LRU stack inclusion: bigger cache never worse
+			}
+		}
+		return curve[0] <= 1.0 && curve[len(curve)-1] >= 0.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRatioCurveEmpty(t *testing.T) {
+	curve := MissRatioCurve(nil, []int{4})
+	if curve[0] != 0 {
+		t.Error("empty sequence should yield zero miss ratio")
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	// 90 accesses to block 1, 10 spread over blocks 2..11.
+	var blocks []uint64
+	for i := 0; i < 90; i++ {
+		blocks = append(blocks, 1)
+	}
+	for b := uint64(2); b < 12; b++ {
+		blocks = append(blocks, b)
+	}
+	if ws := WorkingSet(blocks, 0.9); ws != 1 {
+		t.Errorf("90%% working set = %d, want 1", ws)
+	}
+	if ws := WorkingSet(blocks, 1.0); ws != 11 {
+		t.Errorf("100%% working set = %d, want 11", ws)
+	}
+}

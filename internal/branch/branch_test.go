@@ -1,0 +1,177 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"acic/internal/trace"
+)
+
+func TestTAGELearnsLoopPattern(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	// A loop branch: taken 9 times, not-taken once, repeated. TAGE should
+	// get well above 80% after warmup.
+	pc := uint64(0x1000)
+	var mis int
+	const rounds = 400
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 10; i++ {
+			taken := i != 9
+			if tg.PredictAndUpdate(pc, taken) && r > 40 {
+				mis++
+			}
+		}
+	}
+	rate := float64(mis) / float64((rounds-40)*10)
+	if rate > 0.12 {
+		t.Errorf("TAGE mispredict rate %.3f on a 10-iteration loop; want < 0.12", rate)
+	}
+}
+
+func TestTAGERandomBranchIsHard(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	rng := rand.New(rand.NewSource(5))
+	var mis int
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if tg.PredictAndUpdate(0x2000, rng.Intn(2) == 0) {
+			mis++
+		}
+	}
+	rate := float64(mis) / n
+	if rate < 0.35 {
+		t.Errorf("mispredict rate %.3f on random branch; predictor is cheating", rate)
+	}
+	if tg.MispredictRate() <= 0 {
+		t.Error("MispredictRate should be positive")
+	}
+}
+
+func TestTAGEBiasedBranch(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	var mis int
+	for i := 0; i < 2000; i++ {
+		if tg.PredictAndUpdate(0x3000, true) && i > 50 {
+			mis++
+		}
+	}
+	if mis > 10 {
+		t.Errorf("%d mispredicts on an always-taken branch", mis)
+	}
+}
+
+func TestBTBInstallAndLookup(t *testing.T) {
+	b := NewBTB(64, 4)
+	if _, hit := b.Lookup(0x100); hit {
+		t.Error("cold BTB lookup must miss")
+	}
+	b.Update(0x100, 0x500)
+	if tgt, hit := b.Lookup(0x100); !hit || tgt != 0x500 {
+		t.Errorf("lookup = %#x,%v", tgt, hit)
+	}
+	b.Update(0x100, 0x600) // retarget
+	if tgt, _ := b.Lookup(0x100); tgt != 0x600 {
+		t.Error("update must overwrite the target")
+	}
+}
+
+func TestBTBEvictsLRUWithinSet(t *testing.T) {
+	b := NewBTB(8, 2) // 4 sets x 2 ways
+	// PCs mapping to the same set: (pc>>2) & 3 == 0 -> pc = 0, 16, 32.
+	b.Update(0, 1)
+	b.Update(16, 2)
+	b.Lookup(0) // touch 0: 16 becomes LRU
+	b.Update(32, 3)
+	if _, hit := b.Lookup(16); hit {
+		t.Error("LRU entry should have been evicted")
+	}
+	if _, hit := b.Lookup(0); !hit {
+		t.Error("MRU entry should have survived")
+	}
+}
+
+func TestRASMatchesCallStack(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(100)
+	r.Push(200)
+	if r.Pop() != 200 || r.Pop() != 100 {
+		t.Error("RAS must be LIFO")
+	}
+	// Overflow wraps (deep recursion loses oldest entries, as in hardware).
+	for i := 0; i < 10; i++ {
+		r.Push(uint64(i))
+	}
+	if r.Pop() != 9 {
+		t.Error("most recent push must survive overflow")
+	}
+}
+
+// buildLoopTrace makes a small two-block loop with a call/return pair.
+func buildLoopTrace(iters int) *trace.Trace {
+	tr := &trace.Trace{Name: "loop"}
+	for i := 0; i < iters; i++ {
+		// Loop body: 3 ALU + backedge.
+		tr.Insts = append(tr.Insts,
+			trace.Inst{PC: 0x1000, Class: trace.ClassALU},
+			trace.Inst{PC: 0x1004, Class: trace.ClassCall, Target: 0x2000, Taken: true},
+			trace.Inst{PC: 0x2000, Class: trace.ClassALU},
+			trace.Inst{PC: 0x2004, Class: trace.ClassRet, Target: 0x1008, Taken: true},
+			trace.Inst{PC: 0x1008, Class: trace.ClassCondBranch, Target: 0x1000, Taken: i != iters-1},
+		)
+	}
+	return tr
+}
+
+func TestAnnotateConvergesOnRegularTrace(t *testing.T) {
+	fe := NewFrontEnd()
+	tr := buildLoopTrace(500)
+	ann := fe.Annotate(tr)
+	if len(ann) != len(tr.Insts) {
+		t.Fatal("annotation length mismatch")
+	}
+	// Count redirects in the second half: the predictor must have learned
+	// the loop, the call target, and the return.
+	redirects := 0
+	for i := len(ann) / 2; i < len(ann); i++ {
+		if ann[i].Redirect != RedirectNone {
+			redirects++
+		}
+	}
+	if redirects > 6 {
+		t.Errorf("%d redirects in steady state of a trivial loop", redirects)
+	}
+}
+
+func TestAnnotateFlagsColdTargets(t *testing.T) {
+	fe := NewFrontEnd()
+	tr := buildLoopTrace(2)
+	ann := fe.Annotate(tr)
+	// The first call has no BTB entry: must be a misfetch or worse.
+	if ann[1].Redirect == RedirectNone {
+		t.Error("cold call target should cause a redirect")
+	}
+	// The first return: RAS actually predicts it correctly since the call
+	// pushed the address; verify no crash and correct classification.
+	if ann[3].Redirect == RedirectMispredict {
+		t.Error("matched call/ret should not mispredict")
+	}
+}
+
+func TestFoldedHistoryStability(t *testing.T) {
+	// The folded register must stay within its compressed width.
+	f := newFolded(64, 11)
+	rng := rand.New(rand.NewSource(2))
+	bits := make([]uint32, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		nb := uint32(rng.Intn(2))
+		bits = append(bits, nb)
+		ob := uint32(0)
+		if i >= 64 {
+			ob = bits[i-64]
+		}
+		f.update(nb, ob)
+		if f.comp >= 1<<11 {
+			t.Fatalf("folded register overflowed: %#x", f.comp)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package branch
+
+import "acic/internal/trace"
+
+// BTB is the branch target buffer: 8192-entry, 4-way set associative with
+// per-set LRU (Table II). It caches branch targets; a taken branch whose
+// target is absent causes a misfetch redirect even when the direction was
+// predicted correctly.
+type BTB struct {
+	sets, ways int
+	entries    []btbEntry
+	clock      int64
+
+	Lookups   uint64
+	Misses    uint64
+	WrongTgts uint64
+}
+
+type btbEntry struct {
+	pc     uint64
+	target uint64
+	stamp  int64
+	valid  bool
+}
+
+// NewBTB creates a BTB with the given total entries and associativity.
+func NewBTB(entries, ways int) *BTB {
+	sets := entries / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("branch: BTB sets must be a positive power of two")
+	}
+	return &BTB{sets: sets, ways: ways, entries: make([]btbEntry, entries)}
+}
+
+func (b *BTB) set(pc uint64) int { return int((pc >> 2) & uint64(b.sets-1)) }
+
+// Lookup returns the cached target for pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.Lookups++
+	base := b.set(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.pc == pc {
+			b.clock++
+			e.stamp = b.clock
+			return e.target, true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	base := b.set(pc) * b.ways
+	b.clock++
+	lru, lruStamp := 0, int64(1)<<62
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.pc == pc {
+			e.target = target
+			e.stamp = b.clock
+			return
+		}
+		if !e.valid {
+			*e = btbEntry{pc: pc, target: target, stamp: b.clock, valid: true}
+			return
+		}
+		if e.stamp < lruStamp {
+			lru, lruStamp = w, e.stamp
+		}
+	}
+	b.entries[base+lru] = btbEntry{pc: pc, target: target, stamp: b.clock, valid: true}
+}
+
+// RAS is the return address stack.
+type RAS struct {
+	stack []uint64
+	top   int
+}
+
+// NewRAS creates a RAS with the given depth.
+func NewRAS(depth int) *RAS { return &RAS{stack: make([]uint64, depth)} }
+
+// Push records a return address on a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() uint64 {
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[r.top]
+}
+
+// Redirect classifies the front-end redirect an instruction causes.
+type Redirect uint8
+
+// Redirect kinds, in increasing cost order.
+const (
+	// RedirectNone: correctly predicted (or not a branch).
+	RedirectNone Redirect = iota
+	// RedirectMisfetch: direction right but target unknown at fetch (BTB
+	// miss on a taken branch); resolved at decode.
+	RedirectMisfetch
+	// RedirectMispredict: wrong direction or wrong target; resolved at
+	// execute, flushing the front end.
+	RedirectMispredict
+)
+
+// Annotation is the per-instruction front-end outcome recorded by Annotate.
+type Annotation struct {
+	Redirect Redirect
+}
+
+// FrontEnd bundles the three predictors as the fetch engine sees them.
+type FrontEnd struct {
+	TAGE *TAGE
+	BTB  *BTB
+	RAS  *RAS
+}
+
+// NewFrontEnd constructs the Table II front-end: TAGE, 8192x4 BTB, 32-deep
+// RAS.
+func NewFrontEnd() *FrontEnd {
+	return &FrontEnd{TAGE: NewTAGE(DefaultTAGEConfig()), BTB: NewBTB(8192, 4), RAS: NewRAS(32)}
+}
+
+// Annotate runs the sequential predict-and-train pass over a trace,
+// returning one Annotation per instruction. The timing model charges
+// redirect penalties from these, and the fetch-directed prefetcher stops
+// its run-ahead at mispredicted branches. Annotations are independent of
+// the i-cache scheme, so one pass serves every scheme evaluated on the
+// trace.
+func (fe *FrontEnd) Annotate(tr *trace.Trace) []Annotation {
+	out := make([]Annotation, len(tr.Insts))
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		fallthru := in.PC + 4
+		switch in.Class {
+		case trace.ClassCondBranch:
+			mis := fe.TAGE.PredictAndUpdate(in.PC, in.Taken)
+			if mis {
+				out[i].Redirect = RedirectMispredict
+			} else if in.Taken {
+				if tgt, hit := fe.BTB.Lookup(in.PC); !hit || tgt != in.Target {
+					out[i].Redirect = RedirectMisfetch
+				}
+			}
+			if in.Taken {
+				fe.BTB.Update(in.PC, in.Target)
+			}
+		case trace.ClassJump:
+			if tgt, hit := fe.BTB.Lookup(in.PC); !hit || tgt != in.Target {
+				out[i].Redirect = RedirectMisfetch
+			}
+			fe.BTB.Update(in.PC, in.Target)
+		case trace.ClassCall:
+			if tgt, hit := fe.BTB.Lookup(in.PC); !hit || tgt != in.Target {
+				out[i].Redirect = RedirectMisfetch
+			}
+			fe.BTB.Update(in.PC, in.Target)
+			fe.RAS.Push(fallthru)
+		case trace.ClassRet:
+			if fe.RAS.Pop() != in.Target {
+				out[i].Redirect = RedirectMispredict
+			}
+		case trace.ClassIndirect:
+			if tgt, hit := fe.BTB.Lookup(in.PC); !hit || tgt != in.Target {
+				out[i].Redirect = RedirectMispredict
+			}
+			fe.BTB.Update(in.PC, in.Target)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+// Package branch implements the front-end control-flow substrate of the
+// simulated core (Table II): a TAGE conditional-branch direction predictor
+// (Seznec & Michaud), an 8192-entry 4-way BTB, and a return address stack.
+// The package also provides Annotate, a sequential predict-and-train pass
+// over a trace that records, per instruction, whether the front end would
+// have redirected on it; the timing model and the fetch-directed prefetcher
+// both consume these annotations.
+package branch
+
+// TAGEConfig sizes the TAGE predictor.
+type TAGEConfig struct {
+	BimodalBits  int   // log2 bimodal entries
+	TableBits    int   // log2 entries per tagged table
+	TagBits      int   // tag width in tagged tables
+	HistLengths  []int // geometric history lengths, ascending
+	MaxHistory   int   // history buffer capacity (>= max hist length)
+	UseAltOnNewl bool  // prefer alt prediction for newly allocated entries
+}
+
+// DefaultTAGEConfig returns a compact 4-table TAGE suited to the simulated
+// front end.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BimodalBits: 13,
+		TableBits:   11,
+		TagBits:     9,
+		HistLengths: []int{8, 24, 64, 160},
+		MaxHistory:  256,
+	}
+}
+
+type tageEntry struct {
+	tag    uint32
+	ctr    int8 // -4..3 signed counter, taken when >= 0
+	useful uint8
+}
+
+// folded maintains a cyclically folded history register for index/tag
+// computation, updated incrementally as history bits shift in and out.
+type folded struct {
+	comp    uint32
+	compLen int
+	origLen int
+	outPos  int
+}
+
+func newFolded(origLen, compLen int) folded {
+	return folded{compLen: compLen, origLen: origLen, outPos: origLen % compLen}
+}
+
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outPos
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= 1<<f.compLen - 1
+}
+
+// TAGE is the tagged geometric-history-length direction predictor.
+type TAGE struct {
+	cfg     TAGEConfig
+	bimodal []int8
+	tables  [][]tageEntry
+	idxFold []folded
+	tagFold [][2]folded
+
+	hist    []uint8 // ring buffer of outcome bits
+	histPos int
+
+	state uint64 // allocation tie-break randomness
+
+	// Stats.
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewTAGE creates a TAGE predictor.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	t := &TAGE{
+		cfg:     cfg,
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		hist:    make([]uint8, cfg.MaxHistory),
+		state:   0x853C49E6748FEA9B,
+	}
+	t.tables = make([][]tageEntry, len(cfg.HistLengths))
+	t.idxFold = make([]folded, len(cfg.HistLengths))
+	t.tagFold = make([][2]folded, len(cfg.HistLengths))
+	for i, hl := range cfg.HistLengths {
+		if hl > cfg.MaxHistory {
+			panic("branch: history length exceeds MaxHistory")
+		}
+		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
+		t.idxFold[i] = newFolded(hl, cfg.TableBits)
+		t.tagFold[i][0] = newFolded(hl, cfg.TagBits)
+		t.tagFold[i][1] = newFolded(hl, cfg.TagBits-1)
+	}
+	return t
+}
+
+func (t *TAGE) bimodalIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(len(t.bimodal)-1))
+}
+
+func (t *TAGE) index(pc uint64, table int) int {
+	hl := t.cfg.HistLengths[table]
+	h := (pc >> 2) ^ (pc >> (2 + uint(t.cfg.TableBits))) ^ uint64(t.idxFold[table].comp) ^ uint64(hl)
+	return int(h & uint64(len(t.tables[table])-1))
+}
+
+func (t *TAGE) tag(pc uint64, table int) uint32 {
+	h := uint32(pc>>2) ^ t.tagFold[table][0].comp ^ (t.tagFold[table][1].comp << 1)
+	return h & (1<<t.cfg.TagBits - 1)
+}
+
+// Predict returns the predicted direction for a conditional branch at pc.
+// It performs the lookup only; call Update with the actual outcome next.
+func (t *TAGE) Predict(pc uint64) bool {
+	pred, _, _, _ := t.predictInternal(pc)
+	return pred
+}
+
+func (t *TAGE) predictInternal(pc uint64) (pred bool, provider int, altPred bool, providerIdx int) {
+	provider = -1
+	altProvider := -1
+	var altIdx int
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		if t.tables[i][idx].tag == t.tag(pc, i) {
+			if provider == -1 {
+				provider, providerIdx = i, idx
+			} else if altProvider == -1 {
+				altProvider, altIdx = i, idx
+			}
+		}
+	}
+	bi := t.bimodal[t.bimodalIndex(pc)] >= 0
+	if altProvider >= 0 {
+		altPred = t.tables[altProvider][altIdx].ctr >= 0
+	} else {
+		altPred = bi
+	}
+	if provider >= 0 {
+		pred = t.tables[provider][providerIdx].ctr >= 0
+	} else {
+		pred = bi
+	}
+	return pred, provider, altPred, providerIdx
+}
+
+// PredictAndUpdate predicts the branch at pc, trains with the actual
+// outcome, shifts history, and reports whether the prediction was wrong.
+func (t *TAGE) PredictAndUpdate(pc uint64, taken bool) (mispredicted bool) {
+	t.Lookups++
+	pred, provider, altPred, providerIdx := t.predictInternal(pc)
+	mispredicted = pred != taken
+	if mispredicted {
+		t.Mispredicts++
+	}
+
+	// Update provider counter (or bimodal).
+	if provider >= 0 {
+		e := &t.tables[provider][providerIdx]
+		if taken {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > -4 {
+			e.ctr--
+		}
+		if pred != altPred {
+			if pred == taken {
+				if e.useful < 3 {
+					e.useful++
+				}
+			} else if e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		b := &t.bimodal[t.bimodalIndex(pc)]
+		if taken {
+			if *b < 3 {
+				*b++
+			}
+		} else if *b > -4 {
+			*b--
+		}
+	}
+
+	// Allocate a longer-history entry on a provider misprediction.
+	if mispredicted && provider < len(t.tables)-1 {
+		allocated := false
+		for i := provider + 1; i < len(t.tables); i++ {
+			idx := t.index(pc, i)
+			if t.tables[i][idx].useful == 0 {
+				t.tables[i][idx] = tageEntry{tag: t.tag(pc, i), ctr: ctrInit(taken)}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness so future allocations can succeed.
+			for i := provider + 1; i < len(t.tables); i++ {
+				idx := t.index(pc, i)
+				if t.tables[i][idx].useful > 0 {
+					t.tables[i][idx].useful--
+				}
+			}
+		}
+	}
+
+	t.shiftHistory(taken)
+	return mispredicted
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}
+
+func (t *TAGE) shiftHistory(taken bool) {
+	var newBit uint8
+	if taken {
+		newBit = 1
+	}
+	t.histPos = (t.histPos + 1) % len(t.hist)
+	t.hist[t.histPos] = newBit
+	for i, hl := range t.cfg.HistLengths {
+		oldPos := (t.histPos - hl + len(t.hist)) % len(t.hist)
+		oldBit := uint32(t.hist[oldPos])
+		t.idxFold[i].update(uint32(newBit), oldBit)
+		t.tagFold[i][0].update(uint32(newBit), oldBit)
+		t.tagFold[i][1].update(uint32(newBit), oldBit)
+	}
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}

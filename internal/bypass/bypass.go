@@ -1,0 +1,178 @@
+// Package bypass implements the cache-bypassing schemes the paper compares
+// against (Section IV-E and Fig 3a): always-insert, access-count comparison
+// (Johnson et al.), random bypass with a fixed admit probability (Fig 12b),
+// DSB (dueling segmented LRU with adaptive bypassing), OBM (optimal bypass
+// monitor), and the oracle OPT-bypass. Bypass policies answer one question:
+// should this incoming block be inserted into the i-cache (replacing the
+// chosen contender) or dropped?
+//
+// The same interface serves two placements, mirroring the paper: directly
+// on the i-cache fill path (DSB/OBM as originally proposed) or on the
+// i-Filter eviction path (the ACIC datapath position, used for Fig 3a's
+// access-count comparison and for "DSB equipped with i-Filter").
+package bypass
+
+import "acic/internal/cache"
+
+// Policy decides insertion vs. bypass for an incoming block.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// ShouldInsert decides whether incoming should replace the contender
+	// (the replacement policy's victim in the target set). ctx carries the
+	// oracle for OPT-bypass; accessIdx is the block-access sequence time.
+	ShouldInsert(incoming, contender uint64, contenderValid bool, ctx *cache.AccessContext) bool
+	// OnFetch observes every demand block fetch (training).
+	OnFetch(block uint64)
+	// StorageBits accounts the policy's extra state.
+	StorageBits() int
+}
+
+// AlwaysInsert inserts everything — the conventional fill path and Fig 3a's
+// "Always insert i-Filter victim to i-cache" scheme.
+type AlwaysInsert struct{}
+
+// Name implements Policy.
+func (AlwaysInsert) Name() string { return "always-insert" }
+
+// ShouldInsert implements Policy.
+func (AlwaysInsert) ShouldInsert(_, _ uint64, _ bool, _ *cache.AccessContext) bool { return true }
+
+// OnFetch implements Policy.
+func (AlwaysInsert) OnFetch(uint64) {}
+
+// StorageBits implements Policy.
+func (AlwaysInsert) StorageBits() int { return 0 }
+
+// AccessCount is the run-time cache bypassing scheme of Johnson et al.
+// (IEEE TC 1999, [37] in the paper): per-block saturating access counters,
+// kept in a small direct-mapped tagged Memory Access Table (MAT), are
+// compared between the incoming block and the contender; the block with
+// the larger count is kept. The hardware-faithful part matters: a MAT
+// entry is *lost* on a tag conflict, so a block's count reflects its
+// recent burst, not its lifetime popularity — which is exactly why the
+// paper finds the mechanism misjudges bursty instruction streams (Fig 3a).
+type AccessCount struct {
+	bits   int
+	ctrMax uint8
+	tags   []uint32
+	counts []uint8
+	valid  []bool
+}
+
+// NewAccessCount returns an access-count bypass policy with ctrBits-wide
+// counters in a direct-mapped MAT of the given number of entries.
+func NewAccessCount(ctrBits, entries int) *AccessCount {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bypass: MAT entries must be a positive power of two")
+	}
+	return &AccessCount{
+		bits:   ctrBits,
+		ctrMax: uint8(1<<ctrBits - 1),
+		tags:   make([]uint32, entries),
+		counts: make([]uint8, entries),
+		valid:  make([]bool, entries),
+	}
+}
+
+// Name implements Policy.
+func (p *AccessCount) Name() string { return "access-count" }
+
+func (p *AccessCount) slot(block uint64) (int, uint32) {
+	h := block * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(p.tags))), uint32(h >> 44)
+}
+
+// OnFetch implements Policy: count accesses per block in the MAT; a tag
+// conflict steals the entry and restarts the count.
+func (p *AccessCount) OnFetch(block uint64) {
+	i, tag := p.slot(block)
+	if p.valid[i] && p.tags[i] == tag {
+		if p.counts[i] < p.ctrMax {
+			p.counts[i]++
+		}
+		return
+	}
+	p.tags[i], p.counts[i], p.valid[i] = tag, 1, true
+}
+
+// count returns the MAT count for block (0 when not tracked).
+func (p *AccessCount) count(block uint64) uint8 {
+	i, tag := p.slot(block)
+	if p.valid[i] && p.tags[i] == tag {
+		return p.counts[i]
+	}
+	return 0
+}
+
+// ShouldInsert implements Policy: keep whichever block has been accessed
+// more; ties favor the incoming block (recency).
+func (p *AccessCount) ShouldInsert(incoming, contender uint64, contenderValid bool, _ *cache.AccessContext) bool {
+	if !contenderValid {
+		return true
+	}
+	return p.count(incoming) >= p.count(contender)
+}
+
+// StorageBits implements Policy: the MAT's tags plus counters.
+func (p *AccessCount) StorageBits() int { return len(p.tags) * (p.bits + 20 + 1) }
+
+// RandomAdmit admits with fixed probability; Fig 12b's "random bypass with
+// 60% accuracy" control.
+type RandomAdmit struct {
+	// ProbPercent is the admit probability in percent [0,100].
+	ProbPercent uint64
+	state       uint64
+}
+
+// NewRandomAdmit returns a random bypass policy admitting probPercent% of
+// incoming blocks, deterministically seeded.
+func NewRandomAdmit(probPercent, seed uint64) *RandomAdmit {
+	if seed == 0 {
+		seed = 0xD1B54A32D192ED03
+	}
+	return &RandomAdmit{ProbPercent: probPercent, state: seed}
+}
+
+// Name implements Policy.
+func (p *RandomAdmit) Name() string { return "random-bypass" }
+
+// OnFetch implements Policy.
+func (p *RandomAdmit) OnFetch(uint64) {}
+
+// ShouldInsert implements Policy.
+func (p *RandomAdmit) ShouldInsert(_, _ uint64, contenderValid bool, _ *cache.AccessContext) bool {
+	if !contenderValid {
+		return true
+	}
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return p.state%100 < p.ProbPercent
+}
+
+// StorageBits implements Policy.
+func (p *RandomAdmit) StorageBits() int { return 0 }
+
+// OPTBypass is the oracle bypass of Table IV: insert the incoming block
+// only if its next use is sooner than the contender's (ties keep the
+// contender). With an i-Filter in front, this is the paper's "OPT bypass
+// with i-Filter" scheme whose performance approaches OPT replacement.
+type OPTBypass struct{}
+
+// Name implements Policy.
+func (OPTBypass) Name() string { return "opt-bypass" }
+
+// OnFetch implements Policy.
+func (OPTBypass) OnFetch(uint64) {}
+
+// ShouldInsert implements Policy.
+func (OPTBypass) ShouldInsert(incoming, contender uint64, contenderValid bool, ctx *cache.AccessContext) bool {
+	if !contenderValid {
+		return true
+	}
+	return ctx.NextUseOf(incoming) < ctx.NextUseOf(contender)
+}
+
+// StorageBits implements Policy.
+func (OPTBypass) StorageBits() int { return 0 }

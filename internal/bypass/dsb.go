@@ -1,0 +1,241 @@
+package bypass
+
+import "acic/internal/cache"
+
+// DSB implements the adaptive-bypassing component of Gao & Wilkerson's
+// "Dueling Segmented LRU Replacement Algorithm with Adaptive Bypassing"
+// (JWAC'10 cache replacement championship, [23] in the paper). Incoming
+// blocks are bypassed with a learned probability. Every bypass decision is
+// audited: the bypassed block's tag and its would-be victim are remembered
+// in a per-set tracker, and whichever is fetched again first tells us
+// whether bypassing was right (victim re-used first) or wrong (bypassed
+// block re-used first); the outcome adapts the global bypass probability.
+//
+// Per Table IV the tracker stores a 16-bit line tag plus a 3-bit competitor
+// way; the storage charge is 0.48KB.
+type DSB struct {
+	sets     int
+	prob     int64 // bypass probability numerator, denominator 1024
+	step     int64
+	state    uint64
+	trackers []dsbTracker
+
+	// Stats.
+	Bypassed uint64
+	Inserted uint64
+	GoodBp   uint64
+	BadBp    uint64
+}
+
+type dsbTracker struct {
+	bypassedTag uint32
+	victimBlock uint64
+	valid       bool
+}
+
+// DSBConfig configures DSB.
+type DSBConfig struct {
+	Sets        int   // number of i-cache sets (one tracker per set)
+	InitialProb int64 // initial bypass probability (x/1024)
+	Step        int64 // adaptation step
+}
+
+// DefaultDSBConfig mirrors the original tuning: start with moderate
+// bypassing and adapt by small steps.
+func DefaultDSBConfig(sets int) DSBConfig {
+	return DSBConfig{Sets: sets, InitialProb: 256, Step: 32}
+}
+
+// NewDSB returns a DSB bypass policy.
+func NewDSB(cfg DSBConfig) *DSB {
+	return &DSB{
+		sets:     cfg.Sets,
+		prob:     cfg.InitialProb,
+		step:     cfg.Step,
+		state:    0xA5A5A5A5DEADBEEF,
+		trackers: make([]dsbTracker, cfg.Sets),
+	}
+}
+
+// Name implements Policy.
+func (p *DSB) Name() string { return "dsb" }
+
+func tag16(block uint64) uint32 {
+	return uint32((block*0x9E3779B97F4A7C15)>>48) & 0xFFFF
+}
+
+func (p *DSB) rand1024() int64 {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return int64(p.state & 1023)
+}
+
+// OnFetch implements Policy: audit outstanding bypass decisions.
+func (p *DSB) OnFetch(block uint64) {
+	t := &p.trackers[block%uint64(p.sets)]
+	if !t.valid {
+		return
+	}
+	switch {
+	case tag16(block) == t.bypassedTag:
+		// The bypassed block was needed again first: bypassing hurt.
+		p.BadBp++
+		p.prob -= p.step
+		if p.prob < 0 {
+			p.prob = 0
+		}
+		t.valid = false
+	case block == t.victimBlock:
+		// The retained victim was re-used first: bypassing was right.
+		p.GoodBp++
+		p.prob += p.step
+		if p.prob > 1024 {
+			p.prob = 1024
+		}
+		t.valid = false
+	}
+}
+
+// ShouldInsert implements Policy.
+func (p *DSB) ShouldInsert(incoming, contender uint64, contenderValid bool, _ *cache.AccessContext) bool {
+	if !contenderValid {
+		p.Inserted++
+		return true
+	}
+	if p.rand1024() < p.prob {
+		p.Bypassed++
+		t := &p.trackers[incoming%uint64(p.sets)]
+		*t = dsbTracker{bypassedTag: tag16(incoming), victimBlock: contender, valid: true}
+		return false
+	}
+	p.Inserted++
+	return true
+}
+
+// StorageBits implements Policy: per Table IV, 0.48KB total.
+func (p *DSB) StorageBits() int { return p.sets*(16+3+1) + 10 }
+
+// OBM implements the Optimal Bypass Monitor (Li et al., PACT'12, [58]).
+// A small Recent History Table samples (incoming, victim) pairs; when
+// either block is fetched again the optimal decision for that pair becomes
+// known and trains a Bypass Decision Counter Table indexed by the incoming
+// block's signature. Per Table IV: 21-bit tags, 10-bit signature, 128-entry
+// RHT, 1024-entry BDCT of 4-bit counters (1.41KB).
+type OBM struct {
+	rht      []obmEntry
+	bdct     []uint8
+	clock    int64
+	state    uint64
+	sampleIn uint64 // sample 1 in sampleIn insertions into RHT
+
+	// Stats.
+	TrainInsert uint64
+	TrainBypass uint64
+}
+
+type obmEntry struct {
+	incTag uint32
+	vicTag uint32
+	incSig uint32
+	valid  bool
+	stamp  int64
+}
+
+// OBMConfig sizes OBM.
+type OBMConfig struct {
+	RHTEntries    int
+	BDCTEntries   int
+	SampleOneIn   uint64
+	TagBits       int
+	SignatureBits int
+}
+
+// DefaultOBMConfig matches Table IV.
+func DefaultOBMConfig() OBMConfig {
+	return OBMConfig{RHTEntries: 128, BDCTEntries: 1024, SampleOneIn: 8, TagBits: 21, SignatureBits: 10}
+}
+
+// NewOBM returns an OBM bypass policy.
+func NewOBM(cfg OBMConfig) *OBM {
+	p := &OBM{
+		rht:      make([]obmEntry, cfg.RHTEntries),
+		bdct:     make([]uint8, cfg.BDCTEntries),
+		state:    0xC0FFEE123456789,
+		sampleIn: cfg.SampleOneIn,
+	}
+	for i := range p.bdct {
+		p.bdct[i] = 8 // weakly insert
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *OBM) Name() string { return "obm" }
+
+func tag21(block uint64) uint32 {
+	return uint32((block*0xFF51AFD7ED558CCD)>>32) & 0x1FFFFF
+}
+
+func (p *OBM) sig(block uint64) uint32 {
+	return uint32(block*0x9E3779B97F4A7C15>>54) % uint32(len(p.bdct))
+}
+
+// OnFetch implements Policy: resolve sampled pairs.
+func (p *OBM) OnFetch(block uint64) {
+	t := tag21(block)
+	for i := range p.rht {
+		e := &p.rht[i]
+		if !e.valid {
+			continue
+		}
+		switch t {
+		case e.incTag:
+			// Incoming block re-used first: inserting would have been
+			// optimal. Train toward insert.
+			if p.bdct[e.incSig] < 15 {
+				p.bdct[e.incSig]++
+			}
+			p.TrainInsert++
+			e.valid = false
+		case e.vicTag:
+			// Victim re-used first: bypassing would have been optimal.
+			if p.bdct[e.incSig] > 0 {
+				p.bdct[e.incSig]--
+			}
+			p.TrainBypass++
+			e.valid = false
+		}
+	}
+}
+
+// ShouldInsert implements Policy.
+func (p *OBM) ShouldInsert(incoming, contender uint64, contenderValid bool, _ *cache.AccessContext) bool {
+	if !contenderValid {
+		return true
+	}
+	// Sample this pair into the RHT with probability 1/sampleIn.
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	if p.state%p.sampleIn == 0 {
+		p.clock++
+		lru, lruStamp := 0, p.rht[0].stamp
+		for i := range p.rht {
+			if !p.rht[i].valid {
+				lru = i
+				break
+			}
+			if p.rht[i].stamp < lruStamp {
+				lru, lruStamp = i, p.rht[i].stamp
+			}
+		}
+		p.rht[lru] = obmEntry{incTag: tag21(incoming), vicTag: tag21(contender), incSig: p.sig(incoming), valid: true, stamp: p.clock}
+	}
+	return p.bdct[p.sig(incoming)] >= 8
+}
+
+// StorageBits implements Policy: Table IV charges 1.41KB.
+func (p *OBM) StorageBits() int {
+	return len(p.rht)*(21+21+1) + len(p.bdct)*4
+}

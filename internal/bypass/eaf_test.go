@@ -1,0 +1,83 @@
+package bypass
+
+import "testing"
+
+func TestEAFTracksEvictions(t *testing.T) {
+	p := NewEAF(EAFConfig{Capacity: 4, BypassOneIn: 1}) // bypass every EAF miss
+	if p.InFilter(10) {
+		t.Error("empty filter should not contain anything")
+	}
+	p.OnEvict(10)
+	if !p.InFilter(10) {
+		t.Error("evicted block must be tracked")
+	}
+	// A tracked block is always inserted (early-eviction signal).
+	if !p.ShouldInsert(10, 99, true, nil) {
+		t.Error("EAF hit must insert")
+	}
+	if p.ReuseHits != 1 {
+		t.Errorf("reuse hits = %d", p.ReuseHits)
+	}
+	// An untracked block is bypassed (BypassOneIn=1).
+	if p.ShouldInsert(11, 99, true, nil) {
+		t.Error("EAF miss with BypassOneIn=1 must bypass")
+	}
+	if !p.ShouldInsert(11, 99, false, nil) {
+		t.Error("invalid contender must always insert")
+	}
+}
+
+func TestEAFFIFOAging(t *testing.T) {
+	p := NewEAF(EAFConfig{Capacity: 3, BypassOneIn: 1})
+	for b := uint64(1); b <= 3; b++ {
+		p.OnEvict(b)
+	}
+	p.OnEvict(4) // displaces 1
+	if p.InFilter(1) {
+		t.Error("oldest tracked address must age out")
+	}
+	for _, b := range []uint64{2, 3, 4} {
+		if !p.InFilter(b) {
+			t.Errorf("block %d should still be tracked", b)
+		}
+	}
+}
+
+func TestEAFDuplicateEvictions(t *testing.T) {
+	p := NewEAF(EAFConfig{Capacity: 3, BypassOneIn: 1})
+	p.OnEvict(7)
+	p.OnEvict(7)
+	p.OnEvict(8) // filter: [7,7,8]
+	p.OnEvict(9) // displaces first 7; the second 7 remains
+	if !p.InFilter(7) {
+		t.Error("duplicate occurrence must keep the block tracked")
+	}
+	p.OnEvict(10) // displaces second 7
+	if p.InFilter(7) {
+		t.Error("block must leave the filter after its last occurrence ages out")
+	}
+}
+
+func TestEAFBypassRate(t *testing.T) {
+	p := NewEAF(EAFConfig{Capacity: 8, BypassOneIn: 2})
+	bypassed := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !p.ShouldInsert(uint64(1000+i), 5, true, nil) {
+			bypassed++
+		}
+	}
+	frac := float64(bypassed) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("bypass fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestEAFRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEAF(EAFConfig{Capacity: 0})
+}

@@ -1,0 +1,248 @@
+// Package cache implements the generic set-associative cache substrate used
+// for every cache level in the simulator, with a pluggable replacement
+// policy interface. All i-cache management schemes evaluated in the paper
+// (LRU, SRRIP, SHiP, Hawkeye/Harmony, GHRP, Belady's OPT, the bypassing
+// schemes, and ACIC itself) plug into this substrate.
+//
+// Addresses are handled at block granularity: the cache stores block
+// numbers (byte address >> 6), and the "tag" of a line is simply its full
+// block number, which keeps lookups exact while letting individual policies
+// hash down to partial tags/signatures as the hardware would.
+package cache
+
+import "fmt"
+
+// Line is one cache line's bookkeeping state (data is not simulated).
+type Line struct {
+	Block uint64 // full block number
+	Valid bool
+}
+
+// AccessContext carries the per-access information policies may consume.
+// Fields are optional: the plain LRU policy ignores everything, while OPT
+// requires the oracle and GHRP wants the global history hooks it keeps
+// internally keyed by block.
+type AccessContext struct {
+	Block      uint64 // block being accessed / inserted
+	AccessIdx  int64  // index in the block-access sequence (oracle time)
+	IsPrefetch bool   // access originates from a prefetcher, not demand fetch
+	NextUse    func(block uint64, after int64) int64
+}
+
+// NextUseOf returns the oracle next-use time of block strictly after the
+// context's access index, or MaxInt64 when no oracle is attached or the
+// block is never used again.
+func (ctx *AccessContext) NextUseOf(block uint64) int64 {
+	if ctx == nil || ctx.NextUse == nil {
+		return NeverUsed
+	}
+	return ctx.NextUse(block, ctx.AccessIdx)
+}
+
+// NeverUsed is the oracle next-use value for a block with no future access.
+const NeverUsed = int64(1) << 62
+
+// Policy decides victim selection and maintains per-line recency state.
+// Implementations are owned by exactly one Cache; Reset is called once with
+// the geometry before any other method.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "lru", "srrip").
+	Name() string
+	// Reset initializes per-line metadata for a sets x ways cache.
+	Reset(sets, ways int)
+	// OnHit is invoked after a lookup hits at (set, way).
+	OnHit(set, way int, ctx *AccessContext)
+	// OnFill is invoked after an insertion filled (set, way).
+	OnFill(set, way int, ctx *AccessContext)
+	// OnEvict is invoked just before the line at (set, way) is replaced.
+	// The line is still valid when called.
+	OnEvict(set, way int, ctx *AccessContext)
+	// Victim returns the way to replace in set. Invalid ways are filled by
+	// the cache itself before Victim is consulted.
+	Victim(set int, ctx *AccessContext) int
+}
+
+// Config describes cache geometry.
+type Config struct {
+	Sets int // number of sets; must be a power of two
+	Ways int // associativity
+}
+
+// Blocks returns the total line capacity.
+func (c Config) Blocks() int { return c.Sets * c.Ways }
+
+// Validate reports an error for an unusable geometry.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways must be positive, got %d", c.Ways)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache of block numbers.
+type Cache struct {
+	cfg    Config
+	mask   uint64
+	lines  []Line // sets*ways, row-major by set
+	policy Policy
+
+	// Stats
+	Hits   uint64
+	Misses uint64
+	Fills  uint64
+	Evicts uint64
+}
+
+// New creates a cache with the given geometry and replacement policy.
+func New(cfg Config, p Policy) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	p.Reset(cfg.Sets, cfg.Ways)
+	return &Cache{
+		cfg:    cfg,
+		mask:   uint64(cfg.Sets - 1),
+		lines:  make([]Line, cfg.Sets*cfg.Ways),
+		policy: p,
+	}, nil
+}
+
+// MustNew is New but panics on configuration errors; for tests and tables.
+func MustNew(cfg Config, p Policy) *Cache {
+	c, err := New(cfg, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetIndex maps a block to its set.
+func (c *Cache) SetIndex(block uint64) int { return int(block & c.mask) }
+
+// line returns a pointer to the line at (set, way).
+func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.cfg.Ways+way] }
+
+// Lines returns the lines of a set (aliasing internal storage; callers must
+// not mutate). Exposed for oracle analyses and victim-cache integration.
+func (c *Cache) Lines(set int) []Line {
+	return c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+}
+
+// Lookup finds block without updating replacement state.
+func (c *Cache) Lookup(block uint64) (way int, hit bool) {
+	set := c.SetIndex(block)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if ln := &c.lines[base+w]; ln.Valid && ln.Block == block {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Access looks up block, updating hit statistics and replacement state on a
+// hit. It does not fill on a miss; the caller decides fill policy (this is
+// what lets i-Filter/bypass/ACIC front-ends own the fill path).
+func (c *Cache) Access(ctx *AccessContext) (hit bool) {
+	way, ok := c.Lookup(ctx.Block)
+	if ok {
+		c.Hits++
+		c.policy.OnHit(c.SetIndex(ctx.Block), way, ctx)
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// PeekVictim returns the way and current contents the policy would evict in
+// block's set, without performing the eviction. If an invalid way exists it
+// is returned with ok=false contents (Line.Valid false).
+func (c *Cache) PeekVictim(ctx *AccessContext) (way int, victim Line) {
+	set := c.SetIndex(ctx.Block)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.lines[base+w].Valid {
+			return w, c.lines[base+w]
+		}
+	}
+	w := c.policy.Victim(set, ctx)
+	return w, c.lines[base+w]
+}
+
+// Insert fills block into its set, evicting the policy's victim if the set
+// is full. It returns the evicted line (Valid=false when an empty way was
+// used). Insert must not be called when the block is already resident.
+func (c *Cache) Insert(ctx *AccessContext) (evicted Line) {
+	set := c.SetIndex(ctx.Block)
+	way, victim := c.PeekVictim(ctx)
+	if victim.Valid {
+		c.policy.OnEvict(set, way, ctx)
+		c.Evicts++
+	}
+	ln := c.line(set, way)
+	evicted = *ln
+	ln.Block = ctx.Block
+	ln.Valid = true
+	c.Fills++
+	c.policy.OnFill(set, way, ctx)
+	return evicted
+}
+
+// InsertAt fills block into an explicit way of its set (used by victim-cache
+// swap paths), returning the previous contents.
+func (c *Cache) InsertAt(way int, ctx *AccessContext) (evicted Line) {
+	set := c.SetIndex(ctx.Block)
+	ln := c.line(set, way)
+	if ln.Valid {
+		c.policy.OnEvict(set, way, ctx)
+		c.Evicts++
+	}
+	evicted = *ln
+	ln.Block = ctx.Block
+	ln.Valid = true
+	c.Fills++
+	c.policy.OnFill(set, way, ctx)
+	return evicted
+}
+
+// Invalidate removes block if present, returning whether it was resident.
+func (c *Cache) Invalidate(block uint64) bool {
+	way, ok := c.Lookup(block)
+	if !ok {
+		return false
+	}
+	c.line(c.SetIndex(block), way).Valid = false
+	return true
+}
+
+// Contains reports whether block is resident.
+func (c *Cache) Contains(block uint64) bool {
+	_, ok := c.Lookup(block)
+	return ok
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the hit/miss/fill/evict counters.
+func (c *Cache) ResetStats() { c.Hits, c.Misses, c.Fills, c.Evicts = 0, 0, 0, 0 }

@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fifoPolicy is a minimal deterministic policy for substrate tests.
+type fifoPolicy struct {
+	ways  int
+	order []int64
+	clock int64
+}
+
+func (p *fifoPolicy) Name() string { return "fifo" }
+func (p *fifoPolicy) Reset(sets, ways int) {
+	p.ways = ways
+	p.order = make([]int64, sets*ways)
+}
+func (p *fifoPolicy) OnHit(int, int, *AccessContext) {}
+func (p *fifoPolicy) OnFill(set, way int, _ *AccessContext) {
+	p.clock++
+	p.order[set*p.ways+way] = p.clock
+}
+func (p *fifoPolicy) OnEvict(int, int, *AccessContext) {}
+func (p *fifoPolicy) Victim(set int, _ *AccessContext) int {
+	base := set * p.ways
+	best, bestV := 0, p.order[base]
+	for w := 1; w < p.ways; w++ {
+		if p.order[base+w] < bestV {
+			best, bestV = w, p.order[base+w]
+		}
+	}
+	return best
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{Sets: 0, Ways: 1}, {Sets: 3, Ways: 1}, {Sets: 4, Ways: 0}, {Sets: -4, Ways: 2}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+	good := Config{Sets: 64, Ways: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("config %+v should be valid: %v", good, err)
+	}
+	if good.Blocks() != 512 {
+		t.Errorf("Blocks() = %d, want 512", good.Blocks())
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(Config{Sets: 3, Ways: 2}, &fifoPolicy{}); err == nil {
+		t.Error("expected geometry error")
+	}
+	if _, err := New(Config{Sets: 4, Ways: 2}, nil); err == nil {
+		t.Error("expected nil-policy error")
+	}
+}
+
+func TestInsertLookupEvict(t *testing.T) {
+	c := MustNew(Config{Sets: 2, Ways: 2}, &fifoPolicy{})
+	// Fill set 0 (blocks 0, 2 map to set 0 with 2 sets).
+	ctx := func(b uint64) *AccessContext { return &AccessContext{Block: b} }
+	if ev := c.Insert(ctx(0)); ev.Valid {
+		t.Error("first insert should not evict")
+	}
+	if ev := c.Insert(ctx(2)); ev.Valid {
+		t.Error("second insert should use the empty way")
+	}
+	if !c.Contains(0) || !c.Contains(2) {
+		t.Fatal("inserted blocks must be resident")
+	}
+	// Third insert into set 0 evicts FIFO-first (block 0).
+	ev := c.Insert(ctx(4))
+	if !ev.Valid || ev.Block != 0 {
+		t.Fatalf("evicted %+v, want block 0", ev)
+	}
+	if c.Contains(0) {
+		t.Error("block 0 should be gone")
+	}
+	if c.Occupancy() != 2 {
+		t.Errorf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+func TestAccessUpdatesStats(t *testing.T) {
+	c := MustNew(Config{Sets: 2, Ways: 2}, &fifoPolicy{})
+	ctx := AccessContext{Block: 0}
+	if c.Access(&ctx) {
+		t.Error("miss expected on empty cache")
+	}
+	c.Insert(&ctx)
+	if !c.Access(&ctx) {
+		t.Error("hit expected after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 || c.Fills != 1 {
+		t.Errorf("stats hits=%d misses=%d fills=%d", c.Hits, c.Misses, c.Fills)
+	}
+	c.ResetStats()
+	if c.Hits != 0 || c.Misses != 0 || c.Fills != 0 || c.Evicts != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestPeekVictimDoesNotMutate(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2}, &fifoPolicy{})
+	c.Insert(&AccessContext{Block: 0})
+	c.Insert(&AccessContext{Block: 1})
+	way1, v1 := c.PeekVictim(&AccessContext{Block: 2})
+	way2, v2 := c.PeekVictim(&AccessContext{Block: 2})
+	if way1 != way2 || v1 != v2 {
+		t.Error("PeekVictim must be idempotent")
+	}
+	if !v1.Valid || v1.Block != 0 {
+		t.Errorf("peek victim = %+v, want block 0", v1)
+	}
+	if !c.Contains(0) || !c.Contains(1) {
+		t.Error("PeekVictim must not evict")
+	}
+}
+
+func TestInsertAt(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2}, &fifoPolicy{})
+	c.Insert(&AccessContext{Block: 0})
+	c.Insert(&AccessContext{Block: 1})
+	ev := c.InsertAt(1, &AccessContext{Block: 7})
+	if !ev.Valid || ev.Block != 1 {
+		t.Fatalf("InsertAt evicted %+v, want block 1", ev)
+	}
+	if !c.Contains(7) || !c.Contains(0) || c.Contains(1) {
+		t.Error("InsertAt contents wrong")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(Config{Sets: 2, Ways: 1}, &fifoPolicy{})
+	c.Insert(&AccessContext{Block: 3})
+	if !c.Invalidate(3) {
+		t.Error("expected invalidate to find block 3")
+	}
+	if c.Invalidate(3) {
+		t.Error("double invalidate should return false")
+	}
+	if c.Contains(3) {
+		t.Error("block 3 should be gone")
+	}
+}
+
+func TestNextUseOf(t *testing.T) {
+	ctx := &AccessContext{AccessIdx: 5, NextUse: func(b uint64, after int64) int64 {
+		if b == 1 && after == 5 {
+			return 9
+		}
+		return NeverUsed
+	}}
+	if ctx.NextUseOf(1) != 9 {
+		t.Error("oracle passthrough failed")
+	}
+	if ctx.NextUseOf(2) != NeverUsed {
+		t.Error("unknown block should never be used")
+	}
+	var nilCtx *AccessContext
+	if nilCtx.NextUseOf(1) != NeverUsed {
+		t.Error("nil context should report NeverUsed")
+	}
+}
+
+// Property: after any access/insert sequence, occupancy never exceeds
+// capacity and every Contains(b) agrees with the last insert/evict history.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(Config{Sets: 4, Ways: 2}, &fifoPolicy{})
+		resident := map[uint64]bool{}
+		for i := 0; i < int(ops)+8; i++ {
+			b := uint64(rng.Intn(32))
+			ctx := AccessContext{Block: b}
+			if c.Access(&ctx) != resident[b] {
+				return false
+			}
+			if !resident[b] {
+				ev := c.Insert(&ctx)
+				if ev.Valid {
+					if !resident[ev.Block] {
+						return false // evicted something not resident
+					}
+					delete(resident, ev.Block)
+				}
+				resident[b] = true
+			}
+			if c.Occupancy() > c.Config().Blocks() || c.Occupancy() != len(resident) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

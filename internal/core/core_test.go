@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIFilterLRU(t *testing.T) {
+	f := NewIFilter(2)
+	if _, ev := f.Insert(1); ev {
+		t.Error("insert into empty filter must not evict")
+	}
+	if _, ev := f.Insert(2); ev {
+		t.Error("second insert must not evict")
+	}
+	if !f.Access(1) {
+		t.Error("block 1 should hit")
+	}
+	victim, ev := f.Insert(3)
+	if !ev || victim != 2 {
+		t.Errorf("victim = %d,%v; want 2 (LRU)", victim, ev)
+	}
+	if f.Contains(2) {
+		t.Error("block 2 should be gone")
+	}
+	if f.Occupancy() != 2 || f.Size() != 2 {
+		t.Errorf("occupancy=%d size=%d", f.Occupancy(), f.Size())
+	}
+}
+
+func TestIFilterInvalidate(t *testing.T) {
+	f := NewIFilter(4)
+	f.Insert(7)
+	if !f.Invalidate(7) || f.Invalidate(7) {
+		t.Error("invalidate semantics wrong")
+	}
+	if f.Access(7) {
+		t.Error("invalidated block must miss")
+	}
+}
+
+func TestIFilterStorageMatchesTable1(t *testing.T) {
+	// Table I: 16 entries x (63 metadata bits + 64B block) = 1.123KB.
+	f := NewIFilter(16)
+	bits := f.StorageBits()
+	kb := float64(bits) / 8192
+	if kb < 1.12 || kb > 1.13 {
+		t.Errorf("i-Filter storage = %.4f KB, want ~1.123", kb)
+	}
+}
+
+func TestIFilterRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	NewIFilter(0)
+}
+
+func TestPredictorLearnsBias(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	cfg.UpdateLatency = 0
+	p := NewPredictor(cfg)
+	tag := uint32(0x123)
+	// Train "later than contender" (drop) consistently.
+	for i := 0; i < 40; i++ {
+		p.Train(tag, false)
+		p.Tick(int64(i + 1))
+	}
+	if p.Predict(tag) {
+		t.Error("consistently losing block should be dropped")
+	}
+	// Another tag trained to win.
+	tag2 := uint32(0x456)
+	for i := 40; i < 80; i++ {
+		p.Train(tag2, true)
+		p.Tick(int64(i + 1))
+	}
+	if !p.Predict(tag2) {
+		t.Error("consistently winning block should be admitted")
+	}
+}
+
+func TestPredictorQueuedUpdateStaleness(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	cfg.UpdateLatency = 2
+	p := NewPredictor(cfg)
+	tag := uint32(0x321)
+	h0 := p.History(tag)
+	c0 := p.Counter(h0)
+	p.Tick(10)
+	p.Train(tag, false)
+	// Immediately after training, neither the counter nor the history has
+	// changed (2-cycle pipeline).
+	if p.Counter(h0) != c0 {
+		t.Error("PT updated too early")
+	}
+	if p.History(tag) != h0 {
+		t.Error("HRT shifted too early")
+	}
+	p.Tick(11) // HRT shift due
+	if p.History(tag) != ((h0<<1)&0xF) || p.Counter(h0) != c0 {
+		t.Error("after 1 cycle only the HRT should have shifted")
+	}
+	p.Tick(12) // PT update due
+	if p.Counter(h0) != c0-1 {
+		t.Errorf("PT counter = %d, want %d", p.Counter(h0), c0-1)
+	}
+}
+
+func TestPredictorAliasDrop(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	cfg.UpdateLatency = 0
+	p := NewPredictor(cfg)
+	p.Tick(5)
+	p.Train(1, true)
+	p.Train(1, true) // same HRT entry, same cycle: dropped
+	if p.AliasDrops != 1 {
+		t.Errorf("alias drops = %d, want 1", p.AliasDrops)
+	}
+	p.Tick(6)
+	p.Train(1, true)
+	if p.AliasDrops != 1 {
+		t.Error("training in a later cycle must not be dropped")
+	}
+}
+
+func TestPredictorQueueOverflow(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	cfg.QueueSlots = 2
+	p := NewPredictor(cfg)
+	// Use distinct tags mapping to distinct HRT entries but the same
+	// (initial zero) history, so updates pile into PT queue for history 0.
+	cycle := int64(1)
+	for i := 0; i < 50; i++ {
+		p.now = cycle // distinct cycles to dodge the alias filter
+		p.Train(uint32(i*7+1), true)
+		cycle++
+	}
+	if p.QueueOverflow == 0 {
+		t.Error("expected PT queue overflow with 2 slots and no ticks")
+	}
+}
+
+func TestPredictorStorageMatchesTable1(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	// HRT 0.5KB + PT 10B + queues 100B = 4096 + 80 + 800 bits.
+	if got := p.StorageBits(); got != 4096+80+800 {
+		t.Errorf("predictor storage = %d bits, want %d", got, 4096+80+800)
+	}
+}
+
+func TestCSHRInsertLookupResolve(t *testing.T) {
+	s := NewCSHR(DefaultCSHRConfig())
+	const icacheSets = 64
+	if _, ev := s.Insert(0, icacheSets, 100, 200); ev {
+		t.Error("insert into empty CSHR must not evict")
+	}
+	// Fetching the victim resolves Sooner=true.
+	res := s.Lookup(0, icacheSets, 100, nil)
+	if len(res) != 1 || !res[0].Sooner {
+		t.Fatalf("victim fetch resolution = %+v", res)
+	}
+	// Entry now invalid: no double resolution.
+	if res := s.Lookup(0, icacheSets, 100, nil); len(res) != 0 {
+		t.Error("resolved entry must be invalidated")
+	}
+	// Contender-side resolution.
+	s.Insert(0, icacheSets, 100, 200)
+	res = s.Lookup(0, icacheSets, 200, nil)
+	if len(res) != 1 || res[0].Sooner {
+		t.Fatalf("contender fetch resolution = %+v", res)
+	}
+}
+
+func TestCSHRSetMapping(t *testing.T) {
+	s := NewCSHR(DefaultCSHRConfig())
+	// i-cache sets 0..7 map to CSHR set 0 (top 3 bits of 6-bit index).
+	s.Insert(0, 64, 100, 200)
+	// A fetch in i-cache set 8 (CSHR set 1) must not resolve it.
+	if res := s.Lookup(8, 64, 100, nil); len(res) != 0 {
+		t.Error("cross-set resolution should not happen")
+	}
+	if res := s.Lookup(7, 64, 100, nil); len(res) != 1 {
+		t.Error("same-CSHR-set fetch should resolve")
+	}
+}
+
+func TestCSHREvictionBenefitOfDoubt(t *testing.T) {
+	cfg := CSHRConfig{Sets: 1, Ways: 2, TagBits: 12}
+	s := NewCSHR(cfg)
+	s.Insert(0, 64, 1, 2)
+	s.Insert(0, 64, 3, 4)
+	ev, has := s.Insert(0, 64, 5, 6)
+	if !has {
+		t.Fatal("full CSHR set must evict")
+	}
+	if !ev.Sooner || !ev.Evicted {
+		t.Errorf("eviction resolution = %+v, want benefit-of-doubt", ev)
+	}
+	if ev.VictimTag != s.PartialTag(1) {
+		t.Error("LRU entry (first inserted) should be evicted")
+	}
+}
+
+func TestCSHRStorageMatchesTable1(t *testing.T) {
+	s := NewCSHR(DefaultCSHRConfig())
+	// 256 x (24 tag + 1 valid + 5 LRU) = 7680 bits = 0.9375KB.
+	if got := s.StorageBits(); got != 7680 {
+		t.Errorf("CSHR storage = %d bits, want 7680", got)
+	}
+}
+
+func TestACICStorageTotalMatchesTable1(t *testing.T) {
+	a := New(DefaultConfig())
+	kb := float64(a.StorageBits()) / 8192
+	if kb < 2.66 || kb > 2.68 {
+		t.Errorf("ACIC storage = %.4f KB, want ~2.67", kb)
+	}
+}
+
+func TestACICAdmissionFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Predictor.UpdateLatency = 0
+	a := New(cfg)
+	const sets = 64
+	// Decide inserts a CSHR pair and returns the (initially admit-biased)
+	// decision.
+	// Victim and contender always share an i-cache set in the real
+	// datapath; 100 and 164 both map to set 36 of 64.
+	admit := a.Decide(100, 164, int(100%sets), sets, 0)
+	if !admit {
+		t.Error("untrained ACIC should admit (always-insert degeneration)")
+	}
+	if a.Decisions != 1 || a.Admitted != 1 {
+		t.Errorf("decision counters: %+v", a)
+	}
+	// Resolve via contender fetch -> drop training for victim 100's tag.
+	for i := 0; i < 64; i++ {
+		a.Tick(int64(i + 1))
+		a.OnFetch(164, int(164%sets), sets, false)
+		a.Decide(100, 164, int(100%sets), sets, int64(i))
+	}
+	if a.AdmitFraction() > 0.9 {
+		t.Errorf("admit fraction %.2f should fall once contender keeps winning", a.AdmitFraction())
+	}
+}
+
+func TestACICVariants(t *testing.T) {
+	for _, v := range []Variant{VariantTwoLevel, VariantGlobalHistory, VariantBimodal, VariantAlwaysAdmit} {
+		cfg := DefaultConfig()
+		cfg.Variant = v
+		a := New(cfg)
+		if a.Pred.Name() != v.String() {
+			t.Errorf("variant %v: predictor name %q", v, a.Pred.Name())
+		}
+		// Smoke: decide/train cycles run without panic.
+		for i := 0; i < 100; i++ {
+			a.Tick(int64(i))
+			a.OnFetch(uint64(i%37), i%64, 64, false)
+			a.Decide(uint64(i%11), uint64(i%13+20), i%64, 64, int64(i))
+		}
+		if v == VariantAlwaysAdmit && a.AdmitFraction() != 1.0 {
+			t.Error("always-admit variant must admit everything")
+		}
+	}
+}
+
+func TestACICEvictTrainingModes(t *testing.T) {
+	for _, mode := range []EvictTraining{EvictTrainNone, EvictTrainAdmit, EvictTrainDrop} {
+		cfg := DefaultConfig()
+		cfg.EvictTrain = mode
+		cfg.CSHR = CSHRConfig{Sets: 1, Ways: 2, TagBits: 12}
+		cfg.Predictor.UpdateLatency = 0
+		a := New(cfg)
+		before := a.Pred.(twoLevelAdapter).TrainEvents
+		for i := 0; i < 10; i++ {
+			a.Tick(int64(i + 1))
+			a.Decide(uint64(i*64), uint64(i*64+1), 0, 64, int64(i))
+		}
+		trained := a.Pred.(twoLevelAdapter).TrainEvents - before
+		if mode == EvictTrainNone && trained != 0 {
+			t.Errorf("mode %v: %d trainings, want 0", mode, trained)
+		}
+		if mode != EvictTrainNone && trained == 0 {
+			t.Errorf("mode %v: no trainings despite evictions", mode)
+		}
+	}
+}
+
+func TestGlobalHistoryAndBimodalLearn(t *testing.T) {
+	g := newGlobalHistory(DefaultPredictorConfig())
+	for i := 0; i < 40; i++ {
+		g.Train(0, false)
+	}
+	if g.Predict(0) {
+		t.Error("global-history predictor should learn to drop")
+	}
+	b := newBimodal(DefaultPredictorConfig())
+	for i := 0; i < 40; i++ {
+		b.Train(7, true)
+		b.Train(9, false)
+	}
+	if !b.Predict(7) || b.Predict(9) {
+		t.Error("bimodal should separate per-tag outcomes")
+	}
+}
+
+// Property: the i-Filter never exceeds its capacity and Insert evicts
+// exactly when full.
+func TestIFilterInvariantProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewIFilter(int(ops%15) + 1)
+		resident := map[uint64]bool{}
+		for i := 0; i < 200; i++ {
+			b := uint64(rng.Intn(40))
+			if fl.Access(b) != resident[b] {
+				return false
+			}
+			if !resident[b] {
+				victim, ev := fl.Insert(b)
+				if ev {
+					if !resident[victim] {
+						return false
+					}
+					delete(resident, victim)
+				}
+				resident[b] = true
+			}
+			if fl.Occupancy() > fl.Size() || fl.Occupancy() != len(resident) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSHR occupancy is bounded and every insert beyond capacity
+// yields exactly one eviction.
+func TestCSHRInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewCSHR(CSHRConfig{Sets: 2, Ways: 4, TagBits: 12})
+		for i := 0; i < 300; i++ {
+			set := rng.Intn(64)
+			if rng.Intn(2) == 0 {
+				s.Insert(set, 64, uint64(rng.Intn(100)), uint64(rng.Intn(100)+100))
+			} else {
+				s.Lookup(set, 64, uint64(rng.Intn(200)), nil)
+			}
+			if s.Occupancy() > 8 {
+				return false
+			}
+		}
+		return uint64(s.Occupancy())+s.ResolvedVictim+s.ResolvedContend+s.EvictedUnres == s.Inserts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefetchAwareDiscountsCoveredReuse(t *testing.T) {
+	const sets = 64
+	mk := func(aware bool) *ACIC {
+		cfg := DefaultConfig()
+		cfg.Predictor.UpdateLatency = 0
+		cfg.PrefetchAware = aware
+		return New(cfg)
+	}
+	// Victim 100 is re-accessed first, but every resolving fetch is
+	// prefetch-covered: the aware variant should learn "drop", the
+	// baseline should learn "admit".
+	train := func(a *ACIC) {
+		for i := 0; i < 64; i++ {
+			a.Tick(int64(i + 1))
+			a.Decide(100, 164, int(100%sets), sets, int64(i))
+			a.OnFetch(100, int(100%sets), sets, true) // prefetched fetch
+		}
+	}
+	base := mk(false)
+	train(base)
+	aware := mk(true)
+	train(aware)
+	if base.AdmitFraction() < 0.9 {
+		t.Errorf("baseline ACIC should keep admitting (got %.2f)", base.AdmitFraction())
+	}
+	if aware.AdmitFraction() > 0.5 {
+		t.Errorf("prefetch-aware ACIC should learn to drop (got %.2f)", aware.AdmitFraction())
+	}
+}
+
+func TestPrefetchAwareSkipsContenderResolutions(t *testing.T) {
+	const sets = 64
+	cfg := DefaultConfig()
+	cfg.Predictor.UpdateLatency = 0
+	cfg.PrefetchAware = true
+	a := New(cfg)
+	pred := a.Pred.(twoLevelAdapter)
+	a.Decide(100, 164, int(100%sets), sets, 0)
+	before := pred.TrainEvents
+	a.OnFetch(164, int(164%sets), sets, true) // contender fetch, prefetched
+	if pred.TrainEvents != before {
+		t.Error("prefetch-covered contender resolution must not train")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+// CSHR — Comparison Status Holding Registers (Fig 5/7). Inspired by MSHRs,
+// the CSHR tracks pairs of (i-Filter victim, i-cache contender) partial tags
+// whose "who is re-accessed first" comparison is still unresolved. It is
+// organized set-associatively: 256 entries in 8 sets of 32 ways, indexed by
+// the top m=3 bits of the i-cache set index (victim and contender always
+// map to the same i-cache set, hence the same CSHR set). Each set is LRU
+// replaced; entries evicted before resolving give the benefit of the doubt
+// to the i-Filter victim (trained as if re-accessed sooner).
+
+// CSHRConfig sizes the CSHR. Defaults follow Table I / Section III-C.
+type CSHRConfig struct {
+	Sets    int // 8
+	Ways    int // 32
+	TagBits int // partial tag width (12)
+}
+
+// DefaultCSHRConfig matches the paper: 256 entries as 8 sets x 32 ways with
+// 12-bit partial tags.
+func DefaultCSHRConfig() CSHRConfig { return CSHRConfig{Sets: 8, Ways: 32, TagBits: 12} }
+
+// Entries returns total capacity.
+func (c CSHRConfig) Entries() int { return c.Sets * c.Ways }
+
+type cshrEntry struct {
+	victimTag    uint32
+	contenderTag uint32
+	valid        bool
+	stamp        int64
+	born         int64 // fetch-sequence time of insertion (Fig 6 statistics)
+}
+
+// Resolution is a resolved comparison delivered to the predictor.
+type Resolution struct {
+	VictimTag uint32
+	// Sooner is true when the i-Filter victim was re-accessed before its
+	// contender (or when the entry was evicted unresolved — benefit of the
+	// doubt).
+	Sooner bool
+	// Evicted marks resolutions synthesized by capacity eviction.
+	Evicted bool
+	// Age is the number of lookups in this CSHR set between insertion and
+	// resolution (Fig 6's "number of comparisons during entry lifetime").
+	Age int64
+}
+
+// CSHR is the set-associative comparison tracker.
+type CSHR struct {
+	cfg     CSHRConfig
+	sets    [][]cshrEntry
+	tagMask uint32
+	clock   int64
+	lookups []int64 // per-set lookup counters (for entry age accounting)
+
+	// Stats.
+	Inserts         uint64
+	ResolvedVictim  uint64 // resolved because the victim tag was fetched
+	ResolvedContend uint64 // resolved because the contender tag was fetched
+	EvictedUnres    uint64 // evicted before resolution
+}
+
+// NewCSHR creates a CSHR from cfg.
+func NewCSHR(cfg CSHRConfig) *CSHR {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("core: CSHR sets must be a positive power of two")
+	}
+	if cfg.Ways <= 0 || cfg.TagBits <= 0 || cfg.TagBits > 32 {
+		panic("core: bad CSHR geometry")
+	}
+	s := &CSHR{
+		cfg:     cfg,
+		sets:    make([][]cshrEntry, cfg.Sets),
+		tagMask: uint32(1)<<cfg.TagBits - 1,
+		lookups: make([]int64, cfg.Sets),
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]cshrEntry, cfg.Ways)
+	}
+	return s
+}
+
+// Config returns the CSHR configuration.
+func (s *CSHR) Config() CSHRConfig { return s.cfg }
+
+// PartialTag derives the stored partial tag from a block number.
+func (s *CSHR) PartialTag(block uint64) uint32 {
+	h := block * 0xFF51AFD7ED558CCD
+	return uint32(h>>24) & s.tagMask
+}
+
+// setIndex maps an i-cache set index to a CSHR set using its top bits.
+func (s *CSHR) setIndex(icacheSet, icacheSets int) int {
+	if icacheSets <= s.cfg.Sets {
+		return icacheSet & (s.cfg.Sets - 1)
+	}
+	shift := 0
+	for 1<<shift < icacheSets/s.cfg.Sets {
+		shift++
+	}
+	return icacheSet >> shift
+}
+
+// Insert records a new unresolved (victim, contender) pair for the given
+// i-cache set. If the CSHR set is full, the LRU entry is evicted and
+// returned as an unresolved resolution (benefit of the doubt: Sooner=true).
+func (s *CSHR) Insert(icacheSet, icacheSets int, victimBlock, contenderBlock uint64) (evicted Resolution, hasEvicted bool) {
+	si := s.setIndex(icacheSet, icacheSets)
+	set := s.sets[si]
+	s.clock++
+	s.Inserts++
+	e := cshrEntry{
+		victimTag:    s.PartialTag(victimBlock),
+		contenderTag: s.PartialTag(contenderBlock),
+		valid:        true,
+		stamp:        s.clock,
+		born:         s.lookups[si],
+	}
+	lru := -1
+	var lruStamp int64
+	for i := range set {
+		if !set[i].valid {
+			set[i] = e
+			return Resolution{}, false
+		}
+		if lru == -1 || set[i].stamp < lruStamp {
+			lru, lruStamp = i, set[i].stamp
+		}
+	}
+	old := set[lru]
+	set[lru] = e
+	s.EvictedUnres++
+	return Resolution{
+		VictimTag: old.victimTag,
+		Sooner:    true, // benefit of the doubt to the i-Filter victim
+		Evicted:   true,
+		Age:       s.lookups[si] - old.born,
+	}, true
+}
+
+// Lookup searches the CSHR set for the fetched block's partial tag and
+// resolves matching comparisons (Fig 7): a victim-field match resolves that
+// single entry with Sooner=true (at most one can match, see §III-C2); a
+// contender-field match resolves with Sooner=false and may hit several
+// entries. Resolved entries are invalidated. Results are appended to dst
+// and returned.
+func (s *CSHR) Lookup(icacheSet, icacheSets int, fetchedBlock uint64, dst []Resolution) []Resolution {
+	si := s.setIndex(icacheSet, icacheSets)
+	s.lookups[si]++
+	tag := s.PartialTag(fetchedBlock)
+	set := s.sets[si]
+	for i := range set {
+		if !set[i].valid {
+			continue
+		}
+		switch tag {
+		case set[i].victimTag:
+			dst = append(dst, Resolution{VictimTag: set[i].victimTag, Sooner: true, Age: s.lookups[si] - set[i].born})
+			set[i].valid = false
+			s.ResolvedVictim++
+		case set[i].contenderTag:
+			dst = append(dst, Resolution{VictimTag: set[i].victimTag, Sooner: false, Age: s.lookups[si] - set[i].born})
+			set[i].valid = false
+			s.ResolvedContend++
+		}
+	}
+	return dst
+}
+
+// Occupancy returns the number of valid entries.
+func (s *CSHR) Occupancy() int {
+	n := 0
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// StorageBits returns CSHR storage per Table I: per entry, two partial tags
+// + 1 valid bit + 5 LRU bits (for the 32-way organization).
+func (s *CSHR) StorageBits() int {
+	lruBits := 0
+	for 1<<lruBits < s.cfg.Ways {
+		lruBits++
+	}
+	return s.cfg.Entries() * (2*s.cfg.TagBits + 1 + lruBits)
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's contribution: the Admission-
+// Controlled Instruction Cache (ACIC). It provides the i-Filter (a small
+// fully-associative buffer that absorbs the spatial/short-temporal burst of
+// accesses to an instruction block), the two-level admission predictor
+// (History Register Table + Pattern Table with queued updates), and the
+// Comparison Status Holding Registers (CSHR) that resolve, after the fact,
+// whether an i-Filter victim was re-accessed sooner than the i-cache
+// contender it was compared against.
+package core
+
+// IFilter is the 16-slot fully-associative, LRU-replaced buffer that sits
+// beside the i-cache (Fig 2). Missed blocks are placed here first; only on
+// eviction from the i-Filter does a block become a candidate for i-cache
+// insertion, at which point admission control runs.
+type IFilter struct {
+	slots []ifSlot
+	clock int64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type ifSlot struct {
+	block uint64
+	stamp int64
+	valid bool
+}
+
+// NewIFilter creates an i-Filter with n slots (16 in the paper's default).
+func NewIFilter(n int) *IFilter {
+	if n <= 0 {
+		panic("core: i-Filter size must be positive")
+	}
+	return &IFilter{slots: make([]ifSlot, n)}
+}
+
+// Size returns the number of slots.
+func (f *IFilter) Size() int { return len(f.slots) }
+
+// Contains reports whether block is resident without touching LRU state.
+func (f *IFilter) Contains(block uint64) bool {
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up block, updating LRU state and hit statistics on a hit.
+func (f *IFilter) Access(block uint64) bool {
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].block == block {
+			f.clock++
+			f.slots[i].stamp = f.clock
+			f.Hits++
+			return true
+		}
+	}
+	f.Misses++
+	return false
+}
+
+// Insert places block into the filter, evicting the LRU slot if full.
+// It returns the evicted block and whether an eviction happened. The caller
+// (the ACIC datapath) runs admission control on the victim.
+func (f *IFilter) Insert(block uint64) (victim uint64, evicted bool) {
+	f.clock++
+	lru, lruStamp := -1, int64(0)
+	for i := range f.slots {
+		if !f.slots[i].valid {
+			f.slots[i] = ifSlot{block: block, stamp: f.clock, valid: true}
+			return 0, false
+		}
+		if lru == -1 || f.slots[i].stamp < lruStamp {
+			lru, lruStamp = i, f.slots[i].stamp
+		}
+	}
+	victim = f.slots[lru].block
+	f.slots[lru] = ifSlot{block: block, stamp: f.clock, valid: true}
+	return victim, true
+}
+
+// Invalidate removes block if resident (used when a block is promoted into
+// the i-cache by a path other than filter eviction, e.g. victim-cache swap).
+func (f *IFilter) Invalidate(block uint64) bool {
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].block == block {
+			f.slots[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid slots.
+func (f *IFilter) Occupancy() int {
+	n := 0
+	for i := range f.slots {
+		if f.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageBits returns the metadata+data storage of the filter in bits, as
+// accounted in Table I: per slot, 58 tag bits + 1 valid + 4 LRU bits of
+// metadata plus the 64-byte instruction block.
+func (f *IFilter) StorageBits() int {
+	const metadataBits = 58 + 1 + 4
+	const blockBits = 64 * 8
+	return len(f.slots) * (metadataBits + blockBits)
+}

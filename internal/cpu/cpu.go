@@ -1,0 +1,423 @@
+// Package cpu is the trace-driven timing model of the simulated core
+// (Table II): a 6-wide decoupled front end with a fetch target queue that
+// realizes fetch-directed prefetching (FDP), an i-cache subsystem slot where
+// every evaluated scheme plugs in, and a 352-entry ROB backend that retires
+// up to 6 instructions per cycle with data-side latencies taken from the
+// shared memory hierarchy.
+//
+// The model is detailed where the paper's experiments live — the
+// instruction supply path — and calibrated-approximate elsewhere: the
+// backend executes instructions with class-based completion latencies and
+// in-order retirement from a ROB-sized window, which preserves the relative
+// cost of front-end stalls across schemes (the quantity all figures
+// report). Wrong-path fetch effects are not modeled (standard for
+// trace-driven simulation); branch redirects charge the Table II penalties.
+package cpu
+
+import (
+	"acic/internal/branch"
+	"acic/internal/icache"
+	"acic/internal/mem"
+	"acic/internal/prefetch"
+	"acic/internal/trace"
+)
+
+// Config are the core parameters (Table II defaults via DefaultConfig).
+type Config struct {
+	FetchWidth        int   // instructions fetched per cycle (6)
+	FTQBlocks         int   // FDP run-ahead depth in fetch blocks (24)
+	ROB               int   // reorder-buffer entries (352)
+	RetireWidth       int   // instructions retired per cycle (6)
+	PipelineDepth     int64 // fetch-to-complete depth for non-memory ops
+	MispredictPenalty int64 // execute-resolved redirect penalty
+	MisfetchPenalty   int64 // decode-resolved redirect penalty (BTB miss)
+	MaxPrefetches     int   // outstanding prefetch limit (L1i MSHRs, 16)
+	PrefetchPerCycle  int   // prefetch issue bandwidth
+	L2ServiceInterval int64 // min cycles between instruction-side L2 requests
+
+	UseFDP bool // enable the fetch-directed prefetcher
+	// Extra is an additional table-driven prefetcher (e.g. entangling);
+	// nil for none.
+	Extra prefetch.Prefetcher
+}
+
+// DefaultConfig returns the Table II core with FDP enabled.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        6,
+		FTQBlocks:         24,
+		ROB:               352,
+		RetireWidth:       6,
+		PipelineDepth:     12,
+		MispredictPenalty: 14,
+		MisfetchPenalty:   6,
+		MaxPrefetches:     8,
+		PrefetchPerCycle:  1,
+		L2ServiceInterval: 4,
+		UseFDP:            true,
+	}
+}
+
+// Result reports the simulation outcome, measured after warmup.
+type Result struct {
+	Cycles        int64
+	Instructions  int64
+	BlockAccesses int64
+
+	DemandMisses uint64 // demand fetches that missed (incl. late prefetches)
+	LateMisses   uint64 // demand fetches that hit an in-flight prefetch
+	Prefetches   uint64 // prefetches issued
+
+	// Stall breakdown: cycles the front end spent waiting on instruction
+	// fills vs. branch redirects (disjoint; the remainder of the cycle
+	// budget is productive fetch or backend-bound).
+	IMissStallCycles    int64
+	RedirectStallCycles int64
+
+	ICache icache.Stats // subsystem counters over the whole run (incl. warmup)
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MPKI returns demand L1i misses per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.DemandMisses) / float64(r.Instructions)
+}
+
+// inflight tracks outstanding prefetches.
+type inflight struct {
+	block   uint64
+	readyAt int64
+}
+
+// Simulator runs one (trace, scheme) simulation.
+type Simulator struct {
+	cfg  Config
+	sub  icache.Subsystem
+	hier *mem.Hierarchy
+	tr   *trace.Trace
+	ann  []branch.Annotation
+
+	// Timing state.
+	cycle       int64
+	stallUntil  int64
+	stallIsMiss bool    // current stall reason: true = instruction fill
+	rob         []int64 // completion cycles, ring buffer
+	robHead     int
+	robLen      int
+
+	// Fetch state.
+	fetchIdx  int
+	lastBlock uint64
+	haveBlock bool
+	accessIdx int64
+
+	// FDP run-ahead state.
+	runIdx      int
+	runLastBlk  uint64
+	runHaveBlk  bool
+	runAccesses int64
+	blockedAt   int // trace index of the mispredict blocking run-ahead (-1 none)
+
+	// Prefetch state.
+	pfInFlight []inflight
+	pfScratch  []uint64
+	l2NextFree int64 // instruction-side L2 port availability (bandwidth)
+
+	// Counters.
+	demandMisses  uint64
+	lateMisses    uint64
+	prefetches    uint64
+	instructions  int64
+	imissStall    int64
+	redirectStall int64
+}
+
+// NewSimulator assembles a simulation of tr over the given i-cache
+// subsystem and hierarchy. ann must be the branch annotations of tr
+// (branch.FrontEnd.Annotate); they are scheme-independent and reusable.
+func NewSimulator(cfg Config, tr *trace.Trace, ann []branch.Annotation, sub icache.Subsystem, hier *mem.Hierarchy) *Simulator {
+	if len(ann) != len(tr.Insts) {
+		panic("cpu: annotation length mismatch")
+	}
+	return &Simulator{
+		cfg:       cfg,
+		sub:       sub,
+		hier:      hier,
+		tr:        tr,
+		ann:       ann,
+		rob:       make([]int64, cfg.ROB),
+		blockedAt: -1,
+	}
+}
+
+// Run executes the simulation, treating the first warmupInstrs instructions
+// as warmup (excluded from the reported Result timing/counters).
+func (s *Simulator) Run(warmupInstrs int64) Result {
+	var wCycles, wInstr, wBlocks, wIStall, wRStall int64
+	var wMiss, wLate, wPf uint64
+	warmupTaken := warmupInstrs <= 0
+
+	n := len(s.tr.Insts)
+	for s.fetchIdx < n || s.robLen > 0 {
+		s.retire()
+		s.completePrefetches()
+		if s.cfg.UseFDP && s.fetchIdx < n {
+			s.runAhead()
+		}
+		s.fetch()
+		s.cycle++
+		if !warmupTaken && s.instructions >= warmupInstrs {
+			wCycles, wInstr, wBlocks = s.cycle, s.instructions, s.accessIdx
+			wMiss, wLate, wPf = s.demandMisses, s.lateMisses, s.prefetches
+			wIStall, wRStall = s.imissStall, s.redirectStall
+			warmupTaken = true
+		}
+	}
+	return Result{
+		Cycles:              s.cycle - wCycles,
+		Instructions:        s.instructions - wInstr,
+		BlockAccesses:       s.accessIdx - wBlocks,
+		DemandMisses:        s.demandMisses - wMiss,
+		LateMisses:          s.lateMisses - wLate,
+		Prefetches:          s.prefetches - wPf,
+		IMissStallCycles:    s.imissStall - wIStall,
+		RedirectStallCycles: s.redirectStall - wRStall,
+		ICache:              s.sub.Stats(),
+	}
+}
+
+// retire pops completed instructions from the ROB head.
+func (s *Simulator) retire() {
+	for k := 0; k < s.cfg.RetireWidth && s.robLen > 0; k++ {
+		if s.rob[s.robHead] > s.cycle {
+			return
+		}
+		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robLen--
+	}
+}
+
+// completePrefetches installs prefetches whose fill latency elapsed.
+func (s *Simulator) completePrefetches() {
+	kept := s.pfInFlight[:0]
+	for _, pf := range s.pfInFlight {
+		if pf.readyAt <= s.cycle {
+			s.sub.PrefetchFill(pf.block, s.accessIdx, s.cycle)
+		} else {
+			kept = append(kept, pf)
+		}
+	}
+	s.pfInFlight = kept
+}
+
+func (s *Simulator) prefetchPending(block uint64) (int64, bool) {
+	for _, pf := range s.pfInFlight {
+		if pf.block == block {
+			return pf.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// issuePrefetch starts a prefetch for block unless redundant.
+func (s *Simulator) issuePrefetch(block uint64) bool {
+	if len(s.pfInFlight) >= s.cfg.MaxPrefetches {
+		return false
+	}
+	if s.sub.Contains(block) {
+		return true // redundant; costs nothing, does not consume an MSHR
+	}
+	if _, pending := s.prefetchPending(block); pending {
+		return true
+	}
+	s.pfInFlight = append(s.pfInFlight, inflight{block: block, readyAt: s.instrFillReady(block)})
+	s.prefetches++
+	return true
+}
+
+// instrFillReady reserves the instruction-side L2 port and returns when the
+// fill for block completes. The port models finite L2 bandwidth: a scheme
+// that turns the FDP stream into a firehose (by discarding blocks and
+// re-prefetching them) queues behind its own traffic, as it would in
+// hardware.
+func (s *Simulator) instrFillReady(block uint64) int64 {
+	start := s.cycle
+	if s.l2NextFree > start {
+		start = s.l2NextFree
+	}
+	s.l2NextFree = start + s.cfg.L2ServiceInterval
+	return start + s.hier.InstrMiss(block)
+}
+
+// runAhead advances the FDP fetch-target-queue pointer and issues
+// prefetches for upcoming fetch blocks. The run-ahead stream follows the
+// branch predictor, so it stops at a branch the predictor gets wrong and
+// resumes once fetch passes the resolved branch.
+func (s *Simulator) runAhead() {
+	if s.blockedAt >= 0 {
+		if s.fetchIdx <= s.blockedAt {
+			return
+		}
+		s.blockedAt = -1
+	}
+	if s.runIdx < s.fetchIdx {
+		s.runIdx = s.fetchIdx
+		s.runHaveBlk = s.haveBlock
+		s.runLastBlk = s.lastBlock
+		s.runAccesses = s.accessIdx
+	}
+	issued := 0
+	n := len(s.tr.Insts)
+	for s.runIdx < n && issued < s.cfg.PrefetchPerCycle {
+		if s.runAccesses-s.accessIdx >= int64(s.cfg.FTQBlocks) {
+			return
+		}
+		in := &s.tr.Insts[s.runIdx]
+		b := in.Block()
+		if !s.runHaveBlk || b != s.runLastBlk {
+			s.runHaveBlk = true
+			s.runLastBlk = b
+			s.runAccesses++
+			if !s.issuePrefetch(b) {
+				return // MSHRs full; retry next cycle
+			}
+			issued++
+		}
+		if s.ann[s.runIdx].Redirect != branch.RedirectNone {
+			// The run-ahead stream cannot proceed past a branch the front
+			// end will get wrong: a mispredicted direction sends it down
+			// the wrong path, and a BTB miss leaves it with no target to
+			// follow. Resume once fetch resolves the branch.
+			s.blockedAt = s.runIdx
+			s.runIdx++
+			return
+		}
+		s.runIdx++
+	}
+}
+
+// fetch supplies up to FetchWidth instructions into the ROB.
+func (s *Simulator) fetch() {
+	if s.cycle < s.stallUntil {
+		if s.stallIsMiss {
+			s.imissStall++
+		} else {
+			s.redirectStall++
+		}
+		return
+	}
+	n := len(s.tr.Insts)
+	for f := 0; f < s.cfg.FetchWidth; f++ {
+		if s.fetchIdx >= n || s.robLen >= len(s.rob) {
+			return
+		}
+		in := &s.tr.Insts[s.fetchIdx]
+		b := in.Block()
+		if !s.haveBlock || b != s.lastBlock {
+			if !s.demandAccess(b) {
+				return // miss: front end stalls until the fill arrives
+			}
+		}
+
+		// Dispatch into the ROB with a class-based completion time.
+		completion := s.cycle + s.cfg.PipelineDepth
+		switch in.Class {
+		case trace.ClassLoad:
+			completion += s.hier.DataAccess(trace.Block(in.MemAddr))
+		case trace.ClassStore:
+			// Stores retire through the store buffer; access the hierarchy
+			// for fills but do not delay completion.
+			s.hier.DataAccess(trace.Block(in.MemAddr))
+		}
+		tail := (s.robHead + s.robLen) % len(s.rob)
+		s.rob[tail] = completion
+		s.robLen++
+		s.instructions++
+		s.fetchIdx++
+
+		// Front-end redirects end the fetch group.
+		switch s.ann[s.fetchIdx-1].Redirect {
+		case branch.RedirectMispredict:
+			s.stallUntil = s.cycle + s.cfg.MispredictPenalty
+			s.stallIsMiss = false
+			return
+		case branch.RedirectMisfetch:
+			s.stallUntil = s.cycle + s.cfg.MisfetchPenalty
+			s.stallIsMiss = false
+			return
+		}
+		// A taken branch ends the fetch group (new fetch target next cycle).
+		if in.Class.IsBranch() && (in.Class != trace.ClassCondBranch || in.Taken) {
+			return
+		}
+	}
+}
+
+// demandAccess performs the block-granular demand fetch; returns true when
+// the block supplied instructions this cycle (hit), false when the front
+// end must stall for a fill.
+func (s *Simulator) demandAccess(b uint64) bool {
+	s.haveBlock = true
+	s.lastBlock = b
+	s.accessIdx++
+	idx := s.accessIdx - 1
+
+	if readyAt, pending := s.prefetchPending(b); pending {
+		// Late prefetch: the block is in flight. Install it now, charge
+		// the residual latency, and count a demand miss.
+		s.removeInFlight(b)
+		s.sub.PrefetchFill(b, idx, s.cycle)
+		s.sub.Fetch(b, idx, s.cycle)
+		s.demandMisses++
+		s.lateMisses++
+		s.extraPrefetch(b, true)
+		if readyAt > s.cycle {
+			s.stallUntil = readyAt
+			s.stallIsMiss = true
+			return false
+		}
+		return true
+	}
+
+	hit := s.sub.Fetch(b, idx, s.cycle)
+	if hit {
+		s.extraPrefetch(b, false)
+		return true
+	}
+	s.demandMisses++
+	s.stallUntil = s.instrFillReady(b)
+	s.stallIsMiss = true
+	s.extraPrefetch(b, true)
+	return false
+}
+
+func (s *Simulator) removeInFlight(block uint64) {
+	for i := range s.pfInFlight {
+		if s.pfInFlight[i].block == block {
+			s.pfInFlight[i] = s.pfInFlight[len(s.pfInFlight)-1]
+			s.pfInFlight = s.pfInFlight[:len(s.pfInFlight)-1]
+			return
+		}
+	}
+}
+
+// extraPrefetch drives the optional table prefetcher (entangling).
+func (s *Simulator) extraPrefetch(block uint64, miss bool) {
+	if s.cfg.Extra == nil {
+		return
+	}
+	s.pfScratch = s.cfg.Extra.OnAccess(block, s.cycle, miss, s.pfScratch[:0])
+	for _, c := range s.pfScratch {
+		s.issuePrefetch(c)
+	}
+}

@@ -1,0 +1,164 @@
+package cpu
+
+import (
+	"testing"
+
+	"acic/internal/branch"
+	"acic/internal/icache"
+	"acic/internal/mem"
+	"acic/internal/policy"
+	"acic/internal/trace"
+	"acic/internal/workload"
+)
+
+// tinyWorkload builds a small deterministic workload for timing tests.
+func tinyWorkload(t *testing.T, n int) (*trace.Trace, []branch.Annotation) {
+	t.Helper()
+	prof, ok := workload.ByName("media-streaming")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	tr := workload.Generate(prof, n)
+	return tr, branch.NewFrontEnd().Annotate(tr)
+}
+
+func newSub(t *testing.T) *icache.Complex {
+	t.Helper()
+	return icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU()})
+}
+
+func TestSimulatorRetiresEverything(t *testing.T) {
+	tr, ann := tinyWorkload(t, 20000)
+	sim := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig()))
+	res := sim.Run(0)
+	if res.Instructions != int64(len(tr.Insts)) {
+		t.Errorf("retired %d of %d instructions", res.Instructions, len(tr.Insts))
+	}
+	if res.Cycles <= res.Instructions/6 {
+		t.Errorf("cycles %d below the 6-wide bound", res.Cycles)
+	}
+	if res.IPC() <= 0 || res.IPC() > 6 {
+		t.Errorf("IPC %v out of range", res.IPC())
+	}
+	if res.BlockAccesses == 0 || res.DemandMisses == 0 {
+		t.Errorf("implausible counters: %+v", res)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	tr, ann := tinyWorkload(t, 20000)
+	full := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	warm := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(10000)
+	if warm.Instructions >= full.Instructions {
+		t.Errorf("warmup did not reduce measured instructions: %d vs %d", warm.Instructions, full.Instructions)
+	}
+	if warm.Cycles >= full.Cycles {
+		t.Error("warmup did not reduce measured cycles")
+	}
+}
+
+func TestBlockAccessIndexMatchesOracleTimebase(t *testing.T) {
+	// The simulator's access numbering must equal trace.BlockAccesses'
+	// numbering — the OPT oracle depends on it.
+	tr, ann := tinyWorkload(t, 30000)
+	sim := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig()))
+	res := sim.Run(0)
+	if got, want := res.BlockAccesses, int64(len(tr.BlockAccesses())); got != want {
+		t.Errorf("simulator saw %d block accesses, trace has %d", got, want)
+	}
+}
+
+func TestFDPReducesStallsNotMissesAccounting(t *testing.T) {
+	tr, ann := tinyWorkload(t, 60000)
+	cfgOn := DefaultConfig()
+	cfgOff := DefaultConfig()
+	cfgOff.UseFDP = false
+	on := NewSimulator(cfgOn, tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	off := NewSimulator(cfgOff, tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	if on.Cycles >= off.Cycles {
+		t.Errorf("FDP should speed things up: %d vs %d cycles", on.Cycles, off.Cycles)
+	}
+	if on.DemandMisses >= off.DemandMisses {
+		t.Errorf("FDP should reduce demand misses: %d vs %d", on.DemandMisses, off.DemandMisses)
+	}
+	if on.Prefetches == 0 {
+		t.Error("FDP issued no prefetches")
+	}
+	if off.Prefetches != 0 {
+		t.Error("disabled FDP issued prefetches")
+	}
+}
+
+func TestBiggerCacheIsFaster(t *testing.T) {
+	tr, ann := tinyWorkload(t, 60000)
+	small := icache.MustNew(icache.Config{Sets: 16, Ways: 2, Policy: policy.NewLRU()})
+	big := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU()})
+	rs := NewSimulator(DefaultConfig(), tr, ann, small, mem.New(mem.DefaultConfig())).Run(0)
+	rb := NewSimulator(DefaultConfig(), tr, ann, big, mem.New(mem.DefaultConfig())).Run(0)
+	if rb.Cycles >= rs.Cycles {
+		t.Errorf("32KB cache should beat 2KB: %d vs %d cycles", rb.Cycles, rs.Cycles)
+	}
+	if rb.MPKI() >= rs.MPKI() {
+		t.Errorf("32KB MPKI %.2f should be below 2KB MPKI %.2f", rb.MPKI(), rs.MPKI())
+	}
+}
+
+func TestMPKIComputation(t *testing.T) {
+	r := Result{Instructions: 2000, DemandMisses: 50}
+	if got := r.MPKI(); got != 25 {
+		t.Errorf("MPKI = %v, want 25", got)
+	}
+	var zero Result
+	if zero.MPKI() != 0 || zero.IPC() != 0 {
+		t.Error("zero result must not divide by zero")
+	}
+}
+
+func TestAnnotationLengthChecked(t *testing.T) {
+	tr, _ := tinyWorkload(t, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on annotation mismatch")
+		}
+	}()
+	NewSimulator(DefaultConfig(), tr, nil, newSub(t), mem.New(mem.DefaultConfig()))
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{}
+	sim := NewSimulator(DefaultConfig(), tr, nil, newSub(t), mem.New(mem.DefaultConfig()))
+	res := sim.Run(0)
+	if res.Instructions != 0 {
+		t.Error("empty trace should retire nothing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr, ann := tinyWorkload(t, 30000)
+	r1 := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
+	r2 := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
+	if r1 != r2 {
+		t.Errorf("simulation is not deterministic:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestStallBreakdownAccounting(t *testing.T) {
+	tr, ann := tinyWorkload(t, 40000)
+	res := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	if res.IMissStallCycles <= 0 {
+		t.Error("a missing workload must accumulate i-miss stall cycles")
+	}
+	if res.RedirectStallCycles <= 0 {
+		t.Error("mispredicting workload must accumulate redirect stall cycles")
+	}
+	if res.IMissStallCycles+res.RedirectStallCycles >= res.Cycles {
+		t.Errorf("stall cycles %d+%d exceed total %d",
+			res.IMissStallCycles, res.RedirectStallCycles, res.Cycles)
+	}
+	// A perfect-size cache reduces i-miss stalls.
+	big := icache.MustNew(icache.Config{Sets: 512, Ways: 8, Policy: policy.NewLRU()})
+	resBig := NewSimulator(DefaultConfig(), tr, ann, big, mem.New(mem.DefaultConfig())).Run(0)
+	if resBig.IMissStallCycles >= res.IMissStallCycles {
+		t.Error("a much larger cache should cut i-miss stalls")
+	}
+}

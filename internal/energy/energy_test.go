@@ -1,0 +1,74 @@
+package energy
+
+import "testing"
+
+func TestTotalGrowsWithActivity(t *testing.T) {
+	p := DefaultParams()
+	a := NewAccount(p)
+	a.SetRun(1000, 1000)
+	a.AddStructure("x", 1024, 100)
+	b := NewAccount(p)
+	b.SetRun(2000, 2000)
+	b.AddStructure("x", 1024, 200)
+	if b.Total() <= a.Total() {
+		t.Error("longer run must cost more energy")
+	}
+}
+
+func TestStructureEnergyScales(t *testing.T) {
+	p := DefaultParams()
+	a := NewAccount(p)
+	a.SetRun(1000, 1000)
+	a.AddStructure("small", 1024, 1000)
+	a.AddStructure("large", 64*1024, 1000)
+	if a.StructureEnergy(1) <= a.StructureEnergy(0) {
+		t.Error("larger structure must cost more per access")
+	}
+}
+
+func TestDeltaSign(t *testing.T) {
+	p := DefaultParams()
+	base := NewAccount(p)
+	base.SetRun(10000, 10000)
+	fast := NewAccount(p)
+	fast.SetRun(9500, 10000) // same work, fewer cycles
+	if Delta(base, fast) >= 0 {
+		t.Error("a faster run should save energy")
+	}
+	slowAndFat := NewAccount(p)
+	slowAndFat.SetRun(10000, 10000)
+	slowAndFat.AddStructure("extra", 1<<15, 10000)
+	if Delta(base, slowAndFat) <= 0 {
+		t.Error("same speed with extra structures must cost energy")
+	}
+}
+
+// TestACICEnergyBand mirrors Section III-D: ~2% fewer cycles with 2.67KB of
+// extra state should net a sub-1% chip-energy saving, not a cost.
+func TestACICEnergyBand(t *testing.T) {
+	p := DefaultParams()
+	base := NewAccount(p)
+	base.SetRun(1_000_000, 1_000_000)
+	base.AddStructure("l1i", 64*8*(64*8+63), 170_000)
+
+	acic := NewAccount(p)
+	acic.SetRun(978_000, 1_000_000) // 1.0223 speedup
+	acic.AddStructure("l1i", 64*8*(64*8+63), 170_000)
+	acic.AddStructure("ifilter", 9200, 170_000)
+	acic.AddStructure("cshr", 7680, 170_000)
+	acic.AddStructure("predictor", 4976, 30_000)
+
+	d := Delta(base, acic)
+	if d >= 0 {
+		t.Errorf("ACIC energy delta = %.4f, want a saving", d)
+	}
+	if d < -0.03 {
+		t.Errorf("ACIC energy delta = %.4f, implausibly large saving", d)
+	}
+}
+
+func TestDeltaZeroBaseline(t *testing.T) {
+	if Delta(NewAccount(DefaultParams()), NewAccount(DefaultParams())) != 0 {
+		t.Error("zero baseline should not divide by zero")
+	}
+}

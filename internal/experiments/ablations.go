@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"acic/internal/core"
+	"acic/internal/icache"
+	"acic/internal/policy"
+	"acic/internal/stats"
+)
+
+// AblationCSHRDefault evaluates the three readings of the paper's rule for
+// CSHR entries evicted before resolution ("benefit of the doubt to the
+// i-Filter victim"): train nothing (this repo's default — the Fig 8
+// datapath only updates the tables from matched entries), train the victim
+// as re-accessed sooner (the literal prose), or train it as later. It
+// reports gmean speedup and average MPKI reduction over the baseline.
+func AblationCSHRDefault(s *Suite) *stats.Table {
+	t := &stats.Table{Header: []string{"evict-training", "gmean speedup", "avg MPKI reduction"}}
+	modes := []struct {
+		name string
+		mode core.EvictTraining
+	}{
+		{"none (default)", core.EvictTrainNone},
+		{"admit (paper prose)", core.EvictTrainAdmit},
+		{"drop", core.EvictTrainDrop},
+	}
+	for _, m := range modes {
+		var speedups, reductions []float64
+		for _, app := range s.AppNames() {
+			w := s.Workload(app)
+			cc := core.DefaultConfig()
+			cc.EvictTrain = m.mode
+			sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+			res := RunSubsystem(w, sub, DefaultOptions())
+			base := s.Result(app, Baseline, "fdp")
+			speedups = append(speedups, Speedup(base, res))
+			reductions = append(reductions, MPKIReduction(base, res))
+		}
+		t.AddRow(m.name, stats.Geomean(speedups), stats.Percent(stats.Mean(reductions)))
+	}
+	return t
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"acic/internal/workload"
+)
+
+// smallSuite builds a suite over a reduced app set and short traces so the
+// integration tests stay fast.
+func smallSuite(t *testing.T) *Suite {
+	t.Helper()
+	s := NewSuite(60_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	return s
+}
+
+func TestAllSchemesBuildAndRun(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	w := Prepare(prof, 30_000)
+	for _, name := range SchemeNames() {
+		sub, err := NewScheme(name, w)
+		if err != nil {
+			t.Fatalf("scheme %s: %v", name, err)
+		}
+		res := RunSubsystem(w, sub, DefaultOptions())
+		if res.Instructions == 0 || res.Cycles == 0 {
+			t.Errorf("scheme %s: empty result %+v", name, res)
+		}
+	}
+}
+
+func TestUnknownSchemeRejected(t *testing.T) {
+	prof, _ := workload.ByName("sibench")
+	w := Prepare(prof, 5_000)
+	if _, err := NewScheme("definitely-not-a-scheme", w); err == nil {
+		t.Error("unknown scheme must error")
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := smallSuite(t)
+	r1 := s.Result("sibench", Baseline, "fdp")
+	r2 := s.Result("sibench", Baseline, "fdp")
+	if r1 != r2 {
+		t.Error("memoized results must be identical")
+	}
+	if len(s.AppNames()) != 2 {
+		t.Error("app restriction ignored")
+	}
+	if len(s.SPECNames()) != 5 {
+		t.Error("SPEC list wrong")
+	}
+}
+
+func TestOrderingInvariants(t *testing.T) {
+	// The structural results every figure depends on: OPT beats the
+	// baseline, and ACIC lands between baseline and OPT on MPKI.
+	s := smallSuite(t)
+	for _, app := range s.AppNames() {
+		base := s.Result(app, Baseline, "fdp")
+		acic := s.Result(app, "acic", "fdp")
+		opt := s.Result(app, "opt", "fdp")
+		if opt.MPKI() >= base.MPKI() {
+			t.Errorf("%s: OPT MPKI %.2f not below baseline %.2f", app, opt.MPKI(), base.MPKI())
+		}
+		if acic.MPKI() >= base.MPKI() {
+			t.Errorf("%s: ACIC MPKI %.2f not below baseline %.2f", app, acic.MPKI(), base.MPKI())
+		}
+		if opt.Cycles >= base.Cycles {
+			t.Errorf("%s: OPT cycles %d not below baseline %d", app, opt.Cycles, base.Cycles)
+		}
+	}
+}
+
+func TestSpeedupAndReductionHelpers(t *testing.T) {
+	s := smallSuite(t)
+	sp := s.SpeedupOver("sibench", Baseline, "opt", "fdp")
+	if sp <= 1.0 {
+		t.Errorf("OPT speedup = %.4f, want > 1", sp)
+	}
+	red := s.MPKIReductionOver("sibench", Baseline, "opt", "fdp")
+	if red <= 0 || red > 1 {
+		t.Errorf("OPT MPKI reduction = %.4f", red)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	out := Table1().String()
+	if !strings.Contains(out, "2.668KB") && !strings.Contains(out, "2.67") {
+		t.Errorf("Table 1 total missing 2.67KB:\n%s", out)
+	}
+	for _, comp := range []string{"i-Filter", "HRT", "PT", "CSHR"} {
+		if !strings.Contains(out, comp) {
+			t.Errorf("Table 1 missing %s", comp)
+		}
+	}
+}
+
+func TestTable4ListsAllSchemes(t *testing.T) {
+	out := Table4().String()
+	for _, sch := range []string{"srrip", "ship", "ghrp", "dsb", "obm", "vvc", "vc3k", "acic", "opt"} {
+		if !strings.Contains(out, sch) {
+			t.Errorf("Table 4 missing %s", sch)
+		}
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	s := smallSuite(t)
+	out := s.Fig1a().String()
+	if !strings.Contains(out, "media-streaming") {
+		t.Errorf("Fig 1a missing app row:\n%s", out)
+	}
+	// The spatial bucket should dominate (>70%), visible as a 7x or 8x
+	// leading percentage in the first data column.
+	if !strings.Contains(out, "media-streaming  8") && !strings.Contains(out, "media-streaming  7") && !strings.Contains(out, "media-streaming  9") {
+		t.Errorf("Fig 1a spatial bucket not dominant:\n%s", out)
+	}
+}
+
+func TestFig3bWrongInsertionBand(t *testing.T) {
+	s := smallSuite(t)
+	_, wrong := s.Fig3b("media-streaming")
+	// The paper reports 38.38%; our band check: a substantial minority of
+	// insertions must be wrong, else admission control has nothing to do.
+	if wrong < 0.10 || wrong > 0.80 {
+		t.Errorf("wrong-insertion fraction = %.3f, outside plausible band", wrong)
+	}
+}
+
+func TestFig13AdmitFractionsInRange(t *testing.T) {
+	s := smallSuite(t)
+	out := s.Fig13().String()
+	if !strings.Contains(out, "%") {
+		t.Errorf("Fig 13 output:\n%s", out)
+	}
+}
+
+func TestEnergyTableNegativeAvg(t *testing.T) {
+	s := smallSuite(t)
+	out := s.Energy().String()
+	if !strings.Contains(out, "avg") {
+		t.Errorf("energy table missing avg row:\n%s", out)
+	}
+	// The avg row should report a saving (negative delta), echoing the
+	// paper's -0.63%.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "-") {
+		t.Errorf("expected an energy saving in %q", last)
+	}
+}
+
+func TestACICBypassAdapter(t *testing.T) {
+	prof, _ := workload.ByName("sibench")
+	w := Prepare(prof, 20_000)
+	sub, err := NewScheme("acic-nofilter", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSubsystem(w, sub, DefaultOptions())
+	if res.Instructions == 0 {
+		t.Error("no instructions retired")
+	}
+	if sub.Name() != "acic-nofilter" {
+		t.Errorf("name = %q", sub.Name())
+	}
+}
+
+func TestExtensionDrivers(t *testing.T) {
+	s := smallSuite(t)
+	if out := s.ExtendedComparison().String(); !strings.Contains(out, "acic-pfaware") {
+		t.Errorf("extended comparison missing pf-aware row:\n%s", out)
+	}
+	if out := s.Headroom().String(); !strings.Contains(out, "36KB") {
+		t.Errorf("headroom table missing 36KB column:\n%s", out)
+	}
+	out := s.PrefetcherBaselines().String()
+	for _, pf := range []string{"none", "next-line", "stream", "entangling", "fdp"} {
+		if !strings.Contains(out, pf) {
+			t.Errorf("prefetcher table missing %s:\n%s", pf, out)
+		}
+	}
+}
+
+func TestAblationCSHRDefaultRows(t *testing.T) {
+	s := smallSuite(t)
+	out := AblationCSHRDefault(s).String()
+	for _, m := range []string{"none", "admit", "drop"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("ablation missing mode %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestPrefetchAwareSchemeRuns(t *testing.T) {
+	prof, _ := workload.ByName("sibench")
+	w := Prepare(prof, 30_000)
+	sub, err := NewScheme("acic-pfaware", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunSubsystem(w, sub, DefaultOptions())
+	if res.Instructions == 0 || sub.Name() != "acic-pfaware" {
+		t.Errorf("pf-aware run broken: %+v name=%q", res, sub.Name())
+	}
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"acic/internal/analysis"
+	"acic/internal/core"
+	"acic/internal/icache"
+	"acic/internal/policy"
+	"acic/internal/stats"
+)
+
+// Fig1a returns the per-app reuse-distance distributions at instruction
+// granularity (buckets 0, 1-16, 16-512, 512-1024, 1024-10000, >10000).
+func (s *Suite) Fig1a() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}}
+	for _, app := range s.AppNames() {
+		w := s.Workload(app)
+		refs := analysis.InstBlockRefs(w.Trace)
+		dists := analysis.ReuseDistances(refs)
+		fr := analysis.Distribution(dists, analysis.Fig1aEdges)
+		t.AddRow(app, stats.Percent(fr[0]), stats.Percent(fr[1]), stats.Percent(fr[2]),
+			stats.Percent(fr[3]), stats.Percent(fr[4]), stats.Percent(fr[5]))
+	}
+	return t
+}
+
+// Fig1b returns the Markov chain of reuse-distance buckets for the named
+// app (media-streaming in the paper).
+func (s *Suite) Fig1b(app string) *stats.Table {
+	w := s.Workload(app)
+	refs := analysis.InstBlockRefs(w.Trace)
+	chain := analysis.MarkovChain(refs, analysis.Fig1aEdges)
+	labels := []string{"0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}
+	t := &stats.Table{Header: append([]string{"from\\to"}, labels...)}
+	for i, row := range chain {
+		cells := make([]any, 0, len(row)+1)
+		cells = append(cells, labels[i])
+		for _, p := range row {
+			cells = append(cells, fmt.Sprintf("%.3f", p))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig3a compares always-insert i-Filter, access-count bypass, and OPT
+// replacement speedups over the LRU+FDP baseline.
+func (s *Suite) Fig3a() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "always-insert", "access-count", "OPT"}}
+	var a1, a2, a3 []float64
+	for _, app := range s.AppNames() {
+		v1 := s.SpeedupOver(app, Baseline, "ifilter", "fdp")
+		v2 := s.SpeedupOver(app, Baseline, "access-count", "fdp")
+		v3 := s.SpeedupOver(app, Baseline, "opt", "fdp")
+		a1, a2, a3 = append(a1, v1), append(a2, v2), append(a3, v3)
+		t.AddRow(app, v1, v2, v3)
+	}
+	t.AddRow("gmean", stats.Geomean(a1), stats.Geomean(a2), stats.Geomean(a3))
+	return t
+}
+
+// Fig3bEdges are the signed reuse-delta bucket edges of Fig 3b.
+var Fig3bEdges = []float64{-10000, -1000, -100, -10, 0, 10, 100, 1000, 10000}
+
+// Fig3b histograms, for the named app, the difference between the next-use
+// distance of each block moving from the i-Filter into the i-cache and that
+// of the block OPT would evict from the target set. Positive deltas are
+// wrong insertions (the paper measures 38.38% for media streaming).
+func (s *Suite) Fig3b(app string) (*stats.Histogram, float64) {
+	w := s.Workload(app)
+	cc := core.DefaultConfig()
+	cc.Variant = core.VariantAlwaysAdmit
+	sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc, NextUse: w.Oracle.Func()})
+	h := stats.NewHistogram(Fig3bEdges...)
+	var wrong, total uint64
+	sub.ACIC().OnDecision = func(d core.Decision) {
+		dIn := clampDist(w.Oracle.NextUse(d.Victim, d.AccessIdx) - d.AccessIdx)
+		// The outgoing block OPT would pick: the set line with the furthest
+		// next use at decision time.
+		set := sub.L1().SetIndex(d.Victim)
+		dOut := float64(0)
+		for _, ln := range sub.L1().Lines(set) {
+			if !ln.Valid {
+				continue
+			}
+			if v := clampDist(w.Oracle.NextUse(ln.Block, d.AccessIdx) - d.AccessIdx); v > dOut {
+				dOut = v
+			}
+		}
+		delta := dIn - dOut
+		h.Add(delta)
+		total++
+		if delta > 0 {
+			wrong++
+		}
+	}
+	RunSubsystem(w, sub, DefaultOptions())
+	frac := 0.0
+	if total > 0 {
+		frac = float64(wrong) / float64(total)
+	}
+	return h, frac
+}
+
+func clampDist(d int64) float64 {
+	if d >= cacheNever {
+		return 1e12
+	}
+	return float64(d)
+}
+
+const cacheNever = int64(1) << 61
+
+// Fig6Edges bucket CSHR entry lifetimes (in set-local comparisons).
+var Fig6Edges = []float64{50, 100, 150, 200, 250, 300, 350, 400}
+
+// Fig6 histograms the number of comparisons during CSHR entry lifetimes for
+// the named app; unresolved (evicted) entries land in the overflow bucket,
+// mirroring the paper's "InF" bar.
+func (s *Suite) Fig6(app string) *stats.Histogram {
+	w := s.Workload(app)
+	cc := core.DefaultConfig()
+	// Measure lifetimes with an effectively unbounded CSHR so that "would
+	// never resolve" is separated from "evicted at 256 entries", as the
+	// paper's incremental-capacity study does.
+	cc.CSHR.Ways = 4096
+	sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+	h := stats.NewHistogram(Fig6Edges...)
+	sub.ACIC().AgeSamples = func(age int64, resolved bool) {
+		if !resolved {
+			age = math.MaxInt32 // overflow bucket
+		}
+		h.Add(float64(age))
+	}
+	RunSubsystem(w, sub, DefaultOptions())
+	// Entries still unresolved at the end of the run count as InF.
+	if occ := sub.ACIC().CSHR.Occupancy(); occ > 0 {
+		for i := 0; i < occ; i++ {
+			h.Add(math.MaxInt32)
+		}
+	}
+	return h
+}
+
+// Fig10 reports per-app speedups of every Fig 10 scheme over the LRU+FDP
+// baseline, with a trailing gmean row.
+func (s *Suite) Fig10() *stats.Table { return s.schemeTable(Fig10Schemes, "fdp", true) }
+
+// Fig11 reports per-app MPKI reductions of every Fig 10 scheme over the
+// LRU+FDP baseline, with a trailing average row.
+func (s *Suite) Fig11() *stats.Table { return s.schemeTable(Fig10Schemes, "fdp", false) }
+
+func (s *Suite) schemeTable(schemes []string, pf string, speedup bool) *stats.Table {
+	t := &stats.Table{Header: append([]string{"app"}, schemes...)}
+	sums := make([][]float64, len(schemes))
+	for _, app := range s.AppNames() {
+		cells := make([]any, 0, len(schemes)+1)
+		cells = append(cells, app)
+		for i, sch := range schemes {
+			var v float64
+			if speedup {
+				v = s.SpeedupOver(app, Baseline, sch, pf)
+			} else {
+				v = s.MPKIReductionOver(app, Baseline, sch, pf)
+			}
+			sums[i] = append(sums[i], v)
+			if speedup {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				cells = append(cells, stats.Percent(v))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	foot := make([]any, 0, len(schemes)+1)
+	if speedup {
+		foot = append(foot, "gmean")
+		for i := range schemes {
+			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
+		}
+	} else {
+		foot = append(foot, "avg")
+		for i := range schemes {
+			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
+		}
+	}
+	t.AddRow(foot...)
+	return t
+}
+
+// Fig12aRanges are the [0,bound) next-use windows of Fig 12a; 0 means no
+// bound ("[0,InF)").
+var Fig12aRanges = []int64{0, 2048, 1024, 512, 256, 128}
+
+// Fig12a measures ACIC bypass accuracy over decisions whose nearer next-use
+// distance falls inside each window, averaged across apps.
+func (s *Suite) Fig12a() *stats.Table {
+	t := &stats.Table{Header: []string{"range", "avg accuracy"}}
+	correct := make([]float64, len(Fig12aRanges))
+	counts := make([]float64, len(Fig12aRanges))
+	for _, app := range s.AppNames() {
+		w := s.Workload(app)
+		decisions := s.collectDecisions(app)
+		for _, d := range decisions {
+			dIn := w.Oracle.NextUse(d.Victim, d.AccessIdx) - d.AccessIdx
+			dOut := w.Oracle.NextUse(d.Contender, d.AccessIdx) - d.AccessIdx
+			ideal := dIn < dOut
+			near := dIn
+			if dOut < near {
+				near = dOut
+			}
+			for ri, bound := range Fig12aRanges {
+				if bound != 0 && near >= bound {
+					continue
+				}
+				counts[ri]++
+				if ideal == d.Admitted {
+					correct[ri]++
+				}
+			}
+		}
+	}
+	for ri, bound := range Fig12aRanges {
+		label := "[0,InF)"
+		if bound != 0 {
+			label = fmt.Sprintf("[0,%d)", bound)
+		}
+		acc := 0.0
+		if counts[ri] > 0 {
+			acc = correct[ri] / counts[ri]
+		}
+		t.AddRow(label, stats.Percent(acc))
+	}
+	return t
+}
+
+// decisionsCache memoizes instrumented ACIC runs per app.
+func (s *Suite) collectDecisions(app string) []core.Decision {
+	w := s.Workload(app)
+	var out []core.Decision
+	cc := core.DefaultConfig()
+	sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+	sub.ACIC().OnDecision = func(d core.Decision) { out = append(out, d) }
+	RunSubsystem(w, sub, DefaultOptions())
+	return out
+}
+
+// Fig12b compares the MPKI reduction of a 60%-admit random bypass against
+// ACIC, per app.
+func (s *Suite) Fig12b() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "random-60%", "acic"}}
+	var r1, r2 []float64
+	for _, app := range s.AppNames() {
+		v1 := s.MPKIReductionOver(app, Baseline, "random60", "fdp")
+		v2 := s.MPKIReductionOver(app, Baseline, "acic", "fdp")
+		r1, r2 = append(r1, v1), append(r2, v2)
+		t.AddRow(app, stats.Percent(v1), stats.Percent(v2))
+	}
+	t.AddRow("avg", stats.Percent(stats.Mean(r1)), stats.Percent(stats.Mean(r2)))
+	return t
+}
+
+// Fig13 reports the percentage of i-Filter victims ACIC admits per app.
+func (s *Suite) Fig13() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "admitted"}}
+	for _, app := range s.AppNames() {
+		w := s.Workload(app)
+		cc := core.DefaultConfig()
+		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+		RunSubsystem(w, sub, DefaultOptions())
+		t.AddRow(app, stats.Percent(sub.ACIC().AdmitFraction()))
+	}
+	return t
+}
+
+// Fig14 compares MPKI reduction with the 2-cycle parallel predictor update
+// against instant updates, per app.
+func (s *Suite) Fig14() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "parallel", "instant"}}
+	var r1, r2 []float64
+	for _, app := range s.AppNames() {
+		v1 := s.MPKIReductionOver(app, Baseline, "acic", "fdp")
+		v2 := s.MPKIReductionOver(app, Baseline, "acic-instant", "fdp")
+		r1, r2 = append(r1, v1), append(r2, v2)
+		t.AddRow(app, stats.Percent(v1), stats.Percent(v2))
+	}
+	t.AddRow("avg", stats.Percent(stats.Mean(r1)), stats.Percent(stats.Mean(r2)))
+	return t
+}
+
+// Fig15Variants are the sensitivity configurations of Fig 15.
+var Fig15Variants = []struct {
+	Name   string
+	Mutate func(*core.Config)
+}{
+	{"default", func(*core.Config) {}},
+	{"2k-hrt", func(c *core.Config) { c.Predictor.HRTEntries = 2048 }},
+	{"512-hrt", func(c *core.Config) { c.Predictor.HRTEntries = 512 }},
+	{"8bit-history", func(c *core.Config) { c.Predictor.HistoryBits = 8 }},
+	{"10bit-history", func(c *core.Config) { c.Predictor.HistoryBits = 10 }},
+	{"2bit-counter", func(c *core.Config) { c.Predictor.CounterBits = 2 }},
+	{"8bit-counter", func(c *core.Config) { c.Predictor.CounterBits = 8 }},
+	{"8-slot-filter", func(c *core.Config) { c.FilterSlots = 8 }},
+	{"32-slot-filter", func(c *core.Config) { c.FilterSlots = 32 }},
+	{"7bit-cshr-tag", func(c *core.Config) { c.CSHR.TagBits = 7 }},
+	{"27bit-cshr-tag", func(c *core.Config) { c.CSHR.TagBits = 27 }},
+}
+
+// Fig15 sweeps ACIC's key parameters and reports gmean speedup over the
+// baseline for each variant.
+func (s *Suite) Fig15() *stats.Table {
+	t := &stats.Table{Header: []string{"variant", "gmean speedup"}}
+	for _, v := range Fig15Variants {
+		var speedups []float64
+		for _, app := range s.AppNames() {
+			w := s.Workload(app)
+			cc := core.DefaultConfig()
+			v.Mutate(&cc)
+			sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+			res := RunSubsystem(w, sub, DefaultOptions())
+			speedups = append(speedups, Speedup(s.Result(app, Baseline, "fdp"), res))
+		}
+		t.AddRow(v.Name, stats.Geomean(speedups))
+	}
+	return t
+}
+
+// Fig16 reports ACIC's speedup over the FDP baseline *equipped with an
+// i-Filter* (the bypass policy's own contribution).
+func (s *Suite) Fig16() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "speedup over lru+ifilter"}}
+	var all []float64
+	for _, app := range s.AppNames() {
+		v := s.SpeedupOver(app, "ifilter", "acic", "fdp")
+		all = append(all, v)
+		t.AddRow(app, v)
+	}
+	t.AddRow("gmean", stats.Geomean(all))
+	return t
+}
+
+// Fig17Schemes are the simplified designs of Fig 17.
+var Fig17Schemes = []string{"acic", "acic-nofilter", "ifilter", "acic-global", "acic-bimodal"}
+
+// Fig17 reports gmean speedups of ACIC's simplified designs.
+func (s *Suite) Fig17() *stats.Table {
+	t := &stats.Table{Header: []string{"design", "gmean speedup"}}
+	for _, sch := range Fig17Schemes {
+		var all []float64
+		for _, app := range s.AppNames() {
+			all = append(all, s.SpeedupOver(app, Baseline, sch, "fdp"))
+		}
+		t.AddRow(sch, stats.Geomean(all))
+	}
+	return t
+}
+
+// SPECSchemes are the policies compared on SPEC (Figs 18/19) and on the
+// entangling baseline (Figs 20/21).
+var SPECSchemes = []string{"ghrp", "l1i-36k", "acic", "opt"}
+
+// Fig18 reports SPEC speedups of GHRP, the 36KB L1i, ACIC, and OPT.
+func (s *Suite) Fig18() *stats.Table { return s.specTable(true) }
+
+// Fig19 reports SPEC MPKI reductions.
+func (s *Suite) Fig19() *stats.Table { return s.specTable(false) }
+
+func (s *Suite) specTable(speedup bool) *stats.Table {
+	t := &stats.Table{Header: append([]string{"app"}, SPECSchemes...)}
+	sums := make([][]float64, len(SPECSchemes))
+	for _, app := range s.SPECNames() {
+		cells := []any{app}
+		for i, sch := range SPECSchemes {
+			var v float64
+			if speedup {
+				v = s.SpeedupOver(app, Baseline, sch, "fdp")
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				v = s.MPKIReductionOver(app, Baseline, sch, "fdp")
+				cells = append(cells, stats.Percent(v))
+			}
+			sums[i] = append(sums[i], v)
+		}
+		t.AddRow(cells...)
+	}
+	foot := []any{"gmean/avg"}
+	for i := range SPECSchemes {
+		if speedup {
+			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
+		} else {
+			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
+		}
+	}
+	t.AddRow(foot...)
+	return t
+}
+
+// Fig20 reports datacenter speedups over the entangling-prefetcher
+// baseline.
+func (s *Suite) Fig20() *stats.Table { return s.entTable(true) }
+
+// Fig21 reports datacenter MPKI reductions over the entangling baseline.
+func (s *Suite) Fig21() *stats.Table { return s.entTable(false) }
+
+func (s *Suite) entTable(speedup bool) *stats.Table {
+	t := &stats.Table{Header: append([]string{"app"}, SPECSchemes...)}
+	sums := make([][]float64, len(SPECSchemes))
+	for _, app := range s.AppNames() {
+		cells := []any{app}
+		for i, sch := range SPECSchemes {
+			var v float64
+			if speedup {
+				v = s.SpeedupOver(app, Baseline, sch, "entangling")
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				v = s.MPKIReductionOver(app, Baseline, sch, "entangling")
+				cells = append(cells, stats.Percent(v))
+			}
+			sums[i] = append(sums[i], v)
+		}
+		t.AddRow(cells...)
+	}
+	foot := []any{"gmean/avg"}
+	for i := range SPECSchemes {
+		if speedup {
+			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
+		} else {
+			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
+		}
+	}
+	t.AddRow(foot...)
+	return t
+}

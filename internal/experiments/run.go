@@ -1,0 +1,108 @@
+// Package experiments drives the paper's evaluation: it prepares workloads
+// (trace generation, branch annotation, next-use oracle), instantiates
+// every i-cache management scheme of Table IV, runs the timing simulator,
+// and renders each table and figure of the paper (see DESIGN.md §5 for the
+// experiment index).
+package experiments
+
+import (
+	"fmt"
+
+	"acic/internal/analysis"
+	"acic/internal/branch"
+	"acic/internal/cpu"
+	"acic/internal/icache"
+	"acic/internal/mem"
+	"acic/internal/prefetch"
+	"acic/internal/trace"
+	"acic/internal/workload"
+)
+
+// Workload bundles everything scheme runs share for one application: the
+// trace, its branch annotations (scheme-independent), the block-access
+// sequence, and the next-use oracle built over it.
+type Workload struct {
+	Profile workload.Profile
+	Trace   *trace.Trace
+	Ann     []branch.Annotation
+	Blocks  []uint64
+	Oracle  *analysis.NextUseOracle
+}
+
+// Prepare generates a workload of n instructions and builds the shared
+// artifacts.
+func Prepare(p workload.Profile, n int) *Workload {
+	tr := workload.Generate(p, n)
+	fe := branch.NewFrontEnd()
+	ann := fe.Annotate(tr)
+	blocks := tr.BlockAccesses()
+	return &Workload{
+		Profile: p,
+		Trace:   tr,
+		Ann:     ann,
+		Blocks:  blocks,
+		Oracle:  analysis.NewNextUseOracle(blocks),
+	}
+}
+
+// Options configure a simulation run.
+type Options struct {
+	WarmupFrac float64 // fraction of instructions treated as warmup (0.1)
+	Prefetcher string  // "fdp" (default), "entangling", "none"
+}
+
+// DefaultOptions mirrors the paper's setup: FDP platform, 10% warmup.
+func DefaultOptions() Options { return Options{WarmupFrac: 0.1, Prefetcher: "fdp"} }
+
+// Run simulates one scheme over the workload and returns the result.
+func Run(w *Workload, scheme string, opts Options) (cpu.Result, error) {
+	sub, err := NewScheme(scheme, w)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return RunSubsystem(w, sub, opts), nil
+}
+
+// RunSubsystem simulates a pre-built subsystem over the workload.
+func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) cpu.Result {
+	cfg := cpu.DefaultConfig()
+	switch opts.Prefetcher {
+	case "", "fdp":
+		cfg.UseFDP = true
+	case "none":
+		cfg.UseFDP = false
+	case "entangling":
+		cfg.UseFDP = false
+		cfg.Extra = prefetch.NewEntangling(prefetch.DefaultEntanglingConfig())
+	case "next-line":
+		cfg.UseFDP = false
+		cfg.Extra = prefetch.NewNextLine(1)
+	case "stream":
+		cfg.UseFDP = false
+		cfg.Extra = prefetch.NewStream(prefetch.DefaultStreamConfig())
+	default:
+		panic(fmt.Sprintf("experiments: unknown prefetcher %q", opts.Prefetcher))
+	}
+	hier := mem.New(mem.DefaultConfig())
+	sim := cpu.NewSimulator(cfg, w.Trace, w.Ann, sub, hier)
+	warm := int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
+	return sim.Run(warm)
+}
+
+// Speedup returns base cycles over result cycles.
+func Speedup(base, res cpu.Result) float64 {
+	if res.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(res.Cycles)
+}
+
+// MPKIReduction returns the fractional MPKI reduction of res vs base
+// (positive = fewer misses).
+func MPKIReduction(base, res cpu.Result) float64 {
+	bm := base.MPKI()
+	if bm == 0 {
+		return 0
+	}
+	return (bm - res.MPKI()) / bm
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"acic/internal/cpu"
+	"acic/internal/workload"
+)
+
+// Suite memoizes workloads and (workload, scheme, prefetcher) simulation
+// results so that the many figures sharing runs (Fig 10/11/13/16, ...) pay
+// for each simulation once.
+type Suite struct {
+	// N is the trace length in instructions per workload.
+	N int
+	// Apps restricts the datacenter app list (nil = all ten).
+	Apps []string
+
+	workloads map[string]*Workload
+	results   map[string]cpu.Result
+}
+
+// DefaultTraceLen is the default per-workload instruction count, overridable
+// with the ACIC_BENCH_N environment variable. It is scaled well below the
+// paper's 500M-1B so the full suite reproduces on a laptop; the structural
+// results (orderings, crossovers) are stable from a few hundred thousand
+// instructions up.
+func DefaultTraceLen() int {
+	if s := os.Getenv("ACIC_BENCH_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 400_000
+}
+
+// NewSuite creates a suite with the given trace length (0 = default).
+func NewSuite(n int) *Suite {
+	if n <= 0 {
+		n = DefaultTraceLen()
+	}
+	return &Suite{
+		N:         n,
+		workloads: make(map[string]*Workload),
+		results:   make(map[string]cpu.Result),
+	}
+}
+
+// AppNames returns the datacenter application list in paper order.
+func (s *Suite) AppNames() []string {
+	if s.Apps != nil {
+		return s.Apps
+	}
+	var names []string
+	for _, p := range workload.Datacenter() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// SPECNames returns the SPEC workload list in paper order.
+func (s *Suite) SPECNames() []string {
+	var names []string
+	for _, p := range workload.SPEC() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Workload returns the prepared workload for an app, generating on demand.
+func (s *Suite) Workload(name string) *Workload {
+	if w, ok := s.workloads[name]; ok {
+		return w
+	}
+	prof, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", name))
+	}
+	w := Prepare(prof, s.N)
+	s.workloads[name] = w
+	return w
+}
+
+// Result returns the memoized simulation result for (app, scheme) under
+// the given prefetcher ("fdp", "entangling", "none").
+func (s *Suite) Result(app, scheme, prefetcher string) cpu.Result {
+	key := app + "|" + scheme + "|" + prefetcher
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	w := s.Workload(app)
+	opts := DefaultOptions()
+	opts.Prefetcher = prefetcher
+	r, err := Run(w, scheme, opts)
+	if err != nil {
+		panic(err)
+	}
+	s.results[key] = r
+	return r
+}
+
+// SpeedupOver returns cycles(base)/cycles(scheme) for one app.
+func (s *Suite) SpeedupOver(app, base, scheme, prefetcher string) float64 {
+	b := s.Result(app, base, prefetcher)
+	v := s.Result(app, scheme, prefetcher)
+	return Speedup(b, v)
+}
+
+// MPKIReductionOver returns the fractional MPKI reduction vs base.
+func (s *Suite) MPKIReductionOver(app, base, scheme, prefetcher string) float64 {
+	b := s.Result(app, base, prefetcher)
+	v := s.Result(app, scheme, prefetcher)
+	return MPKIReduction(b, v)
+}

@@ -1,0 +1,174 @@
+package icache
+
+import (
+	"testing"
+
+	"acic/internal/bypass"
+	"acic/internal/cache"
+	"acic/internal/core"
+	"acic/internal/policy"
+	"acic/internal/victim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing policy must be rejected")
+	}
+	cc := core.DefaultConfig()
+	if _, err := New(Config{Policy: policy.NewLRU(), ACIC: &cc, Bypass: bypass.AlwaysInsert{}}); err == nil {
+		t.Error("ACIC and Bypass together must be rejected")
+	}
+}
+
+func TestPlainCacheFetchMissFillsL1(t *testing.T) {
+	c := MustNew(Config{Sets: 4, Ways: 2, Policy: policy.NewLRU()})
+	if c.Fetch(10, 0, 0) {
+		t.Error("cold fetch must miss")
+	}
+	if !c.Fetch(10, 1, 1) {
+		t.Error("warm fetch must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 || st.L1Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss rate %v", st.MissRate())
+	}
+}
+
+func TestFilterFrontEnd(t *testing.T) {
+	c := MustNew(Config{Sets: 4, Ways: 2, Policy: policy.NewLRU(), FilterSlots: 2})
+	c.Fetch(10, 0, 0) // miss -> enters filter, NOT L1
+	if c.L1().Contains(10) {
+		t.Error("missed block must enter the i-Filter, not L1")
+	}
+	if !c.Fetch(10, 1, 1) || c.Stats().FilterHits != 1 {
+		t.Error("second fetch should hit the filter")
+	}
+	// Overflow the 2-slot filter: the LRU filter victim moves into L1
+	// (always-insert without an admission policy).
+	c.Fetch(20, 2, 2)
+	c.Fetch(30, 3, 3) // evicts 10 from filter -> L1
+	if !c.L1().Contains(10) {
+		t.Error("filter victim should be inserted into L1")
+	}
+}
+
+func TestBypassOnDirectFillPath(t *testing.T) {
+	// A bypass policy that rejects everything: L1 stays empty.
+	c := MustNew(Config{Sets: 4, Ways: 2, Policy: policy.NewLRU(), Bypass: rejectAll{}})
+	for b := uint64(0); b < 16; b++ {
+		c.Fetch(b, int64(b), int64(b))
+	}
+	// First fills into empty ways are always allowed (contender invalid);
+	// after the set fills, everything is bypassed.
+	if got := c.L1().Occupancy(); got != 8 {
+		t.Errorf("occupancy = %d, want 8 (only cold fills)", got)
+	}
+}
+
+type rejectAll struct{}
+
+func (rejectAll) Name() string { return "reject-all" }
+func (rejectAll) ShouldInsert(_, _ uint64, contenderValid bool, _ *cache.AccessContext) bool {
+	return !contenderValid
+}
+func (rejectAll) OnFetch(uint64)   {}
+func (rejectAll) StorageBits() int { return 0 }
+
+func TestVictimCacheSwap(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 1, Policy: policy.NewLRU(), VictimBlocks: 4})
+	c.Fetch(1, 0, 0) // miss, fill
+	c.Fetch(2, 1, 1) // miss, evicts 1 -> VC
+	if !c.Fetch(1, 2, 2) {
+		t.Error("block 1 should hit in the victim cache")
+	}
+	if c.Stats().VCHits != 1 {
+		t.Errorf("VC hits = %d", c.Stats().VCHits)
+	}
+	if !c.L1().Contains(1) {
+		t.Error("VC hit must swap the block back into L1")
+	}
+}
+
+func TestACICAdmissionGatesInsertion(t *testing.T) {
+	cc := core.DefaultConfig()
+	cc.FilterSlots = 2
+	c := MustNew(Config{Sets: 4, Ways: 2, Policy: policy.NewLRU(), ACIC: &cc})
+	if c.ACIC() == nil || c.Filter() == nil {
+		t.Fatal("ACIC complex must expose its parts")
+	}
+	for b := uint64(0); b < 64; b += 4 {
+		c.Fetch(b, int64(b), int64(b))
+	}
+	if c.ACIC().Decisions == 0 {
+		t.Error("filter evictions must trigger admission decisions")
+	}
+	st := c.Stats()
+	if st.Accesses == 0 || st.Misses == 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPrefetchFillGoesThroughFillPath(t *testing.T) {
+	c := MustNew(Config{Sets: 4, Ways: 2, Policy: policy.NewLRU(), FilterSlots: 4})
+	c.PrefetchFill(40, 0, 0)
+	if !c.Filter().Contains(40) {
+		t.Error("prefetch fill should land in the i-Filter")
+	}
+	misses := c.Stats().Misses
+	if !c.Fetch(40, 1, 1) {
+		t.Error("prefetched block should hit")
+	}
+	if c.Stats().Misses != misses {
+		t.Error("prefetch-hit must not count as a demand miss")
+	}
+	// Redundant prefetch is a no-op.
+	c.PrefetchFill(40, 2, 2)
+	if c.Filter().Occupancy() != 1 {
+		t.Errorf("redundant prefetch duplicated the block")
+	}
+}
+
+func TestDeriveNames(t *testing.T) {
+	cc := core.DefaultConfig()
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Policy: policy.NewLRU()}, "lru"},
+		{Config{Policy: policy.NewLRU(), FilterSlots: 8}, "lru+ifilter"},
+		{Config{Policy: policy.NewLRU(), Bypass: bypass.AlwaysInsert{}}, "always-insert"},
+		{Config{Policy: policy.NewLRU(), Bypass: bypass.AlwaysInsert{}, FilterSlots: 8}, "always-insert+ifilter"},
+		{Config{Policy: policy.NewLRU(), VictimBlocks: 8}, "lru+vc"},
+		{Config{Policy: policy.NewLRU(), ACIC: &cc}, "acic-two-level"},
+	}
+	for _, c := range cases {
+		sub := MustNew(c.cfg)
+		if sub.Name() != c.want {
+			t.Errorf("derived name = %q, want %q", sub.Name(), c.want)
+		}
+	}
+}
+
+func TestVVCAdapter(t *testing.T) {
+	a := NewVVC(victim.VVCConfig{Sets: 4, Ways: 2, TableBits: 8})
+	if a.Name() != "vvc" {
+		t.Error("name")
+	}
+	if a.Fetch(1, 0, 0) {
+		t.Error("cold fetch must miss")
+	}
+	if !a.Fetch(1, 1, 1) {
+		t.Error("warm fetch must hit")
+	}
+	a.PrefetchFill(9, 2, 2)
+	if !a.Contains(9) {
+		t.Error("prefetch fill must install")
+	}
+	st := a.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}

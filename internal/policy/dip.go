@@ -1,0 +1,173 @@
+package policy
+
+import "acic/internal/cache"
+
+// The LIP/BIP/DIP family (Qureshi et al., ISCA'07 — "Adaptive Insertion
+// Policies for High Performance Caching", [73] in the paper's related
+// work). These are the classic thrash-resistant insertion policies the
+// d-cache literature reaches for before signature-based schemes; they make
+// natural extra baselines for the i-stream study:
+//
+//   - LIP inserts at the LRU position: a block must prove itself with a
+//     hit before it is promoted, so a thrashing working set keeps only a
+//     sliver of the cache.
+//   - BIP is LIP with an epsilon of MRU insertions (1/32), letting some of
+//     a thrashing set rotate through.
+//   - DIP set-duels LRU against BIP with a PSEL counter and follows the
+//     winner in the follower sets.
+
+// LIP is LRU-insertion-at-LRU-position.
+type LIP struct {
+	lru LRU
+}
+
+// NewLIP returns a LIP policy.
+func NewLIP() *LIP { return &LIP{} }
+
+// Name implements cache.Policy.
+func (p *LIP) Name() string { return "lip" }
+
+// Reset implements cache.Policy.
+func (p *LIP) Reset(sets, ways int) { p.lru.Reset(sets, ways) }
+
+// OnHit implements cache.Policy: promotion to MRU on hit, as in LRU.
+func (p *LIP) OnHit(set, way int, ctx *cache.AccessContext) { p.lru.OnHit(set, way, ctx) }
+
+// OnFill implements cache.Policy: insert at the *LRU* position — the stamp
+// is made older than every resident line so the block is the next victim
+// unless it hits first.
+func (p *LIP) OnFill(set, way int, _ *cache.AccessContext) {
+	oldest := int64(1) << 62
+	base := set * p.lru.ways
+	for w := 0; w < p.lru.ways; w++ {
+		if w != way && p.lru.stamp[base+w] < oldest {
+			oldest = p.lru.stamp[base+w]
+		}
+	}
+	if oldest == int64(1)<<62 {
+		oldest = 1
+	}
+	p.lru.stamp[base+way] = oldest - 1
+}
+
+// OnEvict implements cache.Policy.
+func (p *LIP) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *LIP) Victim(set int, ctx *cache.AccessContext) int { return p.lru.Victim(set, ctx) }
+
+// BIP is LIP with occasional (1/Epsilon) MRU insertion.
+type BIP struct {
+	lip     LIP
+	Epsilon uint64 // one in Epsilon fills inserts at MRU
+	state   uint64
+}
+
+// NewBIP returns a BIP policy with the canonical 1/32 MRU-insertion rate.
+func NewBIP() *BIP { return &BIP{Epsilon: 32, state: 0x1234_5678_9ABC_DEF0} }
+
+// Name implements cache.Policy.
+func (p *BIP) Name() string { return "bip" }
+
+// Reset implements cache.Policy.
+func (p *BIP) Reset(sets, ways int) { p.lip.Reset(sets, ways) }
+
+// OnHit implements cache.Policy.
+func (p *BIP) OnHit(set, way int, ctx *cache.AccessContext) { p.lip.OnHit(set, way, ctx) }
+
+// OnFill implements cache.Policy.
+func (p *BIP) OnFill(set, way int, ctx *cache.AccessContext) {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	if p.state%p.Epsilon == 0 {
+		p.lip.lru.OnFill(set, way, ctx) // MRU insertion
+		return
+	}
+	p.lip.OnFill(set, way, ctx) // LRU insertion
+}
+
+// OnEvict implements cache.Policy.
+func (p *BIP) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *BIP) Victim(set int, ctx *cache.AccessContext) int { return p.lip.Victim(set, ctx) }
+
+// DIP set-duels LRU against BIP: a few leader sets always use one policy
+// and a saturating PSEL counter steers the follower sets to the winner.
+type DIP struct {
+	lru  LRU
+	bip  BIP
+	sets int
+	psel int64 // >0: BIP is winning (fewer misses); <=0: LRU
+	max  int64
+
+	// Leader-set assignment: set % 32 == 0 -> LRU leader, == 16 -> BIP
+	// leader.
+}
+
+// NewDIP returns a DIP policy with a 10-bit PSEL.
+func NewDIP() *DIP { return &DIP{bip: *NewBIP(), max: 512} }
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "dip" }
+
+// Reset implements cache.Policy.
+func (p *DIP) Reset(sets, ways int) {
+	p.sets = sets
+	p.lru.Reset(sets, ways)
+	p.bip.Reset(sets, ways)
+}
+
+func (p *DIP) leaderLRU(set int) bool { return set%32 == 0 }
+func (p *DIP) leaderBIP(set int) bool { return set%32 == 16 }
+
+func (p *DIP) useBIP(set int) bool {
+	switch {
+	case p.leaderLRU(set):
+		return false
+	case p.leaderBIP(set):
+		return true
+	default:
+		return p.psel > 0
+	}
+}
+
+// OnHit implements cache.Policy: both shadow stamps track the touch.
+func (p *DIP) OnHit(set, way int, ctx *cache.AccessContext) {
+	p.lru.OnHit(set, way, ctx)
+	p.bip.OnHit(set, way, ctx)
+}
+
+// OnFill implements cache.Policy: a fill is a miss — leader-set misses
+// train PSEL toward the other policy.
+func (p *DIP) OnFill(set, way int, ctx *cache.AccessContext) {
+	switch {
+	case p.leaderLRU(set):
+		if p.psel < p.max {
+			p.psel++ // LRU missed: credit BIP
+		}
+	case p.leaderBIP(set):
+		if p.psel > -p.max {
+			p.psel-- // BIP missed: credit LRU
+		}
+	}
+	if p.useBIP(set) {
+		p.bip.OnFill(set, way, ctx)
+		p.lru.touch(set, way) // keep the LRU shadow coherent
+		return
+	}
+	p.lru.OnFill(set, way, ctx)
+	p.bip.lip.lru.touch(set, way)
+}
+
+// OnEvict implements cache.Policy.
+func (p *DIP) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *DIP) Victim(set int, ctx *cache.AccessContext) int {
+	if p.useBIP(set) {
+		return p.bip.Victim(set, ctx)
+	}
+	return p.lru.Victim(set, ctx)
+}

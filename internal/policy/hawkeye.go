@@ -1,0 +1,236 @@
+package policy
+
+import "acic/internal/cache"
+
+// Hawkeye (Jain & Lin, ISCA'16) learns from Belady's OPT: sampled sets run
+// OPTgen, a reconstruction of what OPT would have done, and its verdicts
+// train a signature-indexed predictor that classifies fills as cache
+// friendly or cache averse. Friendly fills insert at RRPV 0, averse fills at
+// RRPV max (immediately evictable). Harmony is the prefetch-aware variant
+// from the follow-up paper (Jain & Lin, ISCA'18): it trains and predicts
+// prefetch fills separately so that inaccurate prefetches become averse.
+// The figures in the ACIC paper label this scheme "Harmony" because the
+// platform includes a prefetcher; with no prefetch traffic it degenerates to
+// exactly Hawkeye.
+type Hawkeye struct {
+	cfg  HawkeyeConfig
+	ways int
+	max  uint8
+
+	rrpv     []uint8
+	sig      []uint32 // signature that filled each line
+	wasPref  []bool   // fill originated from a prefetch
+	pred     []uint8  // 3-bit counters, demand predictor
+	predPref []uint8  // 3-bit counters, prefetch predictor (Harmony)
+
+	samples []optgen // one per sampled set; nil entries for unsampled
+}
+
+// HawkeyeConfig sizes the predictor per the paper's Table IV: 8K-entry
+// predictor with 3-bit counters, 64-entry occupancy vectors, 3-bit RRIP.
+type HawkeyeConfig struct {
+	PredictorBits int // log2 of predictor entries
+	VectorLen     int // occupancy vector length (time quanta)
+	RRPVBits      int
+	SampleShift   int // sample every 2^SampleShift-th set
+}
+
+// DefaultHawkeyeConfig matches Table IV.
+func DefaultHawkeyeConfig() HawkeyeConfig {
+	return HawkeyeConfig{PredictorBits: 13, VectorLen: 64, RRPVBits: 3, SampleShift: 0}
+}
+
+// optgen reconstructs OPT decisions for one sampled set.
+type optgen struct {
+	ways      int
+	vec       []uint16 // occupancy per time quantum, ring buffer
+	t         int64
+	last      map[uint64]int64  // block -> last access time
+	lastSig   map[uint64]uint32 // block -> signature of last access
+	lastPref  map[uint64]bool   // block -> last access was prefetch
+	vecMask   int64
+	vecLength int64
+}
+
+func newOptgen(ways, vecLen int) optgen {
+	return optgen{
+		ways:      ways,
+		vec:       make([]uint16, vecLen),
+		last:      make(map[uint64]int64),
+		lastSig:   make(map[uint64]uint32),
+		lastPref:  make(map[uint64]bool),
+		vecMask:   int64(vecLen - 1),
+		vecLength: int64(vecLen),
+	}
+}
+
+// access simulates one access in the sampled set and returns whether OPT
+// would have hit, plus the signature and prefetch flag of the *previous*
+// access to this block (the access OPT's verdict trains).
+func (g *optgen) access(block uint64, sig uint32, isPref bool) (trained bool, optHit bool, prevSig uint32, prevPref bool) {
+	t0, seen := g.last[block]
+	if seen && g.t-t0 < g.vecLength {
+		optHit = true
+		for q := t0; q < g.t; q++ {
+			if int(g.vec[q&g.vecMask]) >= g.ways {
+				optHit = false
+				break
+			}
+		}
+		if optHit {
+			for q := t0; q < g.t; q++ {
+				g.vec[q&g.vecMask]++
+			}
+		}
+		trained = true
+		prevSig = g.lastSig[block]
+		prevPref = g.lastPref[block]
+	}
+	g.vec[g.t&g.vecMask] = 0 // open the new quantum
+	g.last[block] = g.t
+	g.lastSig[block] = sig
+	g.lastPref[block] = isPref
+	g.t++
+	// Keep the maps bounded: drop entries far outside the vector window.
+	if len(g.last) > 8*int(g.vecLength) {
+		for b, tb := range g.last {
+			if g.t-tb >= g.vecLength {
+				delete(g.last, b)
+				delete(g.lastSig, b)
+				delete(g.lastPref, b)
+			}
+		}
+	}
+	return trained, optHit, prevSig, prevPref
+}
+
+// NewHawkeye returns a Hawkeye/Harmony policy.
+func NewHawkeye(cfg HawkeyeConfig) *Hawkeye {
+	if cfg.VectorLen&(cfg.VectorLen-1) != 0 || cfg.VectorLen <= 0 {
+		panic("policy: Hawkeye vector length must be a power of two")
+	}
+	return &Hawkeye{cfg: cfg, max: uint8(1<<cfg.RRPVBits - 1)}
+}
+
+// Name implements cache.Policy.
+func (p *Hawkeye) Name() string { return "harmony" }
+
+// Reset implements cache.Policy.
+func (p *Hawkeye) Reset(sets, ways int) {
+	p.ways = ways
+	n := sets * ways
+	p.rrpv = make([]uint8, n)
+	for i := range p.rrpv {
+		p.rrpv[i] = p.max
+	}
+	p.sig = make([]uint32, n)
+	p.wasPref = make([]bool, n)
+	p.pred = make([]uint8, 1<<p.cfg.PredictorBits)
+	p.predPref = make([]uint8, 1<<p.cfg.PredictorBits)
+	for i := range p.pred {
+		p.pred[i] = 4 // weakly friendly
+		p.predPref[i] = 4
+	}
+	p.samples = make([]optgen, sets)
+	for s := 0; s < sets; s++ {
+		if s&(1<<p.cfg.SampleShift-1) == 0 {
+			p.samples[s] = newOptgen(ways, p.cfg.VectorLen)
+		}
+	}
+}
+
+func (p *Hawkeye) signature(block uint64) uint32 {
+	h := block * 0x9E3779B97F4A7C15
+	return uint32(h>>29) & uint32(1<<p.cfg.PredictorBits-1)
+}
+
+func (p *Hawkeye) table(isPref bool) []uint8 {
+	if isPref {
+		return p.predPref
+	}
+	return p.pred
+}
+
+func (p *Hawkeye) sample(set int, ctx *cache.AccessContext) {
+	if p.samples[set].vec == nil {
+		return
+	}
+	sig := p.signature(ctx.Block)
+	trained, optHit, prevSig, prevPref := p.samples[set].access(ctx.Block, sig, ctx.IsPrefetch)
+	if !trained {
+		return
+	}
+	tbl := p.table(prevPref)
+	if optHit {
+		if tbl[prevSig] < 7 {
+			tbl[prevSig]++
+		}
+	} else if tbl[prevSig] > 0 {
+		tbl[prevSig]--
+	}
+}
+
+func (p *Hawkeye) friendly(ctx *cache.AccessContext) bool {
+	return p.table(ctx.IsPrefetch)[p.signature(ctx.Block)] >= 4
+}
+
+// OnHit implements cache.Policy.
+func (p *Hawkeye) OnHit(set, way int, ctx *cache.AccessContext) {
+	p.sample(set, ctx)
+	i := set*p.ways + way
+	p.sig[i] = p.signature(ctx.Block)
+	p.wasPref[i] = ctx.IsPrefetch
+	if p.friendly(ctx) {
+		p.rrpv[i] = 0
+	} else {
+		p.rrpv[i] = p.max
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *Hawkeye) OnFill(set, way int, ctx *cache.AccessContext) {
+	p.sample(set, ctx)
+	i := set*p.ways + way
+	p.sig[i] = p.signature(ctx.Block)
+	p.wasPref[i] = ctx.IsPrefetch
+	if p.friendly(ctx) {
+		// Age friendly lines so older friendly lines become evictable.
+		base := set * p.ways
+		for w := 0; w < p.ways; w++ {
+			if w != way && p.rrpv[base+w] < p.max-1 {
+				p.rrpv[base+w]++
+			}
+		}
+		p.rrpv[i] = 0
+	} else {
+		p.rrpv[i] = p.max
+	}
+}
+
+// OnEvict implements cache.Policy: evicting a friendly-predicted line that
+// OPT would have kept signals the predictor was too optimistic.
+func (p *Hawkeye) OnEvict(set, way int, _ *cache.AccessContext) {
+	i := set*p.ways + way
+	if p.rrpv[i] != p.max { // was predicted friendly
+		tbl := p.table(p.wasPref[i])
+		if tbl[p.sig[i]] > 0 {
+			tbl[p.sig[i]]--
+		}
+	}
+}
+
+// Victim implements cache.Policy: prefer an averse (max-RRPV) line, else the
+// oldest friendly line.
+func (p *Hawkeye) Victim(set int, _ *cache.AccessContext) int {
+	base := set * p.ways
+	best, bestRRPV := 0, p.rrpv[base]
+	for w := 0; w < p.ways; w++ {
+		if p.rrpv[base+w] == p.max {
+			return w
+		}
+		if p.rrpv[base+w] > bestRRPV {
+			best, bestRRPV = w, p.rrpv[base+w]
+		}
+	}
+	return best
+}

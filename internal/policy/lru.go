@@ -1,0 +1,70 @@
+// Package policy implements every cache replacement policy the paper
+// evaluates: LRU (the baseline), tree-PLRU and Random (sanity baselines),
+// SRRIP/BRRIP, SHiP, Hawkeye/Harmony, GHRP, and Belady's OPT oracle.
+// Each policy satisfies cache.Policy and owns its per-line metadata.
+package policy
+
+import "acic/internal/cache"
+
+// LRU is true least-recently-used replacement, the paper's baseline i-cache
+// policy. Recency is kept as a logical timestamp per line.
+type LRU struct {
+	ways  int
+	stamp []int64 // per line, row-major by set
+	clock int64
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Reset implements cache.Policy.
+func (p *LRU) Reset(sets, ways int) {
+	p.ways = ways
+	p.stamp = make([]int64, sets*ways)
+	p.clock = 0
+}
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// OnHit implements cache.Policy.
+func (p *LRU) OnHit(set, way int, _ *cache.AccessContext) { p.touch(set, way) }
+
+// OnFill implements cache.Policy.
+func (p *LRU) OnFill(set, way int, _ *cache.AccessContext) { p.touch(set, way) }
+
+// OnEvict implements cache.Policy.
+func (p *LRU) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy: the way with the oldest timestamp.
+func (p *LRU) Victim(set int, _ *cache.AccessContext) int {
+	base := set * p.ways
+	best, bestStamp := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// StampOf exposes a line's recency timestamp; used by schemes (e.g. VVC)
+// that need to reason about LRU position externally.
+func (p *LRU) StampOf(set, way int) int64 { return p.stamp[set*p.ways+way] }
+
+// MRUWay returns the most recently touched way in set.
+func (p *LRU) MRUWay(set int) int {
+	base := set * p.ways
+	best, bestStamp := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s > bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,68 @@
+package policy
+
+import "acic/internal/cache"
+
+// OPT is Belady's optimal replacement (Belady, 1966): evict the resident
+// block whose next use lies furthest in the future. It requires oracle
+// knowledge of the access stream, supplied per access through
+// cache.AccessContext.NextUse; the oracle itself is built by
+// internal/analysis.NextUseOracle from the trace's block-access sequence.
+// OPT is not implementable in hardware; the paper uses it as the upper
+// bound every practical scheme is measured against.
+type OPT struct {
+	ways   int
+	blocks []uint64 // shadow of line contents, maintained via fill hooks
+	valid  []bool
+}
+
+// NewOPT returns the Belady oracle policy.
+func NewOPT() *OPT { return &OPT{} }
+
+// Name implements cache.Policy.
+func (p *OPT) Name() string { return "opt" }
+
+// Reset implements cache.Policy.
+func (p *OPT) Reset(sets, ways int) {
+	p.ways = ways
+	p.blocks = make([]uint64, sets*ways)
+	p.valid = make([]bool, sets*ways)
+}
+
+// OnHit implements cache.Policy.
+func (p *OPT) OnHit(int, int, *cache.AccessContext) {}
+
+// OnFill implements cache.Policy: shadow the fill so Victim can consult the
+// oracle about resident blocks.
+func (p *OPT) OnFill(set, way int, ctx *cache.AccessContext) {
+	i := set*p.ways + way
+	p.blocks[i] = ctx.Block
+	p.valid[i] = true
+}
+
+// OnEvict implements cache.Policy.
+func (p *OPT) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy: the resident block re-used furthest in
+// the future (ties broken by lowest way for determinism).
+func (p *OPT) Victim(set int, ctx *cache.AccessContext) int {
+	base := set * p.ways
+	best, bestNext := 0, int64(-1)
+	for w := 0; w < p.ways; w++ {
+		if !p.valid[base+w] {
+			return w
+		}
+		next := ctx.NextUseOf(p.blocks[base+w])
+		if next > bestNext {
+			best, bestNext = w, next
+		}
+	}
+	return best
+}
+
+// ResidentBlock returns the shadowed block at (set, way); used by the
+// OPT-bypass scheme to compare the incoming block's next use against the
+// contender's.
+func (p *OPT) ResidentBlock(set, way int) (uint64, bool) {
+	i := set*p.ways + way
+	return p.blocks[i], p.valid[i]
+}

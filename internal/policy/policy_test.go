@@ -1,0 +1,302 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acic/internal/cache"
+)
+
+// runTrace drives a cache with the policy over a block sequence and
+// returns the hit count.
+func runTrace(t *testing.T, p cache.Policy, cfg cache.Config, blocks []uint64, oracle func(uint64, int64) int64) uint64 {
+	t.Helper()
+	c := cache.MustNew(cfg, p)
+	for i, b := range blocks {
+		ctx := cache.AccessContext{Block: b, AccessIdx: int64(i), NextUse: oracle}
+		if !c.Access(&ctx) {
+			c.Insert(&ctx)
+		}
+	}
+	return c.Hits
+}
+
+func TestLRUExactness(t *testing.T) {
+	// 2-way set, blocks all in one set (sets=1): classic LRU sequence.
+	p := NewLRU()
+	c := cache.MustNew(cache.Config{Sets: 1, Ways: 2}, p)
+	access := func(b uint64) bool {
+		ctx := cache.AccessContext{Block: b}
+		if c.Access(&ctx) {
+			return true
+		}
+		c.Insert(&ctx)
+		return false
+	}
+	access(1)
+	access(2)
+	access(1)      // touch 1: LRU is now 2
+	access(3)      // evicts 2
+	if access(2) { // 2 must have been evicted
+		t.Error("block 2 should have been evicted by LRU")
+	}
+	if !c.Contains(1) == true && !c.Contains(3) {
+		t.Error("blocks 1 and 3 expected resident")
+	}
+}
+
+func TestLRUMRUWayAndStamp(t *testing.T) {
+	p := NewLRU()
+	p.Reset(1, 4)
+	p.OnFill(0, 0, nil)
+	p.OnFill(0, 1, nil)
+	p.OnHit(0, 0, nil)
+	if p.MRUWay(0) != 0 {
+		t.Errorf("MRU way = %d, want 0", p.MRUWay(0))
+	}
+	if p.Victim(0, nil) == 0 {
+		t.Error("victim should not be the MRU way")
+	}
+	if p.StampOf(0, 0) <= p.StampOf(0, 1) {
+		t.Error("hit should refresh the stamp")
+	}
+}
+
+func TestPLRUNeverEvictsMostRecent(t *testing.T) {
+	// The defining tree-PLRU invariant: the victim path never points at
+	// the most recently touched way (PLRU may diverge from true LRU for
+	// older ways, which is its well-known approximation error).
+	p := NewPLRU()
+	p.Reset(1, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		w := rng.Intn(8)
+		p.OnHit(0, w, nil)
+		if v := p.Victim(0, nil); v == w {
+			t.Fatalf("PLRU victim %d equals just-touched way", v)
+		}
+	}
+}
+
+func TestPLRUFindsUntouchedHalf(t *testing.T) {
+	// Touching only the left half must leave the victim in the right half.
+	p := NewPLRU()
+	p.Reset(1, 4)
+	p.OnFill(0, 0, nil)
+	p.OnFill(0, 1, nil)
+	if v := p.Victim(0, nil); v != 2 && v != 3 {
+		t.Errorf("victim = %d, want right half", v)
+	}
+}
+
+func TestPLRURejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 3-way PLRU")
+		}
+	}()
+	NewPLRU().Reset(4, 3)
+}
+
+func TestRandomVictimInRange(t *testing.T) {
+	p := NewRandom(12345)
+	p.Reset(2, 8)
+	for i := 0; i < 1000; i++ {
+		if v := p.Victim(0, nil); v < 0 || v >= 8 {
+			t.Fatalf("victim %d out of range", v)
+		}
+	}
+}
+
+func TestSRRIPHitPromotion(t *testing.T) {
+	p := NewSRRIP(2)
+	c := cache.MustNew(cache.Config{Sets: 1, Ways: 2}, p)
+	c.Insert(&cache.AccessContext{Block: 1})
+	c.Insert(&cache.AccessContext{Block: 2})
+	c.Access(&cache.AccessContext{Block: 1}) // promote 1 to RRPV 0
+	_, victim := c.PeekVictim(&cache.AccessContext{Block: 3})
+	if victim.Block != 2 {
+		t.Errorf("SRRIP victim = %d, want 2 (1 was promoted)", victim.Block)
+	}
+}
+
+func TestSRRIPBadBits(t *testing.T) {
+	for _, bits := range []int{0, 8, -1} {
+		func() {
+			defer func() { recover() }()
+			NewSRRIP(bits)
+			t.Errorf("NewSRRIP(%d) should panic", bits)
+		}()
+	}
+}
+
+func TestSHiPLearnsDeadSignatures(t *testing.T) {
+	p := NewSHiP(DefaultSHiPConfig())
+	c := cache.MustNew(cache.Config{Sets: 4, Ways: 2}, p)
+	// Stream many never-reused blocks through one set: their signatures
+	// should trend dead (SHCT -> 0) so later insertions land at distant
+	// RRPV. We verify via the internal counter of a repeated signature.
+	b := uint64(16)
+	sig := p.signature(b)
+	for i := 0; i < 8; i++ {
+		ctx := cache.AccessContext{Block: b}
+		c.Insert(&ctx)
+		// Evict it by filling the set with other blocks.
+		c.Insert(&cache.AccessContext{Block: b + 4})
+		c.Insert(&cache.AccessContext{Block: b + 8})
+	}
+	if p.shct[sig] != 0 {
+		t.Errorf("SHCT[%d] = %d, want 0 after repeated dead insertions", sig, p.shct[sig])
+	}
+}
+
+func TestGHRPTrainsDeadPrediction(t *testing.T) {
+	p := NewGHRP(DefaultGHRPConfig())
+	c := cache.MustNew(cache.Config{Sets: 2, Ways: 2}, p)
+	// Repeatedly insert-and-evict the same block without reuse; GHRP
+	// should learn its (sig, history) is dead.
+	for i := 0; i < 32; i++ {
+		c.Insert(&cache.AccessContext{Block: 0})
+		c.Insert(&cache.AccessContext{Block: 2})
+		c.Insert(&cache.AccessContext{Block: 4})
+	}
+	dead := 0
+	for i := 0; i < 16; i++ {
+		if p.PredictDead(0) {
+			dead++
+		}
+		c.Insert(&cache.AccessContext{Block: 0})
+		c.Insert(&cache.AccessContext{Block: 2})
+		c.Insert(&cache.AccessContext{Block: 4})
+	}
+	if dead == 0 {
+		t.Error("GHRP never predicted the dead block dead")
+	}
+}
+
+func TestOPTEvictsFurthest(t *testing.T) {
+	next := map[uint64]int64{1: 10, 2: 100, 3: 5}
+	oracle := func(b uint64, _ int64) int64 {
+		if n, ok := next[b]; ok {
+			return n
+		}
+		return cache.NeverUsed
+	}
+	p := NewOPT()
+	c := cache.MustNew(cache.Config{Sets: 1, Ways: 3}, p)
+	for _, b := range []uint64{1, 2, 3} {
+		c.Insert(&cache.AccessContext{Block: b, NextUse: oracle})
+	}
+	_, victim := c.PeekVictim(&cache.AccessContext{Block: 9, NextUse: oracle})
+	if victim.Block != 2 {
+		t.Errorf("OPT victim = %d, want 2 (furthest next use)", victim.Block)
+	}
+	if blk, ok := p.ResidentBlock(0, 0); !ok || blk != 1 {
+		t.Errorf("ResidentBlock(0,0) = %d,%v", blk, ok)
+	}
+}
+
+// TestOPTBeatsLRUProperty: on any access sequence, Belady's OPT achieves at
+// least as many hits as LRU. This is the defining property of the oracle.
+func TestOPTBeatsLRUProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := make([]uint64, int(n%2000)+64)
+		for i := range blocks {
+			blocks[i] = uint64(rng.Intn(24))
+		}
+		// Build the oracle.
+		positions := map[uint64][]int64{}
+		for i, b := range blocks {
+			positions[b] = append(positions[b], int64(i))
+		}
+		oracle := func(b uint64, after int64) int64 {
+			for _, p := range positions[b] {
+				if p > after {
+					return p
+				}
+			}
+			return cache.NeverUsed
+		}
+		cfg := cache.Config{Sets: 2, Ways: 4}
+		lruHits := runTrace(t, NewLRU(), cfg, blocks, nil)
+		optHits := runTrace(t, NewOPT(), cfg, blocks, oracle)
+		return optHits >= lruHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoliciesNeverCrash drives every policy through a random workload and
+// checks basic sanity (no panics, victims in range via cache invariants).
+func TestPoliciesNeverCrash(t *testing.T) {
+	policies := []func() cache.Policy{
+		func() cache.Policy { return NewLRU() },
+		func() cache.Policy { return NewPLRU() },
+		func() cache.Policy { return NewRandom(1) },
+		func() cache.Policy { return NewSRRIP(2) },
+		func() cache.Policy { return NewSHiP(DefaultSHiPConfig()) },
+		func() cache.Policy { return NewHawkeye(DefaultHawkeyeConfig()) },
+		func() cache.Policy { return NewGHRP(DefaultGHRPConfig()) },
+	}
+	rng := rand.New(rand.NewSource(77))
+	blocks := make([]uint64, 20000)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(500))
+	}
+	for _, mk := range policies {
+		p := mk()
+		hits := runTrace(t, p, cache.Config{Sets: 16, Ways: 4}, blocks, nil)
+		if hits == 0 {
+			t.Errorf("%s: zero hits on a reusing trace is implausible", p.Name())
+		}
+	}
+}
+
+func TestHawkeyeOptgen(t *testing.T) {
+	g := newOptgen(2, 16)
+	// Two blocks alternating in a 2-way set: OPT always hits.
+	for i := 0; i < 8; i++ {
+		trained, hit, _, _ := g.access(1, 0, false)
+		if i > 0 && trained && !hit {
+			t.Error("block 1 should be an OPT hit")
+		}
+		trained, hit, _, _ = g.access(2, 0, false)
+		if i > 0 && trained && !hit {
+			t.Error("block 2 should be an OPT hit")
+		}
+	}
+	// Three blocks thrashing a 1-way "set": OPT misses most.
+	g2 := newOptgen(1, 16)
+	misses := 0
+	for i := 0; i < 10; i++ {
+		for _, b := range []uint64{1, 2, 3} {
+			if trained, hit, _, _ := g2.access(b, 0, false); trained && !hit {
+				misses++
+			}
+		}
+	}
+	if misses == 0 {
+		t.Error("1-way optgen should reject some of the thrash pattern")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]cache.Policy{
+		"lru":     NewLRU(),
+		"plru":    NewPLRU(),
+		"random":  NewRandom(0),
+		"srrip":   NewSRRIP(2),
+		"ship":    NewSHiP(DefaultSHiPConfig()),
+		"harmony": NewHawkeye(DefaultHawkeyeConfig()),
+		"ghrp":    NewGHRP(DefaultGHRPConfig()),
+		"opt":     NewOPT(),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}

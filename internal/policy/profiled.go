@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"acic/internal/analysis"
+	"acic/internal/cache"
+)
+
+// ProfileGuided is a profile-guided i-cache replacement policy in the
+// spirit of Ripple (Khan et al., ISCA'21, [47] in the paper): an offline
+// profiling pass classifies instruction blocks whose typical reuse distance
+// exceeds the cache's reach as "transient", and at run time the replacement
+// policy evicts transient blocks first (LRU among them, then global LRU).
+// Ripple proper injects software eviction hints at profile-chosen program
+// points; this block-classification variant captures the same idea —
+// profile-derived deadness beats recency — within a hardware-only policy,
+// which is what our harness can evaluate head-to-head with ACIC.
+//
+// Build the classification with Profile over a *training* slice of the
+// workload (the harness uses the warmup prefix), then attach the policy to
+// the evaluation run.
+type ProfileGuided struct {
+	transient map[uint64]bool
+	lru       LRU
+	ways      int
+	isTrans   []bool // per-line cache of the classification
+}
+
+// Profile classifies blocks from a training block-access sequence: a block
+// is transient when the median reuse distance of its non-burst re-accesses
+// exceeds horizon (the cache's reach in unique blocks).
+func Profile(training []uint64, horizon int64) map[uint64]bool {
+	dists := analysis.ReuseDistances(training)
+	far := make(map[uint64][2]int, 1024) // block -> {far count, near count}
+	for i, b := range training {
+		d := dists[i]
+		if d == analysis.InfiniteDistance || d <= 16 {
+			continue // first touch or intra-burst: uninformative
+		}
+		c := far[b]
+		if d > horizon {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		far[b] = c
+	}
+	out := make(map[uint64]bool, len(far))
+	for b, c := range far {
+		if c[0] > c[1] {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+// NewProfileGuided returns the policy for a given classification.
+func NewProfileGuided(transient map[uint64]bool) *ProfileGuided {
+	if transient == nil {
+		transient = map[uint64]bool{}
+	}
+	return &ProfileGuided{transient: transient}
+}
+
+// Name implements cache.Policy.
+func (p *ProfileGuided) Name() string { return "ripple-lite" }
+
+// Reset implements cache.Policy.
+func (p *ProfileGuided) Reset(sets, ways int) {
+	p.ways = ways
+	p.lru.Reset(sets, ways)
+	p.isTrans = make([]bool, sets*ways)
+}
+
+// OnHit implements cache.Policy.
+func (p *ProfileGuided) OnHit(set, way int, ctx *cache.AccessContext) { p.lru.OnHit(set, way, ctx) }
+
+// OnFill implements cache.Policy.
+func (p *ProfileGuided) OnFill(set, way int, ctx *cache.AccessContext) {
+	p.lru.OnFill(set, way, ctx)
+	p.isTrans[set*p.ways+way] = p.transient[ctx.Block]
+}
+
+// OnEvict implements cache.Policy.
+func (p *ProfileGuided) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy: LRU among profiled-transient lines first,
+// else global LRU.
+func (p *ProfileGuided) Victim(set int, ctx *cache.AccessContext) int {
+	best := -1
+	var bestStamp int64
+	for w := 0; w < p.ways; w++ {
+		if p.isTrans[set*p.ways+w] {
+			s := p.lru.StampOf(set, w)
+			if best == -1 || s < bestStamp {
+				best, bestStamp = w, s
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return p.lru.Victim(set, ctx)
+}
+
+// TransientCount reports the classification size (introspection/tests).
+func (p *ProfileGuided) TransientCount() int { return len(p.transient) }

@@ -1,0 +1,112 @@
+package policy
+
+import "acic/internal/cache"
+
+// Random replacement with a deterministic xorshift stream; a sanity-check
+// baseline and the randomness source for the random-bypass experiment
+// (Fig 12b).
+type Random struct {
+	ways  int
+	state uint64
+}
+
+// NewRandom returns a Random policy seeded deterministically.
+func NewRandom(seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Random{state: seed}
+}
+
+// Name implements cache.Policy.
+func (p *Random) Name() string { return "random" }
+
+// Reset implements cache.Policy.
+func (p *Random) Reset(_, ways int) { p.ways = ways }
+
+// OnHit implements cache.Policy.
+func (p *Random) OnHit(int, int, *cache.AccessContext) {}
+
+// OnFill implements cache.Policy.
+func (p *Random) OnFill(int, int, *cache.AccessContext) {}
+
+// OnEvict implements cache.Policy.
+func (p *Random) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *Random) Victim(int, *cache.AccessContext) int {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return int(p.state % uint64(p.ways))
+}
+
+// PLRU is tree-based pseudo-LRU, the common hardware approximation of LRU.
+// Each set keeps ways-1 tree bits; a touch flips the path away from the
+// touched way, and the victim follows the bits to the pseudo-oldest leaf.
+// Associativity must be a power of two.
+type PLRU struct {
+	ways int
+	bits [][]bool // per set, ways-1 tree bits
+}
+
+// NewPLRU returns a tree-PLRU policy.
+func NewPLRU() *PLRU { return &PLRU{} }
+
+// Name implements cache.Policy.
+func (p *PLRU) Name() string { return "plru" }
+
+// Reset implements cache.Policy.
+func (p *PLRU) Reset(sets, ways int) {
+	if ways&(ways-1) != 0 {
+		panic("policy: PLRU requires power-of-two associativity")
+	}
+	p.ways = ways
+	p.bits = make([][]bool, sets)
+	for i := range p.bits {
+		p.bits[i] = make([]bool, ways-1)
+	}
+}
+
+func (p *PLRU) touch(set, way int) {
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.bits[set][node] = true // point away: right side is older
+			node = 2*node + 1
+			hi = mid
+		} else {
+			p.bits[set][node] = false
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *PLRU) OnHit(set, way int, _ *cache.AccessContext) { p.touch(set, way) }
+
+// OnFill implements cache.Policy.
+func (p *PLRU) OnFill(set, way int, _ *cache.AccessContext) { p.touch(set, way) }
+
+// OnEvict implements cache.Policy.
+func (p *PLRU) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *PLRU) Victim(set int, _ *cache.AccessContext) int {
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[set][node] {
+			node = 2*node + 2 // bit true: LRU side is right
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,155 @@
+package policy
+
+import "acic/internal/cache"
+
+// SRRIP implements static re-reference interval prediction (Jaleel et al.,
+// ISCA'10) with M-bit RRPVs (the paper's Table IV uses 2-bit). New lines are
+// inserted with a "long" re-reference prediction (max-1); hits promote to 0;
+// the victim is the first line at max RRPV, aging the whole set until one
+// exists.
+type SRRIP struct {
+	bits int
+	max  uint8
+	ways int
+	rrpv []uint8
+}
+
+// NewSRRIP returns an SRRIP policy with the given RRPV width in bits.
+func NewSRRIP(bits int) *SRRIP {
+	if bits < 1 || bits > 7 {
+		panic("policy: SRRIP bits out of range")
+	}
+	return &SRRIP{bits: bits, max: uint8(1<<bits - 1)}
+}
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// Reset implements cache.Policy.
+func (p *SRRIP) Reset(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = p.max
+	}
+}
+
+// OnHit implements cache.Policy: hit promotion to RRPV 0.
+func (p *SRRIP) OnHit(set, way int, _ *cache.AccessContext) {
+	p.rrpv[set*p.ways+way] = 0
+}
+
+// OnFill implements cache.Policy: insert with long re-reference interval.
+func (p *SRRIP) OnFill(set, way int, _ *cache.AccessContext) {
+	p.rrpv[set*p.ways+way] = p.max - 1
+}
+
+// OnEvict implements cache.Policy.
+func (p *SRRIP) OnEvict(int, int, *cache.AccessContext) {}
+
+// Victim implements cache.Policy.
+func (p *SRRIP) Victim(set int, _ *cache.AccessContext) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == p.max {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// SHiP implements the signature-based hit predictor (Wu et al., MICRO'11)
+// on top of SRRIP. Each line remembers the signature that inserted it and an
+// outcome bit; a Signature History Counter Table (SHCT) learns whether
+// insertions by a signature are ever re-referenced. Dead signatures insert
+// at distant RRPV (immediately evictable); live ones at long RRPV. For the
+// instruction stream the signature is a hash of the block address, standing
+// in for the fetch-PC signature of the original proposal.
+type SHiP struct {
+	srrip    SRRIP
+	ways     int
+	shctBits int
+	shct     []uint8 // 2-bit counters
+	sig      []uint16
+	outcome  []bool
+}
+
+// SHiPConfig sizes the SHCT; the paper's Table IV uses a 13-bit signature
+// into an 8K-entry table of 2-bit counters.
+type SHiPConfig struct {
+	SignatureBits int // log2 of SHCT entries
+	RRPVBits      int
+}
+
+// DefaultSHiPConfig matches Table IV.
+func DefaultSHiPConfig() SHiPConfig { return SHiPConfig{SignatureBits: 13, RRPVBits: 2} }
+
+// NewSHiP returns a SHiP policy.
+func NewSHiP(cfg SHiPConfig) *SHiP {
+	if cfg.SignatureBits < 4 || cfg.SignatureBits > 16 {
+		panic("policy: SHiP signature bits out of range")
+	}
+	return &SHiP{srrip: *NewSRRIP(cfg.RRPVBits), shctBits: cfg.SignatureBits}
+}
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "ship" }
+
+// Reset implements cache.Policy.
+func (p *SHiP) Reset(sets, ways int) {
+	p.srrip.Reset(sets, ways)
+	p.ways = ways
+	p.shct = make([]uint8, 1<<p.shctBits)
+	for i := range p.shct {
+		p.shct[i] = 1 // weakly live
+	}
+	p.sig = make([]uint16, sets*ways)
+	p.outcome = make([]bool, sets*ways)
+}
+
+func (p *SHiP) signature(block uint64) uint16 {
+	h := block * 0x9E3779B97F4A7C15
+	return uint16(h>>32) & uint16(1<<p.shctBits-1)
+}
+
+// OnHit implements cache.Policy.
+func (p *SHiP) OnHit(set, way int, ctx *cache.AccessContext) {
+	p.srrip.OnHit(set, way, ctx)
+	i := set*p.ways + way
+	if !p.outcome[i] {
+		p.outcome[i] = true
+		if p.shct[p.sig[i]] < 3 {
+			p.shct[p.sig[i]]++
+		}
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *SHiP) OnFill(set, way int, ctx *cache.AccessContext) {
+	i := set*p.ways + way
+	sig := p.signature(ctx.Block)
+	p.sig[i] = sig
+	p.outcome[i] = false
+	if p.shct[sig] == 0 {
+		p.srrip.rrpv[i] = p.srrip.max // predicted dead: distant
+	} else {
+		p.srrip.rrpv[i] = p.srrip.max - 1
+	}
+}
+
+// OnEvict implements cache.Policy: train dead signatures down.
+func (p *SHiP) OnEvict(set, way int, _ *cache.AccessContext) {
+	i := set*p.ways + way
+	if !p.outcome[i] && p.shct[p.sig[i]] > 0 {
+		p.shct[p.sig[i]]--
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *SHiP) Victim(set int, ctx *cache.AccessContext) int {
+	return p.srrip.Victim(set, ctx)
+}

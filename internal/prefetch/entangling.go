@@ -1,0 +1,141 @@
+// Package prefetch implements the instruction prefetchers of the evaluation
+// platform. The fetch-directed prefetcher (FDP, Ishii et al. ISPASS'21) is
+// realized inside the CPU front end (internal/cpu), since it is literally
+// the fetch target queue running ahead of fetch; this package provides the
+// Entangling prefetcher (Ros & Jimborean, ISCA'21) used as the alternative
+// baseline of Figs 20/21, plus the common issue-filter bookkeeping.
+package prefetch
+
+// Prefetcher reacts to demand block accesses and nominates prefetch
+// candidates.
+type Prefetcher interface {
+	// Name identifies the prefetcher.
+	Name() string
+	// OnAccess observes a demand access to block at the given cycle and
+	// appends candidate blocks to dst.
+	OnAccess(block uint64, cycle int64, miss bool, dst []uint64) []uint64
+	// StorageBits accounts the prefetcher's state.
+	StorageBits() int
+}
+
+// None is the null prefetcher.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (None) OnAccess(_ uint64, _ int64, _ bool, dst []uint64) []uint64 { return dst }
+
+// StorageBits implements Prefetcher.
+func (None) StorageBits() int { return 0 }
+
+// Entangling implements the entangling instruction prefetcher: each miss
+// ("destination") is entangled with the youngest earlier-accessed block
+// ("source") old enough to hide the miss latency; later accesses to the
+// source prefetch its entangled destinations. The paper's configuration
+// uses a 4K-entry entangled table (~40KB with its metadata).
+type Entangling struct {
+	cfg     EntanglingConfig
+	table   []entEntry
+	history []histRec // ring of recent demand accesses
+	histPos int
+
+	Trained uint64
+	Issued  uint64
+}
+
+type entEntry struct {
+	tag   uint32
+	dst   [2]uint64
+	ndst  uint8
+	valid bool
+}
+
+type histRec struct {
+	block uint64
+	cycle int64
+}
+
+// EntanglingConfig sizes the prefetcher.
+type EntanglingConfig struct {
+	TableEntries int   // entangled table entries (4096)
+	HistoryLen   int   // lookback window of demand accesses
+	HideLatency  int64 // cycles a prefetch must be issued ahead to hide
+}
+
+// DefaultEntanglingConfig matches Section IV-H4's 4K-entry table.
+func DefaultEntanglingConfig() EntanglingConfig {
+	return EntanglingConfig{TableEntries: 4096, HistoryLen: 64, HideLatency: 20}
+}
+
+// NewEntangling creates an entangling prefetcher.
+func NewEntangling(cfg EntanglingConfig) *Entangling {
+	return &Entangling{
+		cfg:     cfg,
+		table:   make([]entEntry, cfg.TableEntries),
+		history: make([]histRec, cfg.HistoryLen),
+	}
+}
+
+// Name implements Prefetcher.
+func (e *Entangling) Name() string { return "entangling" }
+
+func (e *Entangling) index(block uint64) (int, uint32) {
+	h := block * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(e.table))), uint32(h >> 40)
+}
+
+// OnAccess implements Prefetcher.
+func (e *Entangling) OnAccess(block uint64, cycle int64, miss bool, dst []uint64) []uint64 {
+	// Trigger: accesses to an entangled source prefetch its destinations.
+	idx, tag := e.index(block)
+	if ent := &e.table[idx]; ent.valid && ent.tag == tag {
+		for i := 0; i < int(ent.ndst); i++ {
+			dst = append(dst, ent.dst[i])
+			e.Issued++
+		}
+	}
+	if miss {
+		// Train: entangle this destination with the youngest source that
+		// is at least HideLatency cycles old.
+		var src uint64
+		found := false
+		for i := 0; i < len(e.history); i++ {
+			r := e.history[(e.histPos-1-i+len(e.history))%len(e.history)]
+			if r.block == 0 && r.cycle == 0 {
+				break
+			}
+			if cycle-r.cycle >= e.cfg.HideLatency && r.block != block {
+				src = r.block
+				found = true
+				break
+			}
+		}
+		if found {
+			sidx, stag := e.index(src)
+			ent := &e.table[sidx]
+			if !ent.valid || ent.tag != stag {
+				*ent = entEntry{tag: stag, valid: true}
+			}
+			// Keep up to two distinct destinations, newest-first.
+			if ent.ndst == 0 || ent.dst[0] != block {
+				ent.dst[1] = ent.dst[0]
+				ent.dst[0] = block
+				if ent.ndst < 2 {
+					ent.ndst++
+				}
+				e.Trained++
+			}
+		}
+	}
+	e.history[e.histPos] = histRec{block: block, cycle: cycle}
+	e.histPos = (e.histPos + 1) % len(e.history)
+	return dst
+}
+
+// StorageBits implements Prefetcher: ~40KB per Section IV-H4.
+func (e *Entangling) StorageBits() int {
+	// tag (24b) + 2 destinations (58b each) + count/valid ≈ per entry.
+	return len(e.table) * (24 + 2*58 + 3)
+}

@@ -1,0 +1,75 @@
+package prefetch
+
+import "testing"
+
+func TestNone(t *testing.T) {
+	var p None
+	if got := p.OnAccess(1, 0, true, nil); len(got) != 0 {
+		t.Error("None must never prefetch")
+	}
+	if p.Name() != "none" || p.StorageBits() != 0 {
+		t.Error("metadata")
+	}
+}
+
+func TestEntanglingTrainsAndIssues(t *testing.T) {
+	cfg := DefaultEntanglingConfig()
+	cfg.HideLatency = 10
+	e := NewEntangling(cfg)
+	// Establish a repeating pattern: source block 1 at t, destination block
+	// 9 misses at t+20. The youngest old-enough access is block 1, so the
+	// prefetcher entangles 1 -> 9 and accessing 1 should prefetch 9.
+	for round := 0; round < 5; round++ {
+		base := int64(round * 1000)
+		e.OnAccess(1, base, false, nil)
+		e.OnAccess(2, base+15, false, nil) // too young to hide the latency
+		e.OnAccess(9, base+20, true, nil)  // miss: entangle with block 1
+	}
+	if e.Trained == 0 {
+		t.Fatal("entangling never trained")
+	}
+	got := e.OnAccess(1, 10000, false, nil)
+	found := false
+	for _, b := range got {
+		if b == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("access to source did not prefetch destination: %v", got)
+	}
+}
+
+func TestEntanglingKeepsTwoDestinations(t *testing.T) {
+	cfg := DefaultEntanglingConfig()
+	cfg.HideLatency = 1
+	e := NewEntangling(cfg)
+	e.OnAccess(1, 0, false, nil)
+	e.OnAccess(7, 100, true, nil)
+	e.OnAccess(1, 200, false, nil)
+	e.OnAccess(8, 300, true, nil)
+	got := e.OnAccess(1, 1000, false, nil)
+	if len(got) < 2 {
+		t.Errorf("expected two destinations, got %v", got)
+	}
+}
+
+func TestEntanglingIgnoresSelfEntangle(t *testing.T) {
+	cfg := DefaultEntanglingConfig()
+	cfg.HideLatency = 1
+	e := NewEntangling(cfg)
+	e.OnAccess(5, 0, false, nil)
+	e.OnAccess(5, 100, true, nil) // only candidate source is itself
+	if got := e.OnAccess(5, 200, false, nil); len(got) != 0 {
+		t.Errorf("self-entangled prefetch: %v", got)
+	}
+}
+
+func TestEntanglingStorageBand(t *testing.T) {
+	// Section IV-H4: ~40KB.
+	bits := NewEntangling(DefaultEntanglingConfig()).StorageBits()
+	kb := float64(bits) / 8192
+	if kb < 30 || kb > 90 {
+		t.Errorf("entangling storage = %.1f KB, want tens of KB", kb)
+	}
+}

@@ -1,0 +1,114 @@
+package prefetch
+
+// NextLine is the classic next-N-line instruction prefetcher: every demand
+// access to block B nominates B+1..B+Degree. It is the weakest credible
+// baseline — sequential fetch is exactly what spatial bursts already cover,
+// so its value is limited to straight-line code that outruns the fetch
+// group.
+type NextLine struct {
+	Degree int
+}
+
+// NewNextLine returns a next-line prefetcher of the given degree.
+func NewNextLine(degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{Degree: degree}
+}
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string { return "next-line" }
+
+// OnAccess implements Prefetcher.
+func (p *NextLine) OnAccess(block uint64, _ int64, _ bool, dst []uint64) []uint64 {
+	for d := 1; d <= p.Degree; d++ {
+		dst = append(dst, block+uint64(d))
+	}
+	return dst
+}
+
+// StorageBits implements Prefetcher.
+func (p *NextLine) StorageBits() int { return 0 }
+
+// Stream is a simple miss-stream prefetcher: it tracks a small number of
+// active sequential miss streams; when two misses land on consecutive
+// blocks, the stream is confirmed and runs Ahead blocks in front of the
+// latest miss. It approximates Jouppi-style stream buffers feeding the
+// i-cache.
+type Stream struct {
+	cfg     StreamConfig
+	streams []stream
+	clock   int64
+
+	Confirmed uint64
+	Issued    uint64
+}
+
+type stream struct {
+	next  uint64 // next expected miss block
+	live  bool
+	conf  bool // confirmed by a second sequential miss
+	stamp int64
+}
+
+// StreamConfig sizes the stream prefetcher.
+type StreamConfig struct {
+	Streams int // concurrent streams tracked (4)
+	Ahead   int // prefetch depth once confirmed (4)
+}
+
+// DefaultStreamConfig returns a 4-stream, depth-4 configuration.
+func DefaultStreamConfig() StreamConfig { return StreamConfig{Streams: 4, Ahead: 4} }
+
+// NewStream returns a stream prefetcher.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Streams <= 0 || cfg.Ahead <= 0 {
+		panic("prefetch: bad stream configuration")
+	}
+	return &Stream{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// Name implements Prefetcher.
+func (p *Stream) Name() string { return "stream" }
+
+// OnAccess implements Prefetcher.
+func (p *Stream) OnAccess(block uint64, _ int64, miss bool, dst []uint64) []uint64 {
+	if !miss {
+		return dst
+	}
+	p.clock++
+	// Continue an existing stream?
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.live && block == s.next {
+			if !s.conf {
+				s.conf = true
+				p.Confirmed++
+			}
+			for d := 1; d <= p.cfg.Ahead; d++ {
+				dst = append(dst, block+uint64(d))
+				p.Issued++
+			}
+			s.next = block + 1
+			s.stamp = p.clock
+			return dst
+		}
+	}
+	// Allocate a new (unconfirmed) stream, replacing the oldest.
+	oldest, oldStamp := 0, int64(1)<<62
+	for i := range p.streams {
+		if !p.streams[i].live {
+			oldest = i
+			break
+		}
+		if p.streams[i].stamp < oldStamp {
+			oldest, oldStamp = i, p.streams[i].stamp
+		}
+	}
+	p.streams[oldest] = stream{next: block + 1, live: true, stamp: p.clock}
+	return dst
+}
+
+// StorageBits implements Prefetcher: a few registers per stream.
+func (p *Stream) StorageBits() int { return p.cfg.Streams * (58 + 2) }

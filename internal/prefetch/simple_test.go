@@ -1,0 +1,74 @@
+package prefetch
+
+import "testing"
+
+func TestNextLineDegree(t *testing.T) {
+	p := NewNextLine(2)
+	got := p.OnAccess(100, 0, false, nil)
+	if len(got) != 2 || got[0] != 101 || got[1] != 102 {
+		t.Errorf("next-line candidates = %v", got)
+	}
+	if NewNextLine(0).Degree != 1 {
+		t.Error("degree must default to 1")
+	}
+	if p.Name() != "next-line" || p.StorageBits() != 0 {
+		t.Error("metadata")
+	}
+}
+
+func TestStreamConfirmsOnSequentialMisses(t *testing.T) {
+	p := NewStream(DefaultStreamConfig())
+	// First miss allocates, no prefetch yet.
+	if got := p.OnAccess(50, 0, true, nil); len(got) != 0 {
+		t.Errorf("unconfirmed stream must not prefetch: %v", got)
+	}
+	// Sequential follow-up confirms and runs ahead.
+	got := p.OnAccess(51, 1, true, nil)
+	if len(got) != 4 {
+		t.Fatalf("confirmed stream should prefetch Ahead=4 blocks, got %v", got)
+	}
+	for i, b := range got {
+		if b != 52+uint64(i) {
+			t.Errorf("candidate %d = %d, want %d", i, b, 52+uint64(i))
+		}
+	}
+	if p.Confirmed != 1 {
+		t.Errorf("confirmed = %d", p.Confirmed)
+	}
+}
+
+func TestStreamIgnoresHits(t *testing.T) {
+	p := NewStream(DefaultStreamConfig())
+	if got := p.OnAccess(50, 0, false, nil); len(got) != 0 {
+		t.Error("hits must not train streams")
+	}
+}
+
+func TestStreamTracksMultiple(t *testing.T) {
+	p := NewStream(StreamConfig{Streams: 2, Ahead: 1})
+	p.OnAccess(100, 0, true, nil)
+	p.OnAccess(500, 1, true, nil)
+	// Both streams can confirm independently.
+	if got := p.OnAccess(101, 2, true, nil); len(got) != 1 {
+		t.Error("stream A should confirm")
+	}
+	if got := p.OnAccess(501, 3, true, nil); len(got) != 1 {
+		t.Error("stream B should confirm")
+	}
+	// A third stream replaces the oldest.
+	p.OnAccess(900, 4, true, nil)
+	if got := p.OnAccess(102, 5, true, nil); len(got) != 0 {
+		// Stream A (next=102) was the oldest and should have been evicted
+		// by the allocation for 900.
+		t.Errorf("evicted stream must not keep prefetching: %v", got)
+	}
+}
+
+func TestStreamRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStream(StreamConfig{Streams: 0, Ahead: 1})
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small statistical toolkit shared by the
+// experiment harness: geometric means, histograms with custom bucket edges,
+// fixed-point percentage formatting, and plain-text table rendering used to
+// print the paper's tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty slice
+// and NaN if any value is non-positive (speedups are strictly positive).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percent formats a fraction as a percentage with two decimals, e.g. 0.1814
+// renders as "18.14%".
+func Percent(frac float64) string { return fmt.Sprintf("%.2f%%", frac*100) }
+
+// Histogram counts samples into buckets defined by ascending upper edges.
+// A sample x lands in the first bucket whose Edge >= x; samples above the
+// last edge land in the overflow bucket.
+type Histogram struct {
+	Edges    []float64 // ascending bucket upper bounds (inclusive)
+	Counts   []uint64  // len(Edges)+1; last is overflow
+	NSamples uint64
+}
+
+// NewHistogram creates a histogram with the given ascending upper edges.
+func NewHistogram(edges ...float64) *Histogram {
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("stats: histogram edges not ascending at %d", i))
+		}
+	}
+	return &Histogram{Edges: append([]float64(nil), edges...), Counts: make([]uint64, len(edges)+1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Edges, x)
+	h.Counts[i]++
+	h.NSamples++
+}
+
+// Fraction returns the fraction of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.NSamples == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.NSamples)
+}
+
+// Fractions returns the per-bucket fractions, overflow last.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		out[i] = h.Fraction(i)
+	}
+	return out
+}
+
+// Table renders aligned plain-text tables: one header row plus data rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells (formatted with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	formatRow := func(row []string) string {
+		var line strings.Builder
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+		}
+		return strings.TrimRight(line.String(), " ")
+	}
+	if len(t.Header) > 0 {
+		b.WriteString(formatRow(t.Header))
+		b.WriteByte('\n')
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		b.WriteString(formatRow(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

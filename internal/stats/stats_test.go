@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Errorf("Geomean(1,1,1) = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -2})) {
+		t.Error("non-positive input should yield NaN")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.1814); got != "18.14%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(-0.005); got != "-0.50%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for _, x := range []float64{5, 10, 15, 25, 100} {
+		h.Add(x)
+	}
+	want := []uint64{2, 1, 1, 1} // <=10, <=20, <=30, overflow
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	fr := h.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if h.Fraction(0) != 0.4 {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramEmptyAndBadEdges(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending edges must panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", "xyz")
+	tbl.AddRow("c", 42)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.5000") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "42") {
+		t.Errorf("int row: %q", lines[4])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col:], "1.5000") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}

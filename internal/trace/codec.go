@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "ACTR"
+//	version uint32   1
+//	nameLen uint32, name bytes
+//	count   uint64
+//	records: varint-delta encoded Inst stream
+//
+// PCs are delta-encoded (zigzag) against the previous PC because the stream
+// is dominated by sequential fetch; this keeps large traces compact.
+
+var magic = [4]byte{'A', 'C', 'T', 'R'}
+
+const codecVersion = 1
+
+// ErrBadFormat reports a malformed or truncated trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], codecVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Name)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(t.Insts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	var prevPC uint64
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		n := binary.PutUvarint(buf[:], zigzag(int64(in.PC-prevPC)))
+		prevPC = in.PC
+		flags := byte(in.Class)
+		if in.Taken {
+			flags |= 0x80
+		}
+		buf[n] = flags
+		n++
+		if in.Class.IsBranch() {
+			n += binary.PutUvarint(buf[n:], zigzag(int64(in.Target-in.PC)))
+		}
+		if in.Class.IsMem() {
+			n += binary.PutUvarint(buf[n:], in.MemAddr)
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace previously written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[4:8])
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: name length %d too large", ErrBadFormat, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t := &Trace{Name: string(nameBuf), Insts: make([]Inst, 0, count)}
+	var prevPC uint64
+	for i := uint64(0); i < count; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		pc := prevPC + uint64(unzigzag(d))
+		prevPC = pc
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		in := Inst{PC: pc, Class: Class(flags & 0x7f), Taken: flags&0x80 != 0}
+		if in.Class >= numClasses {
+			return nil, fmt.Errorf("%w: record %d: bad class %d", ErrBadFormat, i, in.Class)
+		}
+		if in.Class.IsBranch() {
+			td, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d target: %w", i, err)
+			}
+			in.Target = pc + uint64(unzigzag(td))
+		}
+		if in.Class.IsMem() {
+			a, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d memaddr: %w", i, err)
+			}
+			in.MemAddr = a
+		}
+		t.Insts = append(t.Insts, in)
+	}
+	return t, nil
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlock(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want uint64
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{0x1000, 0x40},
+		{^uint64(0), ^uint64(0) >> 6},
+	}
+	for _, c := range cases {
+		if got := Block(c.addr); got != c.want {
+			t.Errorf("Block(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := ClassALU; c < numClasses; c++ {
+		if c.String() == "?" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(200).String() != "?" {
+		t.Error("invalid class should stringify to ?")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	branches := []Class{ClassCondBranch, ClassJump, ClassCall, ClassRet, ClassIndirect}
+	for _, c := range branches {
+		if !c.IsBranch() {
+			t.Errorf("%v should be a branch", c)
+		}
+		if c.IsMem() {
+			t.Errorf("%v should not be a memory op", c)
+		}
+	}
+	if ClassALU.IsBranch() || ClassLoad.IsBranch() {
+		t.Error("ALU/Load must not be branches")
+	}
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() {
+		t.Error("load/store must be memory ops")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	in := Inst{PC: 100, Class: ClassCondBranch, Target: 500, Taken: true}
+	if got := in.NextPC(104); got != 500 {
+		t.Errorf("taken branch NextPC = %d, want 500", got)
+	}
+	in.Taken = false
+	if got := in.NextPC(104); got != 104 {
+		t.Errorf("not-taken branch NextPC = %d, want 104", got)
+	}
+	alu := Inst{PC: 100, Class: ClassALU}
+	if got := alu.NextPC(104); got != 104 {
+		t.Errorf("ALU NextPC = %d, want 104", got)
+	}
+	jmp := Inst{PC: 100, Class: ClassJump, Target: 64}
+	if got := jmp.NextPC(104); got != 64 {
+		t.Errorf("jump NextPC = %d, want 64", got)
+	}
+}
+
+func TestBlockAccessesCollapses(t *testing.T) {
+	tr := &Trace{Insts: []Inst{
+		{PC: 0}, {PC: 4}, {PC: 8}, // block 0
+		{PC: 64},          // block 1
+		{PC: 0},           // block 0 again
+		{PC: 4}, {PC: 60}, // still block 0
+	}}
+	got := tr.BlockAccesses()
+	want := []uint64{0, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	tr := &Trace{Insts: []Inst{{PC: 0}, {PC: 4}, {PC: 64}, {PC: 128}, {PC: 64}}}
+	if got := tr.Footprint(); got != 3 {
+		t.Errorf("footprint = %d, want 3", got)
+	}
+	empty := &Trace{}
+	if empty.Footprint() != 0 || empty.Len() != 0 {
+		t.Error("empty trace should have zero footprint and length")
+	}
+}
+
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	tr := &Trace{Name: "random"}
+	pc := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		in := Inst{PC: pc, Class: Class(rng.Intn(int(numClasses)))}
+		if in.Class.IsBranch() {
+			in.Target = pc + uint64(rng.Intn(1<<20)) - 1<<19
+			in.Taken = rng.Intn(2) == 0
+		}
+		if in.Class.IsMem() {
+			in.MemAddr = uint64(rng.Int63n(1 << 40))
+		}
+		tr.Insts = append(tr.Insts, in)
+		pc = in.NextPC(pc + 4)
+	}
+	return tr
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 17, 1000, 10000} {
+		tr := randomTrace(rng, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write(n=%d): %v", n, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(n=%d): %v", n, err)
+		}
+		if got.Name != tr.Name || len(got.Insts) != len(tr.Insts) {
+			t.Fatalf("n=%d: header mismatch", n)
+		}
+		for i := range tr.Insts {
+			if got.Insts[i] != tr.Insts[i] {
+				t.Fatalf("n=%d: inst %d: got %+v want %+v", n, i, got.Insts[i], tr.Insts[i])
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("expected error for empty input")
+	}
+	// Truncated valid stream.
+	tr := randomTrace(rand.New(rand.NewSource(7)), 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error for truncated stream")
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	// Property: any structurally valid instruction sequence round-trips.
+	f := func(seed int64, n uint8) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)), int(n))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got.Insts) != len(tr.Insts) {
+			return false
+		}
+		for i := range tr.Insts {
+			if got.Insts[i] != tr.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package victim implements the victim-cache alternatives of Section IV-F:
+// a traditional fully-associative victim cache (Jouppi, ISCA'90 — the 3KB
+// "VC3K" and 8KB "VC8K" configurations of Table IV), and VVC, the virtual
+// victim cache of Khan et al. (PACT'10) that parks victims in predicted-
+// dead lines of other i-cache sets.
+package victim
+
+// VC is a fully-associative LRU victim cache of block numbers.
+type VC struct {
+	slots []vcSlot
+	clock int64
+
+	Hits   uint64
+	Probes uint64
+}
+
+type vcSlot struct {
+	block uint64
+	stamp int64
+	valid bool
+}
+
+// NewVC creates a victim cache holding n blocks. The paper's VC3K holds 48
+// blocks (3KB of 64B lines); VC8K holds 128.
+func NewVC(n int) *VC {
+	if n <= 0 {
+		panic("victim: size must be positive")
+	}
+	return &VC{slots: make([]vcSlot, n)}
+}
+
+// Size returns the capacity in blocks.
+func (v *VC) Size() int { return len(v.slots) }
+
+// Probe looks up block; on a hit the entry is removed (it will be swapped
+// into the main cache by the caller) and true is returned.
+func (v *VC) Probe(block uint64) bool {
+	v.Probes++
+	for i := range v.slots {
+		if v.slots[i].valid && v.slots[i].block == block {
+			v.slots[i].valid = false
+			v.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places an evicted block into the victim cache, displacing LRU.
+func (v *VC) Insert(block uint64) {
+	v.clock++
+	lru, lruStamp := -1, int64(0)
+	for i := range v.slots {
+		if !v.slots[i].valid {
+			v.slots[i] = vcSlot{block: block, stamp: v.clock, valid: true}
+			return
+		}
+		if lru == -1 || v.slots[i].stamp < lruStamp {
+			lru, lruStamp = i, v.slots[i].stamp
+		}
+	}
+	v.slots[lru] = vcSlot{block: block, stamp: v.clock, valid: true}
+}
+
+// StorageBits accounts tag+data storage (58-bit tag + valid + LRU bits per
+// entry plus the 64-byte line), matching Table IV's 3KB/8KB accounting
+// which charges the line data.
+func (v *VC) StorageBits() int {
+	lruBits := 0
+	for 1<<lruBits < len(v.slots) {
+		lruBits++
+	}
+	return len(v.slots) * (58 + 1 + lruBits + 64*8)
+}

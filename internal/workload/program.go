@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"acic/internal/trace"
+)
+
+// Address-space layout constants. Instruction regions are disjoint from the
+// data region so instruction and data blocks never collide in the shared
+// L2/L3.
+const (
+	appBase   = 0x0000_4000_0000
+	libBase   = 0x0000_8000_0000
+	osBase    = 0x0000_C000_0000
+	heapBase  = 0x0001_0000_0000
+	stackBase = 0x0002_0000_0000
+
+	instBytes     = 4  // fixed encoding width
+	instsPerBlock = 16 // 64B block / 4B instructions
+
+	// maxCallDepth bounds dynamic call nesting in the walker.
+	maxCallDepth = 8
+)
+
+// fnKind labels which software layer a function belongs to.
+type fnKind uint8
+
+const (
+	fnApp fnKind = iota
+	fnLib
+	fnOS
+)
+
+// fn is one generated function: a run of contiguous 64-byte basic blocks
+// with an optional inner loop and call sites to other functions.
+type fn struct {
+	addr      uint64
+	blocks    int
+	kind      fnKind
+	loopStart int // block index; -1 when no loop
+	loopEnd   int
+	loopIter  [2]int // iteration range, drawn per execution
+	noisy     []bool // per block: data-dependent branch mid-block
+	calls     []call // call sites, at most one per block
+}
+
+type call struct {
+	block  int
+	callee int
+}
+
+// service is one request type: an ordered chain of function invocations
+// through the app, library, and OS layers.
+type service struct {
+	chain []int
+}
+
+// program is the complete static code model.
+type program struct {
+	funcs    []fn
+	services []service
+}
+
+// buildProgram synthesizes the static program for a profile.
+func buildProgram(p Profile, r *rng) *program {
+	pr := &program{}
+
+	newFn := func(kind fnKind, base uint64, nextAddr *uint64, blocks int) int {
+		f := fn{
+			addr:      base + *nextAddr,
+			blocks:    blocks,
+			kind:      kind,
+			loopStart: -1,
+			loopEnd:   -1,
+			noisy:     make([]bool, blocks),
+		}
+		*nextAddr += uint64(blocks+1) * trace.BlockSize // 1-block gap
+		if blocks >= 4 && r.bool(p.LoopProb) {
+			f.loopStart = r.rangeInt(1, blocks/2)
+			f.loopEnd = r.rangeInt(f.loopStart, min(f.loopStart+p.LoopSpanMax, blocks-2))
+			f.loopIter = p.LoopIter
+		}
+		for b := range f.noisy {
+			f.noisy[b] = r.bool(p.BranchNoise)
+		}
+		// The last block must end in the function's return; a noisy early
+		// exit there would skip it and break control-flow consistency.
+		f.noisy[blocks-1] = false
+		pr.funcs = append(pr.funcs, f)
+		return len(pr.funcs) - 1
+	}
+
+	appNext := uint64(2 * trace.BlockSize)
+	var libNext, osNext uint64
+
+	// Shared layers.
+	libFns := make([]int, p.LibFuncs)
+	for i := range libFns {
+		libFns[i] = newFn(fnLib, libBase, &libNext, r.rangeInt(p.FuncBlocks[0], p.FuncBlocks[1]))
+	}
+	osFns := make([]int, p.OSFuncs)
+	for i := range osFns {
+		osFns[i] = newFn(fnOS, osBase, &osNext, r.rangeInt(p.FuncBlocks[0], p.FuncBlocks[1]))
+	}
+
+	// Per-service private functions plus a sampled slice of the shared
+	// layers, interleaved to mimic app->lib->os call chains.
+	libZ := newZipf(r, max(1, p.LibFuncs), p.SharedZipf)
+	osZ := newZipf(r, max(1, p.OSFuncs), p.SharedZipf)
+	for s := 0; s < p.Services; s++ {
+		var sv service
+		nPriv := r.rangeInt(p.PrivateFuncs[0], p.PrivateFuncs[1])
+		for f := 0; f < nPriv; f++ {
+			id := newFn(fnApp, appBase, &appNext, r.rangeInt(p.FuncBlocks[0], p.FuncBlocks[1]))
+			sv.chain = append(sv.chain, id)
+			if p.LibFuncs > 0 {
+				for k := 0; k < p.LibPerPrivate; k++ {
+					sv.chain = append(sv.chain, libFns[libZ.draw()])
+				}
+			}
+			if p.OSFuncs > 0 && r.bool(p.OSCallProb) {
+				sv.chain = append(sv.chain, osFns[osZ.draw()])
+			}
+		}
+		pr.services = append(pr.services, sv)
+	}
+
+	// Nested call sites: sprinkle direct calls between library functions to
+	// deepen the call graph (burst interruptions mid-function).
+	for i := range pr.funcs {
+		f := &pr.funcs[i]
+		if f.kind == fnLib && f.blocks >= 6 && p.LibFuncs > 1 && r.bool(p.NestedCallProb) {
+			callee := libFns[libZ.draw()]
+			if callee != i {
+				f.calls = append(f.calls, call{block: f.blocks / 2, callee: callee})
+			}
+		}
+	}
+	return pr
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// walker emits the dynamic trace from the static program.
+type walker struct {
+	pr       *program
+	p        Profile
+	r        *rng
+	out      []trace.Inst
+	svZ      *zipf
+	depth    int
+	requests int64
+	phase    int
+}
+
+// emit appends one instruction.
+func (w *walker) emit(in trace.Inst) { w.out = append(w.out, in) }
+
+// dataAddr draws a load/store effective address: mostly a hot heap region
+// (Zipf over the data footprint), some stack traffic.
+func (w *walker) dataAddr() uint64 {
+	if w.r.bool(0.3) {
+		// Stack-like: small, reused region per call depth.
+		return stackBase + uint64(w.depth)*4096 + uint64(w.r.intn(1024))
+	}
+	blk := uint64(w.r.intn(max(1, w.p.DataBlocks)))
+	return heapBase + blk*trace.BlockSize + uint64(w.r.intn(trace.BlockSize))
+}
+
+// execFn walks one invocation of function id, emitting its instructions.
+// retAddr is the address execution returns to afterwards.
+func (w *walker) execFn(id int, retAddr uint64) {
+	if w.depth > maxCallDepth {
+		// Callers gate on maxCallDepth before emitting a call, so this is
+		// a pure safety net and is unreachable in a consistent walk.
+		return
+	}
+	w.depth++
+	defer func() { w.depth-- }()
+
+	f := &w.pr.funcs[id]
+	iterLeft := 0
+	if f.loopStart >= 0 {
+		iterLeft = w.r.rangeInt(f.loopIter[0], f.loopIter[1])
+	}
+	vmin, vmax := w.p.visitLen()
+	for b := 0; b < f.blocks; {
+		base := f.addr + uint64(b)*trace.BlockSize
+		nextBlock := base + trace.BlockSize
+
+		// Each visit executes one basic block: a run of L instructions in
+		// the 64B cache block, ending in an explicit control transfer.
+		// Real code packs ~2 basic blocks per cache block; the unused tail
+		// of the block is fragmentation, which inflates the code footprint
+		// in blocks exactly as linkers do.
+		visit := w.r.rangeInt(vmin, vmax)
+		if visit > instsPerBlock {
+			visit = instsPerBlock
+		}
+
+		// The loop back-edge, when present, sits just before the block
+		// terminator so that its not-taken (loop exit) path falls through
+		// to the terminator, keeping the trace architecturally consistent.
+		backedgeSlot := -1
+		if f.loopStart >= 0 && b == f.loopEnd && visit >= 3 {
+			backedgeSlot = visit - 2
+		}
+
+		earlyExit := false // noisy branch taken: leave the block at slot 3
+		takenBack := false // loop back-edge taken: re-enter the loop body
+		for slot := 0; slot < visit; slot++ {
+			pc := base + uint64(slot)*instBytes
+			last := slot == visit-1
+
+			if slot == backedgeSlot {
+				loopTarget := f.addr + uint64(f.loopStart)*trace.BlockSize
+				if iterLeft > 1 {
+					iterLeft--
+					w.emit(trace.Inst{PC: pc, Class: trace.ClassCondBranch, Target: loopTarget, Taken: true})
+					takenBack = true
+					break
+				}
+				iterLeft = 0
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassCondBranch, Target: loopTarget, Taken: false})
+				continue
+			}
+			// Slot 3 of a noisy block holds a data-dependent branch that
+			// skips to the next block half the time (hard to predict).
+			if f.noisy[b] && slot == 3 && !last && slot != backedgeSlot {
+				taken := w.r.bool(0.5)
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassCondBranch, Target: nextBlock, Taken: taken})
+				if taken {
+					earlyExit = true
+					break
+				}
+				continue
+			}
+			// Call site mid-block (skipped at the nesting bound so the
+			// emitted call always matches the executed control flow).
+			if slot == 2 && visit >= 6 && len(f.calls) > 0 && w.depth < maxCallDepth {
+				if cs := f.callSiteAt(b); cs >= 0 {
+					callee := &w.pr.funcs[f.calls[cs].callee]
+					w.emit(trace.Inst{PC: pc, Class: trace.ClassCall, Target: callee.addr, Taken: true})
+					w.execFn(f.calls[cs].callee, pc+instBytes)
+					continue
+				}
+			}
+			if last {
+				// Block terminator.
+				switch {
+				case b == f.blocks-1:
+					w.emit(trace.Inst{PC: pc, Class: trace.ClassRet, Target: retAddr, Taken: true})
+				case visit == instsPerBlock:
+					// Basic block fills the cache block: fall through.
+					w.emit(trace.Inst{PC: pc, Class: trace.ClassALU})
+				default:
+					// Explicit transfer to the next block (predictable
+					// taken branch, as for if/else join points).
+					w.emit(trace.Inst{PC: pc, Class: trace.ClassCondBranch, Target: nextBlock, Taken: true})
+				}
+				continue
+			}
+			// Body instruction mix; occasional not-taken conditionals.
+			switch x := w.r.float(); {
+			case x < w.p.LoadFrac:
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassLoad, MemAddr: w.dataAddr()})
+			case x < w.p.LoadFrac+w.p.StoreFrac:
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassStore, MemAddr: w.dataAddr()})
+			case x < w.p.LoadFrac+w.p.StoreFrac+0.06:
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassCondBranch, Target: nextBlock, Taken: false})
+			default:
+				w.emit(trace.Inst{PC: pc, Class: trace.ClassALU})
+			}
+		}
+		if takenBack {
+			b = f.loopStart
+			continue
+		}
+		if earlyExit {
+			b++ // the noisy branch targeted the next block
+			continue
+		}
+		b++
+	}
+}
+
+func (f *fn) callSiteAt(block int) int {
+	for i := range f.calls {
+		if f.calls[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// request executes one request of the drawn service: the dispatcher calls
+// each function in the chain in turn.
+//
+// Service popularity is *phased*: the Zipf rank-to-service mapping rotates
+// every PhaseEvery requests, so the hot set drifts over time the way
+// datacenter request mixes do. Phasing is what gives comparison outcomes
+// their streaky, history-predictable structure (a block that lost its last
+// few reuse-distance comparisons is in a cold phase and will likely lose
+// the next one) — the very signal ACIC's two-level predictor consumes.
+func (w *walker) request(dispatcherPC *uint64) {
+	w.requests++
+	if w.p.PhaseEvery > 0 && w.requests%int64(w.p.PhaseEvery) == 0 {
+		w.phase++
+	}
+	svc := &w.pr.services[(w.svZ.draw()+w.phase)%len(w.pr.services)]
+	for _, fid := range svc.chain {
+		f := &w.pr.funcs[fid]
+		pc := *dispatcherPC
+		w.emit(trace.Inst{PC: pc, Class: trace.ClassCall, Target: f.addr, Taken: true})
+		w.execFn(fid, pc+instBytes)
+		*dispatcherPC = pc + instBytes
+		// Keep the dispatcher inside one hot block so it stays resident:
+		// wrap back with an explicit jump so the trace stays consistent.
+		if (*dispatcherPC)%trace.BlockSize > trace.BlockSize-2*instBytes {
+			w.emit(trace.Inst{PC: *dispatcherPC, Class: trace.ClassJump, Target: appBase, Taken: true})
+			*dispatcherPC = appBase
+		}
+	}
+}
+
+// Generate synthesizes a trace of at least n instructions for the profile.
+func Generate(p Profile, n int) *trace.Trace {
+	r := newRNG(p.Seed)
+	pr := buildProgram(p, r)
+	w := &walker{
+		pr:  pr,
+		p:   p,
+		r:   r,
+		out: make([]trace.Inst, 0, n+4096),
+		svZ: newZipf(r, len(pr.services), p.ServiceZipf),
+	}
+	dispatcherPC := uint64(appBase)
+	for len(w.out) < n {
+		w.request(&dispatcherPC)
+	}
+	w.out = w.out[:n]
+	return &trace.Trace{Name: p.Name, Insts: w.out}
+}

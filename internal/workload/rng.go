@@ -1,0 +1,96 @@
+// Package workload synthesizes instruction traces whose block-level reuse
+// structure matches the paper's characterization of datacenter applications
+// (Fig 1a, Table III): strong spatial bursts, short-term temporal locality
+// from loops and nearby branch targets, and long inter-burst reuse
+// distances created by request-level churn through deep software stacks
+// (application, library, and OS layers).
+//
+// A seeded generator builds a static program — functions made of 64-byte
+// basic blocks, organized into per-request-type "services" that call into
+// shared library and OS functions — then walks it request by request to
+// emit a dynamic trace. Each profile (one per paper workload) controls the
+// footprint, the service mix skew, loop behaviour, branch predictability,
+// and the data-side footprint; Table III's MPKI column is reproduced in
+// *band* (who is high, who is low) rather than absolute value, which is
+// what the relative results in Figs 10-21 depend on.
+package workload
+
+import "math"
+
+// rng is a splitmix64-based deterministic generator; every profile's trace
+// is a pure function of its seed.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x2545F4914F6CDD1D
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform integer in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// bool returns true with probability p.
+func (r *rng) bool(p float64) bool { return r.float() < p }
+
+// zipf draws from a Zipf-like distribution over [0, n) with exponent s,
+// using rejection-free inverse CDF over precomputed weights.
+type zipf struct {
+	cdf []float64
+	rng *rng
+}
+
+func newZipf(r *rng, n int, s float64) *zipf {
+	z := &zipf{cdf: make([]float64, n), rng: r}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		sum += w
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func (z *zipf) draw() int {
+	u := z.rng.float()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
