@@ -5,9 +5,12 @@
 //	go test -bench=. -benchmem
 //
 // reproduces the entire evaluation. Trace length per workload defaults to
-// 400k instructions and can be scaled with ACIC_BENCH_N. Results are
-// memoized inside a shared suite, so figures that share simulations (10,
-// 11, 13, 16, ...) pay for them once.
+// 400k instructions and can be scaled with ACIC_BENCH_N. Simulations run
+// through the shared suite's plan/execute engine: figures that share runs
+// (10, 11, 13, 16, ...) pay for them once, and independent cells execute
+// in parallel on a GOMAXPROCS-wide worker pool (override with
+// ACIC_WORKERS). BenchmarkSuiteSerial/BenchmarkSuiteParallel record the
+// engine's wall-clock speedup on the Fig 10 grid.
 package acic_test
 
 import (
@@ -38,58 +41,87 @@ func emit(name, body string) {
 	}
 }
 
-func benchTable(b *testing.B, name string, f func(s *experiments.Suite) *stats.Table) {
+func benchTable(b *testing.B, name string, f func(s *experiments.Suite) (*stats.Table, error)) {
 	b.Helper()
 	s := sharedSuite()
 	var out *stats.Table
 	for i := 0; i < b.N; i++ {
-		out = f(s)
+		var err error
+		out, err = f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	emit(name, out.String())
 }
 
+// --- Engine scaling ---
+
+// benchFig10Grid runs the full Fig 10 grid on a fresh suite each
+// iteration (nothing memoized across iterations) with the given worker
+// count; comparing BenchmarkSuiteSerial and BenchmarkSuiteParallel
+// ns/op gives the engine's wall-clock speedup on this host.
+func benchFig10Grid(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(0)
+		s.Workers = workers
+		if _, err := s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the single-worker baseline for the Fig 10 grid.
+func BenchmarkSuiteSerial(b *testing.B) { benchFig10Grid(b, 1) }
+
+// BenchmarkSuiteParallel runs the same grid on the default
+// GOMAXPROCS-wide pool; on a >=4-core host it should be several times
+// faster than BenchmarkSuiteSerial.
+func BenchmarkSuiteParallel(b *testing.B) { benchFig10Grid(b, 0) }
+
 // --- Tables ---
 
 func BenchmarkTable1Storage(b *testing.B) {
-	benchTable(b, "Table I: ACIC storage breakdown", func(*experiments.Suite) *stats.Table {
-		return experiments.Table1()
+	benchTable(b, "Table I: ACIC storage breakdown", func(*experiments.Suite) (*stats.Table, error) {
+		return experiments.Table1(), nil
 	})
 }
 
 func BenchmarkTable2Parameters(b *testing.B) {
-	benchTable(b, "Table II: simulation parameters", func(*experiments.Suite) *stats.Table {
-		return experiments.Table2()
+	benchTable(b, "Table II: simulation parameters", func(*experiments.Suite) (*stats.Table, error) {
+		return experiments.Table2(), nil
 	})
 }
 
 func BenchmarkTable3MPKI(b *testing.B) {
-	benchTable(b, "Table III: baseline L1i MPKI per app", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Table III: baseline L1i MPKI per app", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Table3()
 	})
 }
 
 func BenchmarkTable4Storage(b *testing.B) {
-	benchTable(b, "Table IV: per-scheme storage overhead", func(*experiments.Suite) *stats.Table {
-		return experiments.Table4()
+	benchTable(b, "Table IV: per-scheme storage overhead", func(*experiments.Suite) (*stats.Table, error) {
+		return experiments.Table4(), nil
 	})
 }
 
 // --- Motivation figures ---
 
 func BenchmarkFig1aReuseDistance(b *testing.B) {
-	benchTable(b, "Fig 1a: reuse-distance distributions", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 1a: reuse-distance distributions", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig1a()
 	})
 }
 
 func BenchmarkFig1bMarkov(b *testing.B) {
-	benchTable(b, "Fig 1b: reuse-distance Markov chain (media-streaming)", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 1b: reuse-distance Markov chain (media-streaming)", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig1b("media-streaming")
 	})
 }
 
 func BenchmarkFig3aFilterOnly(b *testing.B) {
-	benchTable(b, "Fig 3a: i-Filter / access-count / OPT speedups", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 3a: i-Filter / access-count / OPT speedups", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig3a()
 	})
 }
@@ -98,7 +130,11 @@ func BenchmarkFig3bReuseDelta(b *testing.B) {
 	s := sharedSuite()
 	var wrong float64
 	for i := 0; i < b.N; i++ {
-		_, wrong = s.Fig3b("media-streaming")
+		var err error
+		_, wrong, err = s.Fig3b("media-streaming")
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(wrong*100, "wrong-insert-%")
 	emit("Fig 3b: wrong-insertion fraction (media-streaming)",
@@ -109,7 +145,11 @@ func BenchmarkFig6CSHR(b *testing.B) {
 	s := sharedSuite()
 	var h *stats.Histogram
 	for i := 0; i < b.N; i++ {
-		h = s.Fig6("data-caching")
+		var err error
+		h, err = s.Fig6("data-caching")
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	labels := []string{"0-50", "50-100", "100-150", "150-200", "200-250", "250-300", "300-350", "350-400", "InF"}
 	t := &stats.Table{Header: []string{"comparisons", "fraction"}}
@@ -122,13 +162,13 @@ func BenchmarkFig6CSHR(b *testing.B) {
 // --- Headline comparison ---
 
 func BenchmarkFig10Speedup(b *testing.B) {
-	benchTable(b, "Fig 10: speedups over LRU+FDP", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 10: speedups over LRU+FDP", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig10()
 	})
 }
 
 func BenchmarkFig11MPKI(b *testing.B) {
-	benchTable(b, "Fig 11: MPKI reductions over LRU+FDP", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 11: MPKI reductions over LRU+FDP", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig11()
 	})
 }
@@ -136,43 +176,43 @@ func BenchmarkFig11MPKI(b *testing.B) {
 // --- ACIC analysis figures ---
 
 func BenchmarkFig12aAccuracy(b *testing.B) {
-	benchTable(b, "Fig 12a: ACIC bypass accuracy by reuse range", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 12a: ACIC bypass accuracy by reuse range", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig12a()
 	})
 }
 
 func BenchmarkFig12bRandom(b *testing.B) {
-	benchTable(b, "Fig 12b: random-60% bypass vs ACIC", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 12b: random-60% bypass vs ACIC", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig12b()
 	})
 }
 
 func BenchmarkFig13Admission(b *testing.B) {
-	benchTable(b, "Fig 13: fraction of i-Filter victims admitted", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 13: fraction of i-Filter victims admitted", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig13()
 	})
 }
 
 func BenchmarkFig14UpdateLatency(b *testing.B) {
-	benchTable(b, "Fig 14: parallel vs instant predictor update", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 14: parallel vs instant predictor update", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig14()
 	})
 }
 
 func BenchmarkFig15Sensitivity(b *testing.B) {
-	benchTable(b, "Fig 15: parameter sensitivity (gmean speedup)", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 15: parameter sensitivity (gmean speedup)", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig15()
 	})
 }
 
 func BenchmarkFig16OverIFilter(b *testing.B) {
-	benchTable(b, "Fig 16: ACIC speedup over LRU+i-Filter", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 16: ACIC speedup over LRU+i-Filter", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig16()
 	})
 }
 
 func BenchmarkFig17Ablation(b *testing.B) {
-	benchTable(b, "Fig 17: simplified-design ablation", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 17: simplified-design ablation", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig17()
 	})
 }
@@ -180,25 +220,25 @@ func BenchmarkFig17Ablation(b *testing.B) {
 // --- SPEC and alternative-prefetcher figures ---
 
 func BenchmarkFig18SPECSpeedup(b *testing.B) {
-	benchTable(b, "Fig 18: SPEC speedups", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 18: SPEC speedups", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig18()
 	})
 }
 
 func BenchmarkFig19SPECMPKI(b *testing.B) {
-	benchTable(b, "Fig 19: SPEC MPKI reductions", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 19: SPEC MPKI reductions", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig19()
 	})
 }
 
 func BenchmarkFig20Entangling(b *testing.B) {
-	benchTable(b, "Fig 20: speedups over entangling baseline", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 20: speedups over entangling baseline", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig20()
 	})
 }
 
 func BenchmarkFig21EntanglingMPKI(b *testing.B) {
-	benchTable(b, "Fig 21: MPKI reductions over entangling baseline", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Fig 21: MPKI reductions over entangling baseline", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Fig21()
 	})
 }
@@ -206,7 +246,7 @@ func BenchmarkFig21EntanglingMPKI(b *testing.B) {
 // --- Energy and ablations beyond the paper's figures ---
 
 func BenchmarkEnergyModel(b *testing.B) {
-	benchTable(b, "Section III-D: chip-energy delta of ACIC", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Section III-D: chip-energy delta of ACIC", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Energy()
 	})
 }
@@ -215,7 +255,7 @@ func BenchmarkEnergyModel(b *testing.B) {
 // beyond Fig 10: the DIP insertion-policy family, the evicted-address
 // filter, PLRU, and the prefetch-aware ACIC variant.
 func BenchmarkExtensionSchemes(b *testing.B) {
-	benchTable(b, "Extension: DIP family / EAF / PLRU / prefetch-aware ACIC", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Extension: DIP family / EAF / PLRU / prefetch-aware ACIC", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.ExtendedComparison()
 	})
 }
@@ -223,7 +263,7 @@ func BenchmarkExtensionSchemes(b *testing.B) {
 // BenchmarkExtensionPrefetchAware evaluates the paper's §VI future-work
 // idea: admission control that discounts prefetch-covered reuse.
 func BenchmarkExtensionPrefetchAware(b *testing.B) {
-	benchTable(b, "Extension: prefetch-aware ACIC (paper §VI)", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Extension: prefetch-aware ACIC (paper §VI)", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.PrefetchAware()
 	})
 }
@@ -231,7 +271,7 @@ func BenchmarkExtensionPrefetchAware(b *testing.B) {
 // BenchmarkAblationHeadroom quantifies §IV-F's capacity-vs-discretion
 // argument as a full LRU miss-ratio curve per application.
 func BenchmarkAblationHeadroom(b *testing.B) {
-	benchTable(b, "Ablation: LRU miss-ratio curve over capacity (§IV-F)", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Ablation: LRU miss-ratio curve over capacity (§IV-F)", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.Headroom()
 	})
 }
@@ -240,7 +280,7 @@ func BenchmarkAblationHeadroom(b *testing.B) {
 // simpler prefetchers (none / next-line / stream) alongside entangling and
 // FDP.
 func BenchmarkAblationPrefetchers(b *testing.B) {
-	benchTable(b, "Ablation: baseline under each prefetcher", func(s *experiments.Suite) *stats.Table {
+	benchTable(b, "Ablation: baseline under each prefetcher", func(s *experiments.Suite) (*stats.Table, error) {
 		return s.PrefetcherBaselines()
 	})
 }
@@ -249,10 +289,7 @@ func BenchmarkAblationPrefetchers(b *testing.B) {
 // "benefit of the doubt" rule for CSHR entries evicted unresolved: train
 // nothing (our default), train admit (the literal prose), train drop.
 func BenchmarkAblationCSHRDefault(b *testing.B) {
-	s := sharedSuite()
-	var out *stats.Table
-	for i := 0; i < b.N; i++ {
-		out = experiments.AblationCSHRDefault(s)
-	}
-	emit("Ablation: CSHR unresolved-eviction training", out.String())
+	benchTable(b, "Ablation: CSHR unresolved-eviction training", func(s *experiments.Suite) (*stats.Table, error) {
+		return experiments.AblationCSHRDefault(s)
+	})
 }

@@ -3,11 +3,18 @@
 // rows/series the paper reports; EXPERIMENTS.md records the comparison
 // against the published values.
 //
+// Experiments plan their simulation cells up front and execute them on a
+// worker pool (one worker per core by default), so the full evaluation
+// scales with the host. With -cache-dir (or ACIC_CACHE_DIR) results
+// persist on disk keyed by workload/trace-length/scheme/prefetcher, making
+// reruns incremental.
+//
 // Usage:
 //
 //	acic-bench -exp all            # everything (minutes)
 //	acic-bench -exp fig10,fig11    # the headline comparison
 //	acic-bench -exp table3 -n 1000000
+//	acic-bench -exp all -workers 4 -cache-dir ~/.cache/acic -progress
 //	acic-bench -list
 package main
 
@@ -26,98 +33,94 @@ import (
 type experiment struct {
 	name string
 	desc string
-	run  func(s *experiments.Suite) string
+	run  func(s *experiments.Suite) (string, error)
 }
 
-func tableExp(name, desc string, f func(*experiments.Suite) *stats.Table) experiment {
-	return experiment{name: name, desc: desc, run: func(s *experiments.Suite) string { return f(s).String() }}
+func tableExp(name, desc string, f func(*experiments.Suite) (*stats.Table, error)) experiment {
+	return experiment{name: name, desc: desc, run: func(s *experiments.Suite) (string, error) {
+		t, err := f(s)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}}
+}
+
+// staticExp wraps suite-independent tables (Table I/II/IV).
+func staticExp(name, desc string, f func() *stats.Table) experiment {
+	return tableExp(name, desc, func(*experiments.Suite) (*stats.Table, error) { return f(), nil })
 }
 
 func allExperiments() []experiment {
 	return []experiment{
-		tableExp("table1", "ACIC storage breakdown (Table I)",
-			func(*experiments.Suite) *stats.Table { return experiments.Table1() }),
-		tableExp("table2", "simulation parameters (Table II)",
-			func(*experiments.Suite) *stats.Table { return experiments.Table2() }),
-		tableExp("table3", "per-app baseline L1i MPKI (Table III)",
-			func(s *experiments.Suite) *stats.Table { return s.Table3() }),
-		tableExp("table4", "per-scheme storage overhead (Table IV)",
-			func(*experiments.Suite) *stats.Table { return experiments.Table4() }),
-		tableExp("fig1a", "reuse-distance distributions (Fig 1a)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig1a() }),
+		staticExp("table1", "ACIC storage breakdown (Table I)", experiments.Table1),
+		staticExp("table2", "simulation parameters (Table II)", experiments.Table2),
+		tableExp("table3", "per-app baseline L1i MPKI (Table III)", (*experiments.Suite).Table3),
+		staticExp("table4", "per-scheme storage overhead (Table IV)", experiments.Table4),
+		tableExp("fig1a", "reuse-distance distributions (Fig 1a)", (*experiments.Suite).Fig1a),
 		tableExp("fig1b", "reuse-distance Markov chain, media-streaming (Fig 1b)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig1b("media-streaming") }),
-		tableExp("fig3a", "i-Filter / access-count / OPT speedups (Fig 3a)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig3a() }),
+			func(s *experiments.Suite) (*stats.Table, error) { return s.Fig1b("media-streaming") }),
+		tableExp("fig3a", "i-Filter / access-count / OPT speedups (Fig 3a)", (*experiments.Suite).Fig3a),
 		{name: "fig3b", desc: "reuse-delta of incoming vs OPT-outgoing blocks (Fig 3b)", run: runFig3b},
 		{name: "fig6", desc: "CSHR entry lifetime distribution, data-caching (Fig 6)", run: runFig6},
-		tableExp("fig10", "speedup of all schemes over LRU+FDP (Fig 10)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig10() }),
-		tableExp("fig11", "MPKI reduction of all schemes (Fig 11)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig11() }),
-		tableExp("fig12a", "ACIC bypass accuracy by reuse range (Fig 12a)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig12a() }),
-		tableExp("fig12b", "random-60% bypass vs ACIC (Fig 12b)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig12b() }),
-		tableExp("fig13", "fraction of i-Filter victims admitted (Fig 13)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig13() }),
-		tableExp("fig14", "parallel vs instant predictor update (Fig 14)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig14() }),
-		tableExp("fig15", "parameter sensitivity (Fig 15)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig15() }),
-		tableExp("fig16", "ACIC speedup over LRU+i-Filter baseline (Fig 16)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig16() }),
-		tableExp("fig17", "simplified-design ablation (Fig 17)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig17() }),
-		tableExp("fig18", "SPEC speedups (Fig 18)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig18() }),
-		tableExp("fig19", "SPEC MPKI reductions (Fig 19)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig19() }),
-		tableExp("fig20", "speedups over entangling baseline (Fig 20)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig20() }),
-		tableExp("fig21", "MPKI reductions over entangling baseline (Fig 21)",
-			func(s *experiments.Suite) *stats.Table { return s.Fig21() }),
-		tableExp("energy", "chip-energy delta of ACIC (Section III-D)",
-			func(s *experiments.Suite) *stats.Table { return s.Energy() }),
+		tableExp("fig10", "speedup of all schemes over LRU+FDP (Fig 10)", (*experiments.Suite).Fig10),
+		tableExp("fig11", "MPKI reduction of all schemes (Fig 11)", (*experiments.Suite).Fig11),
+		tableExp("fig12a", "ACIC bypass accuracy by reuse range (Fig 12a)", (*experiments.Suite).Fig12a),
+		tableExp("fig12b", "random-60% bypass vs ACIC (Fig 12b)", (*experiments.Suite).Fig12b),
+		tableExp("fig13", "fraction of i-Filter victims admitted (Fig 13)", (*experiments.Suite).Fig13),
+		tableExp("fig14", "parallel vs instant predictor update (Fig 14)", (*experiments.Suite).Fig14),
+		tableExp("fig15", "parameter sensitivity (Fig 15)", (*experiments.Suite).Fig15),
+		tableExp("fig16", "ACIC speedup over LRU+i-Filter baseline (Fig 16)", (*experiments.Suite).Fig16),
+		tableExp("fig17", "simplified-design ablation (Fig 17)", (*experiments.Suite).Fig17),
+		tableExp("fig18", "SPEC speedups (Fig 18)", (*experiments.Suite).Fig18),
+		tableExp("fig19", "SPEC MPKI reductions (Fig 19)", (*experiments.Suite).Fig19),
+		tableExp("fig20", "speedups over entangling baseline (Fig 20)", (*experiments.Suite).Fig20),
+		tableExp("fig21", "MPKI reductions over entangling baseline (Fig 21)", (*experiments.Suite).Fig21),
+		tableExp("energy", "chip-energy delta of ACIC (Section III-D)", (*experiments.Suite).Energy),
 		tableExp("ext-schemes", "extension baselines: DIP family, EAF, PLRU, pf-aware ACIC",
-			func(s *experiments.Suite) *stats.Table { return s.ExtendedComparison() }),
-		tableExp("ext-pfaware", "prefetch-aware ACIC (paper future work)",
-			func(s *experiments.Suite) *stats.Table { return s.PrefetchAware() }),
-		tableExp("ext-headroom", "LRU miss-ratio curve over capacity",
-			func(s *experiments.Suite) *stats.Table { return s.Headroom() }),
-		tableExp("ext-prefetchers", "baseline under each prefetcher",
-			func(s *experiments.Suite) *stats.Table { return s.PrefetcherBaselines() }),
-		tableExp("ext-evict-train", "CSHR unresolved-eviction training ablation",
-			func(s *experiments.Suite) *stats.Table { return experiments.AblationCSHRDefault(s) }),
+			(*experiments.Suite).ExtendedComparison),
+		tableExp("ext-pfaware", "prefetch-aware ACIC (paper future work)", (*experiments.Suite).PrefetchAware),
+		tableExp("ext-headroom", "LRU miss-ratio curve over capacity", (*experiments.Suite).Headroom),
+		tableExp("ext-prefetchers", "baseline under each prefetcher", (*experiments.Suite).PrefetcherBaselines),
+		tableExp("ext-evict-train", "CSHR unresolved-eviction training ablation", experiments.AblationCSHRDefault),
 	}
 }
 
-func runFig3b(s *experiments.Suite) string {
-	h, wrong := s.Fig3b("media-streaming")
+func runFig3b(s *experiments.Suite) (string, error) {
+	h, wrong, err := s.Fig3b("media-streaming")
+	if err != nil {
+		return "", err
+	}
 	labels := []string{"<=-10000", "-1000", "-100", "-10", "<=0", "10", "100", "1000", "10000", ">10000"}
 	t := &stats.Table{Header: []string{"delta bucket", "fraction"}}
 	for i, f := range h.Fractions() {
 		t.AddRow(labels[i], stats.Percent(f))
 	}
-	return t.String() + fmt.Sprintf("wrong insertions (delta>0): %s (paper: 38.38%%)\n", stats.Percent(wrong))
+	return t.String() + fmt.Sprintf("wrong insertions (delta>0): %s (paper: 38.38%%)\n", stats.Percent(wrong)), nil
 }
 
-func runFig6(s *experiments.Suite) string {
-	h := s.Fig6("data-caching")
+func runFig6(s *experiments.Suite) (string, error) {
+	h, err := s.Fig6("data-caching")
+	if err != nil {
+		return "", err
+	}
 	labels := []string{"0-50", "50-100", "100-150", "150-200", "200-250", "250-300", "300-350", "350-400", "InF"}
 	t := &stats.Table{Header: []string{"comparisons", "fraction"}}
 	for i, f := range h.Fractions() {
 		t.AddRow(labels[i], stats.Percent(f))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		n    = flag.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000)")
-		apps = flag.String("apps", "", "restrict datacenter apps (comma-separated)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		n        = flag.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000)")
+		apps     = flag.String("apps", "", "restrict datacenter apps (comma-separated)")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", os.Getenv("ACIC_CACHE_DIR"), "persistent result cache directory (empty = disabled)")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -152,15 +155,36 @@ func main() {
 	}
 
 	suite := experiments.NewSuite(*n)
+	suite.Workers = *workers
+	suite.CacheDir = *cacheDir
 	if *apps != "" {
 		suite.Apps = strings.Split(*apps, ",")
+	}
+	if *progress {
+		suite.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		}
+	}
+	// CacheError spins up the engine, freezing the fields set above.
+	if err := suite.CacheError(); err != nil {
+		fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
+		os.Exit(1)
 	}
 	for _, e := range exps {
 		if *exp != "all" && !want[e.name] {
 			continue
 		}
 		start := time.Now()
-		out := e.run(suite)
+		out, err := e.run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
 		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.name, e.desc, time.Since(start).Seconds(), out)
+	}
+	if *progress {
+		computed, fromCache, workloads := suite.Stats()
+		fmt.Fprintf(os.Stderr, "computed %d cells, %d from cache, %d workloads prepared\n",
+			computed, fromCache, workloads)
 	}
 }

@@ -2,6 +2,10 @@
 // cycles, IPC, MPKI, and subsystem statistics. It is the low-level probe
 // tool; use acic-bench to regenerate the paper's tables and figures.
 //
+// When several schemes are given they are simulated in parallel on a
+// worker pool, but rows are always printed in the order the schemes were
+// listed.
+//
 // Usage:
 //
 //	acic-sim -workload media-streaming -scheme acic -n 1000000
@@ -16,27 +20,41 @@ import (
 
 	"acic/internal/analysis"
 	"acic/internal/core"
+	"acic/internal/cpu"
 	"acic/internal/experiments"
+	"acic/internal/experiments/engine"
 	"acic/internal/icache"
 	"acic/internal/stats"
 	"acic/internal/workload"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "acic-sim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// schemeRun is one scheme's simulation output: the timing result plus the
+// ACIC diagnostics note, when the scheme carries an ACIC complex.
+type schemeRun struct {
+	res  cpu.Result
+	note string
+}
 
 func main() {
 	var (
 		name     = flag.String("workload", "media-streaming", "workload profile name (see acic-trace -list)")
 		schemes  = flag.String("schemes", "lru,acic,opt", "comma-separated scheme names")
 		n        = flag.Int("n", 1_000_000, "trace length in instructions")
-		pf       = flag.String("prefetcher", "fdp", "prefetcher: fdp, entangling, none")
+		pf       = flag.String("prefetcher", "fdp", "prefetcher: "+strings.Join(experiments.Prefetchers(), ", "))
 		warmup   = flag.Float64("warmup", 0.1, "warmup fraction")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
 		showDist = flag.Bool("reuse", false, "also print the reuse-distance distribution")
 	)
 	flag.Parse()
 
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-		os.Exit(1)
+		fail("unknown workload %q", *name)
 	}
 	w := experiments.Prepare(prof, *n)
 	fmt.Printf("workload %s: %d instructions, %d block accesses, footprint %d blocks\n",
@@ -53,63 +71,34 @@ func main() {
 	opts.Prefetcher = *pf
 	opts.WarmupFrac = *warmup
 
+	var order []string
+	for _, s := range strings.Split(*schemes, ",") {
+		order = append(order, strings.TrimSpace(s))
+	}
+
+	// Plan → execute: every scheme is an independent cell over the shared
+	// workload; the group dedupes repeats and runs them in parallel.
+	runs := engine.NewGroup(engine.NewPool(*workers), func(scheme string) (schemeRun, error) {
+		return runScheme(w, scheme, opts)
+	})
+	if err := runs.Require(order...); err != nil {
+		fail("%v", err)
+	}
+
+	// Render in the order the schemes were listed: the first is the
+	// speedup/MPKI-reduction base.
 	tbl := &stats.Table{Header: []string{"scheme", "cycles", "IPC", "MPKI", "speedup", "filter-hit%", "miss-reduction"}}
 	var baseCycles int64
 	var baseMPKI float64
 	var acicNotes []string
-	for _, s := range strings.Split(*schemes, ",") {
-		s = strings.TrimSpace(s)
-		sub, err := experiments.NewScheme(s, w)
+	for _, scheme := range order {
+		run, err := runs.Get(scheme)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail("%v", err)
 		}
-		var decisions []core.Decision
-		if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
-			cx.ACIC().OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
-		}
-		res := experiments.RunSubsystem(w, sub, opts)
-		if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
-			a := cx.ACIC()
-			correct, shouldAdmit := 0, 0
-			for _, d := range decisions {
-				vNext := w.Oracle.NextUse(d.Victim, d.AccessIdx)
-				cNext := w.Oracle.NextUse(d.Contender, d.AccessIdx)
-				ideal := vNext < cNext
-				if ideal {
-					shouldAdmit++
-				}
-				if ideal == d.Admitted {
-					correct++
-				}
-			}
-			// Per-victim-block majority vote: the ceiling for any
-			// per-address admission predictor.
-			wins := map[uint64][2]int{}
-			for _, d := range decisions {
-				c := wins[d.Victim]
-				if w.Oracle.NextUse(d.Victim, d.AccessIdx) < w.Oracle.NextUse(d.Contender, d.AccessIdx) {
-					c[0]++
-				} else {
-					c[1]++
-				}
-				wins[d.Victim] = c
-			}
-			ceiling := 0
-			for _, c := range wins {
-				if c[0] > c[1] {
-					ceiling += c[0]
-				} else {
-					ceiling += c[1]
-				}
-			}
-			acicNotes = append(acicNotes, fmt.Sprintf(
-				"%s: decisions=%d admit=%.1f%% ideal-admit=%.1f%% accuracy=%.1f%% ceiling=%.1f%% cshr[v=%d c=%d evict=%d]",
-				s, a.Decisions, 100*a.AdmitFraction(),
-				100*float64(shouldAdmit)/float64(len(decisions)+1),
-				100*float64(correct)/float64(len(decisions)+1),
-				100*float64(ceiling)/float64(len(decisions)+1),
-				a.CSHR.ResolvedVictim, a.CSHR.ResolvedContend, a.CSHR.EvictedUnres))
+		res := run.res
+		if run.note != "" {
+			acicNotes = append(acicNotes, run.note)
 		}
 		if baseCycles == 0 {
 			baseCycles = res.Cycles
@@ -124,11 +113,72 @@ func main() {
 		if baseMPKI > 0 {
 			mpkiRed = (baseMPKI - res.MPKI()) / baseMPKI
 		}
-		tbl.AddRow(s, res.Cycles, res.IPC(), res.MPKI(),
+		tbl.AddRow(scheme, res.Cycles, res.IPC(), res.MPKI(),
 			float64(baseCycles)/float64(res.Cycles), fmt.Sprintf("%.1f", filterPct), stats.Percent(mpkiRed))
 	}
 	fmt.Print(tbl.String())
 	for _, n := range acicNotes {
 		fmt.Println(n)
 	}
+}
+
+// runScheme simulates one scheme, collecting ACIC decision diagnostics
+// when the subsystem exposes them.
+func runScheme(w *experiments.Workload, scheme string, opts experiments.Options) (schemeRun, error) {
+	sub, err := experiments.NewScheme(scheme, w)
+	if err != nil {
+		return schemeRun{}, err
+	}
+	var decisions []core.Decision
+	if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
+		cx.ACIC().OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
+	}
+	res, err := experiments.RunSubsystem(w, sub, opts)
+	if err != nil {
+		return schemeRun{}, err
+	}
+	out := schemeRun{res: res}
+	if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
+		a := cx.ACIC()
+		correct, shouldAdmit := 0, 0
+		for _, d := range decisions {
+			vNext := w.Oracle.NextUse(d.Victim, d.AccessIdx)
+			cNext := w.Oracle.NextUse(d.Contender, d.AccessIdx)
+			ideal := vNext < cNext
+			if ideal {
+				shouldAdmit++
+			}
+			if ideal == d.Admitted {
+				correct++
+			}
+		}
+		// Per-victim-block majority vote: the ceiling for any
+		// per-address admission predictor.
+		wins := map[uint64][2]int{}
+		for _, d := range decisions {
+			c := wins[d.Victim]
+			if w.Oracle.NextUse(d.Victim, d.AccessIdx) < w.Oracle.NextUse(d.Contender, d.AccessIdx) {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			wins[d.Victim] = c
+		}
+		ceiling := 0
+		for _, c := range wins {
+			if c[0] > c[1] {
+				ceiling += c[0]
+			} else {
+				ceiling += c[1]
+			}
+		}
+		out.note = fmt.Sprintf(
+			"%s: decisions=%d admit=%.1f%% ideal-admit=%.1f%% accuracy=%.1f%% ceiling=%.1f%% cshr[v=%d c=%d evict=%d]",
+			scheme, a.Decisions, 100*a.AdmitFraction(),
+			100*float64(shouldAdmit)/float64(len(decisions)+1),
+			100*float64(correct)/float64(len(decisions)+1),
+			100*float64(ceiling)/float64(len(decisions)+1),
+			a.CSHR.ResolvedVictim, a.CSHR.ResolvedContend, a.CSHR.EvictedUnres)
+	}
+	return out, nil
 }

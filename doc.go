@@ -8,6 +8,11 @@
 // three command-line tools (cmd/acic-sim, cmd/acic-bench, cmd/acic-trace),
 // the runnable examples (examples/), and the benchmark harness
 // (bench_test.go) that regenerates every table and figure of the paper.
+// Simulations execute through a plan/execute/render engine
+// (internal/experiments/engine): figures declare their cell sets, the
+// engine runs the deduplicated plan on a per-core worker pool with an
+// optional persistent result cache, and rendering from completed results
+// keeps output byte-identical at any worker count.
 // See README.md for a tour and DESIGN.md for the system inventory and
 // per-experiment index.
 package acic

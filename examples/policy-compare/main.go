@@ -1,6 +1,7 @@
 // Policy comparison: run every Fig 10 scheme on one workload and print the
 // speedup/MPKI table — a single-application slice of the paper's headline
-// result.
+// result. The schemes are planned as one cell batch and simulated in
+// parallel on the suite's worker pool.
 //
 //	go run ./examples/policy-compare [workload]
 package main
@@ -12,7 +13,6 @@ import (
 
 	"acic/internal/experiments"
 	"acic/internal/stats"
-	"acic/internal/workload"
 )
 
 func main() {
@@ -20,14 +20,16 @@ func main() {
 	if len(os.Args) > 1 {
 		app = os.Args[1]
 	}
-	prof, ok := workload.ByName(app)
-	if !ok {
-		log.Fatalf("unknown workload %q", app)
-	}
-	w := experiments.Prepare(prof, 400_000)
-	opts := experiments.DefaultOptions()
+	s := experiments.NewSuite(400_000)
 
-	base, err := experiments.Run(w, experiments.Baseline, opts)
+	// Plan: the baseline plus every Fig 10 scheme. Execute: one parallel
+	// batch. Render: rows in plot order from the completed store.
+	schemes := append([]string{experiments.Baseline}, experiments.Fig10Schemes...)
+	if err := s.Require(experiments.CrossCells([]string{app}, schemes, "fdp")...); err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := s.Result(app, experiments.Baseline, "fdp")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func main() {
 
 	tbl := &stats.Table{Header: []string{"scheme", "speedup", "MPKI", "MPKI reduction"}}
 	for _, scheme := range experiments.Fig10Schemes {
-		res, err := experiments.Run(w, scheme, opts)
+		res, err := s.Result(app, scheme, "fdp")
 		if err != nil {
 			log.Fatal(err)
 		}

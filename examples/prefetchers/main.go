@@ -1,7 +1,8 @@
 // Prefetchers: compare the LRU baseline and ACIC under every implemented
 // instruction prefetcher (none, next-line, stream, entangling, FDP),
 // showing how admission control composes with prefetching — the paper's
-// complementarity claim (§II, §IV-H4).
+// complementarity claim (§II, §IV-H4). All ten (prefetcher, scheme) cells
+// are planned up front and simulated in parallel.
 //
 //	go run ./examples/prefetchers [workload]
 package main
@@ -13,7 +14,6 @@ import (
 
 	"acic/internal/experiments"
 	"acic/internal/stats"
-	"acic/internal/workload"
 )
 
 func main() {
@@ -21,21 +21,24 @@ func main() {
 	if len(os.Args) > 1 {
 		app = os.Args[1]
 	}
-	prof, ok := workload.ByName(app)
-	if !ok {
-		log.Fatalf("unknown workload %q", app)
+	s := experiments.NewSuite(400_000)
+
+	platforms := experiments.Prefetchers()
+	var plan []experiments.Cell
+	for _, pf := range platforms {
+		plan = append(plan, experiments.CrossCells([]string{app}, []string{experiments.Baseline, "acic"}, pf)...)
 	}
-	w := experiments.Prepare(prof, 400_000)
+	if err := s.Require(plan...); err != nil {
+		log.Fatal(err)
+	}
 
 	t := &stats.Table{Header: []string{"prefetcher", "LRU MPKI", "ACIC MPKI", "ACIC speedup", "ACIC MPKI red."}}
-	for _, pf := range []string{"none", "next-line", "stream", "entangling", "fdp"} {
-		opts := experiments.DefaultOptions()
-		opts.Prefetcher = pf
-		base, err := experiments.Run(w, experiments.Baseline, opts)
+	for _, pf := range platforms {
+		base, err := s.Result(app, experiments.Baseline, pf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		acic, err := experiments.Run(w, "acic", opts)
+		acic, err := s.Result(app, "acic", pf)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -41,7 +41,10 @@ func main() {
 		sub := icache.MustNew(icache.Config{
 			Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc,
 		})
-		res := experiments.RunSubsystem(w, sub, opts)
+		res, err := experiments.RunSubsystem(w, sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 		tbl.AddRow(v.Name,
 			fmt.Sprintf("%.4f", experiments.Speedup(base, res)),
 			stats.Percent(experiments.MPKIReduction(base, res)),

@@ -1,0 +1,3 @@
+module acic
+
+go 1.24

@@ -13,8 +13,7 @@ import (
 // datapath only updates the tables from matched entries), train the victim
 // as re-accessed sooner (the literal prose), or train it as later. It
 // reports gmean speedup and average MPKI reduction over the baseline.
-func AblationCSHRDefault(s *Suite) *stats.Table {
-	t := &stats.Table{Header: []string{"evict-training", "gmean speedup", "avg MPKI reduction"}}
+func AblationCSHRDefault(s *Suite) (*stats.Table, error) {
 	modes := []struct {
 		name string
 		mode core.EvictTraining
@@ -23,19 +22,35 @@ func AblationCSHRDefault(s *Suite) *stats.Table {
 		{"admit (paper prose)", core.EvictTrainAdmit},
 		{"drop", core.EvictTrainDrop},
 	}
-	for _, m := range modes {
-		var speedups, reductions []float64
-		for _, app := range s.AppNames() {
-			w := s.Workload(app)
-			cc := core.DefaultConfig()
-			cc.EvictTrain = m.mode
-			sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-			res := RunSubsystem(w, sub, DefaultOptions())
-			base := s.Result(app, Baseline, "fdp")
-			speedups = append(speedups, Speedup(base, res))
-			reductions = append(reductions, MPKIReduction(base, res))
-		}
-		t.AddRow(m.name, stats.Geomean(speedups), stats.Percent(stats.Mean(reductions)))
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, []string{Baseline}, "fdp")...); err != nil {
+		return nil, err
 	}
-	return t
+	// One instrumented run per mode × app, fanned out on the worker pool.
+	speedups := make([][]float64, len(modes))
+	reductions := make([][]float64, len(modes))
+	for i := range modes {
+		speedups[i] = make([]float64, len(apps))
+		reductions[i] = make([]float64, len(apps))
+	}
+	err := s.eachCell(len(modes), len(apps), func(mi, ai int) error {
+		m, app := modes[mi], apps[ai]
+		w := s.wl(app)
+		cc := core.DefaultConfig()
+		cc.EvictTrain = m.mode
+		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+		res := mustRun(w, sub, DefaultOptions())
+		base := s.res(app, Baseline, "fdp")
+		speedups[mi][ai] = Speedup(base, res)
+		reductions[mi][ai] = MPKIReduction(base, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"evict-training", "gmean speedup", "avg MPKI reduction"}}
+	for mi, m := range modes {
+		t.AddRow(m.name, stats.Geomean(speedups[mi]), stats.Percent(stats.Mean(reductions[mi])))
+	}
+	return t, nil
 }

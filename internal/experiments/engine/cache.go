@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a persistent key/value store consulted by a Group before its
+// compute function runs. Implementations must be safe for concurrent use.
+type Cache[K comparable, V any] interface {
+	Load(k K) (V, bool)
+	Store(k K, v V)
+}
+
+// DiskCache persists JSON-encoded values under a directory, one file per
+// key. The caller supplies a canonical key function; its output is hashed
+// (SHA-256) into the filename, so keys may be arbitrarily long and should
+// include everything the value depends on (for simulation results: the
+// workload profile hash, trace length, scheme, prefetcher, options, and a
+// schema version). Load and Store are best-effort: unreadable or corrupt
+// entries are misses, and write failures are ignored — the cache can only
+// make reruns faster, never wrong results.
+type DiskCache[K comparable, V any] struct {
+	dir string
+	key func(K) string
+}
+
+// NewDiskCache creates (if needed) dir and returns a cache over it.
+func NewDiskCache[K comparable, V any](dir string, key func(K) string) (*DiskCache[K, V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: create cache dir: %w", err)
+	}
+	return &DiskCache[K, V]{dir: dir, key: key}, nil
+}
+
+func (d *DiskCache[K, V]) path(k K) string {
+	sum := sha256.Sum256([]byte(d.key(k)))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// Load implements Cache.
+func (d *DiskCache[K, V]) Load(k K) (V, bool) {
+	var v V
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return v, false
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return v, false
+	}
+	return v, true
+}
+
+// Store implements Cache. The value is written to a temp file and renamed
+// so concurrent readers never observe a partial entry.
+func (d *DiskCache[K, V]) Store(k K, v V) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	path := d.path(k)
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

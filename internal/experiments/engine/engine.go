@@ -1,0 +1,231 @@
+// Package engine is the concurrency core of the experiments layer: a
+// bounded worker pool sized to the host, a generic memoizing group with
+// per-key singleflight (so hundreds of figure renderers can demand the
+// same simulation cell and pay for it once), and an optional persistent
+// cache layered under the in-memory store so repeated tool runs are
+// incremental.
+//
+// The intended shape is plan → execute → render: callers first enumerate
+// the keys an artifact needs, batch them through Group.Require (parallel,
+// deduplicated), and then render from the completed store with Group.Get,
+// which at that point returns instantly. Get is also safe to call from
+// inside a pool task: an unclaimed key is computed inline on the caller's
+// goroutine rather than waiting for a pool slot, so dependent groups
+// (results → workloads) cannot deadlock the pool.
+package engine
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker-pool width: the ACIC_WORKERS
+// environment variable if set to a positive integer, else GOMAXPROCS.
+func Workers() int {
+	if s := os.Getenv("ACIC_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool bounds the number of concurrently running tasks. The zero value is
+// not usable; construct with NewPool.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool creates a pool running at most workers tasks at once
+// (workers <= 0 selects Workers()).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	return &Pool{slots: make(chan struct{}, workers)}
+}
+
+// Width returns the pool's concurrency bound.
+func (p *Pool) Width() int { return cap(p.slots) }
+
+// Each runs fn(0..n-1) with bounded parallelism and waits for all calls,
+// returning the lowest-index error. It must not be called from inside a
+// pool task (a task waiting for its own pool's slots can deadlock);
+// nested work should use Group.Get, which computes inline.
+func (p *Pool) Each(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		p.slots <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.slots }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cell is the singleflight slot for one key. A cell is *claimed* when it
+// enters the map and *started* when some goroutine wins the CAS to run
+// it; the two are distinct so that a Get arriving between Require's claim
+// and its (possibly blocked) pool-slot acquisition can help-run the cell
+// instead of waiting on a computation nobody has started — waiting there
+// deadlocks when the waiters hold the very slots the claimer needs.
+type cell[V any] struct {
+	done    chan struct{} // closed when val/err are final
+	started atomic.Bool   // won by whoever runs the compute
+	val     V
+	err     error
+}
+
+// Group memoizes compute(key) results with per-key singleflight: however
+// many goroutines demand a key, compute runs once and everyone shares the
+// outcome (including errors). An optional Cache is consulted before
+// compute and populated after it, making results persistent across
+// processes.
+type Group[K comparable, V any] struct {
+	pool    *Pool
+	compute func(K) (V, error)
+
+	// Cache, if non-nil, is checked before compute and written after a
+	// successful compute. Set it before first use.
+	Cache Cache[K, V]
+	// OnDone, if non-nil, is called once per key after it completes
+	// (fromCache reports a persistent-cache hit). Called from worker
+	// goroutines; it must be safe for concurrent use.
+	OnDone func(key K, fromCache bool, err error)
+
+	mu    sync.Mutex
+	cells map[K]*cell[V]
+
+	computed  atomic.Int64 // keys produced by compute
+	cacheHits atomic.Int64 // keys served from Cache
+}
+
+// NewGroup creates a memoizing group executing batch work on pool.
+func NewGroup[K comparable, V any](pool *Pool, compute func(K) (V, error)) *Group[K, V] {
+	return &Group[K, V]{pool: pool, compute: compute, cells: make(map[K]*cell[V])}
+}
+
+// claim returns the cell for k, creating it if absent; claimed reports
+// whether this call created it (Require uses that to submit each new
+// cell to the pool exactly once; who actually runs it is decided by the
+// cell's started CAS).
+func (g *Group[K, V]) claim(k K) (c *cell[V], claimed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.cells[k]; ok {
+		return c, false
+	}
+	c = &cell[V]{done: make(chan struct{})}
+	g.cells[k] = c
+	return c, true
+}
+
+func (g *Group[K, V]) run(k K, c *cell[V]) {
+	defer close(c.done)
+	if g.Cache != nil {
+		if v, ok := g.Cache.Load(k); ok {
+			c.val = v
+			g.cacheHits.Add(1)
+			if g.OnDone != nil {
+				g.OnDone(k, true, nil)
+			}
+			return
+		}
+	}
+	c.val, c.err = g.compute(k)
+	g.computed.Add(1)
+	if c.err == nil && g.Cache != nil {
+		g.Cache.Store(k, c.val)
+	}
+	if g.OnDone != nil {
+		g.OnDone(k, false, c.err)
+	}
+}
+
+// Get returns the memoized value for k. If k's computation has not
+// started yet — unclaimed, or claimed by a Require that is still queued
+// for a pool slot — it is computed inline on the caller's goroutine
+// (never waiting for a slot), otherwise Get blocks until the in-flight
+// computation finishes. Safe to call from inside pool tasks.
+func (g *Group[K, V]) Get(k K) (V, error) {
+	c, _ := g.claim(k)
+	if c.started.CompareAndSwap(false, true) {
+		g.run(k, c)
+	} else {
+		<-c.done
+	}
+	return c.val, c.err
+}
+
+// Require computes every key on the worker pool — deduplicating repeats
+// within the batch and against completed or in-flight work — and waits
+// for all of them. Every key is attempted even if some fail; the error of
+// the first failing key in argument order is returned so error reporting
+// is deterministic. Like Pool.Each, Require must not be called from
+// inside a pool task (its submitter blocks on a slot the caller may
+// itself hold); nested work should use Get, which computes inline.
+func (g *Group[K, V]) Require(keys ...K) error {
+	type pending struct {
+		k K
+		c *cell[V]
+	}
+	seen := make(map[K]bool, len(keys))
+	batch := make([]pending, 0, len(keys))
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		c, claimed := g.claim(k)
+		batch = append(batch, pending{k, c})
+		if !claimed {
+			continue
+		}
+		wg.Add(1)
+		g.pool.slots <- struct{}{} // backpressure on the submitter
+		go func(k K, c *cell[V]) {
+			defer wg.Done()
+			defer func() { <-g.pool.slots }()
+			// A Get may have help-run the cell while this task was
+			// queued; losing the CAS means there is nothing left to do.
+			if c.started.CompareAndSwap(false, true) {
+				g.run(k, c)
+			}
+		}(k, c)
+	}
+	wg.Wait()
+	for _, p := range batch {
+		<-p.c.done // may have been claimed by a concurrent caller
+		if p.c.err != nil {
+			return p.c.err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of keys ever demanded (completed or in flight).
+func (g *Group[K, V]) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.cells)
+}
+
+// Computed returns how many keys were produced by the compute function.
+func (g *Group[K, V]) Computed() int64 { return g.computed.Load() }
+
+// CacheHits returns how many keys were served from the persistent cache.
+func (g *Group[K, V]) CacheHits() int64 { return g.cacheHits.Load() }

@@ -24,7 +24,10 @@ func TestAllSchemesBuildAndRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("scheme %s: %v", name, err)
 		}
-		res := RunSubsystem(w, sub, DefaultOptions())
+		res, err := RunSubsystem(w, sub, DefaultOptions())
+		if err != nil {
+			t.Fatalf("scheme %s: %v", name, err)
+		}
 		if res.Instructions == 0 || res.Cycles == 0 {
 			t.Errorf("scheme %s: empty result %+v", name, res)
 		}
@@ -39,12 +42,49 @@ func TestUnknownSchemeRejected(t *testing.T) {
 	}
 }
 
+func TestUnknownPrefetcherRejected(t *testing.T) {
+	prof, _ := workload.ByName("sibench")
+	w := Prepare(prof, 5_000)
+	opts := DefaultOptions()
+	opts.Prefetcher = "telepathy"
+	if _, err := Run(w, Baseline, opts); err == nil {
+		t.Error("unknown prefetcher must error, not panic")
+	}
+}
+
+func TestSuiteErrorsSurface(t *testing.T) {
+	s := smallSuite(t)
+	if _, err := s.Result("sibench", "definitely-not-a-scheme", "fdp"); err == nil {
+		t.Error("Result must surface scheme errors")
+	}
+	if _, err := s.Workload("definitely-not-an-app"); err == nil {
+		t.Error("Workload must surface unknown-app errors")
+	}
+	if err := s.Require(Cell{"sibench", Baseline, "fdp"}, Cell{"no-such-app", Baseline, "fdp"}); err == nil {
+		t.Error("Require must surface unknown-app errors")
+	}
+	bad := NewSuite(20_000)
+	bad.Apps = []string{"no-such-app"}
+	if _, err := bad.Fig10(); err == nil {
+		t.Error("figure over an unknown app must return an error")
+	}
+}
+
 func TestSuiteMemoization(t *testing.T) {
 	s := smallSuite(t)
-	r1 := s.Result("sibench", Baseline, "fdp")
-	r2 := s.Result("sibench", Baseline, "fdp")
+	r1, err := s.Result("sibench", Baseline, "fdp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Result("sibench", Baseline, "fdp")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r1 != r2 {
 		t.Error("memoized results must be identical")
+	}
+	if computed, _, _ := s.Stats(); computed != 1 {
+		t.Errorf("cell computed %d times, want 1", computed)
 	}
 	if len(s.AppNames()) != 2 {
 		t.Error("app restriction ignored")
@@ -58,10 +98,13 @@ func TestOrderingInvariants(t *testing.T) {
 	// The structural results every figure depends on: OPT beats the
 	// baseline, and ACIC lands between baseline and OPT on MPKI.
 	s := smallSuite(t)
+	if err := s.Require(CrossCells(s.AppNames(), []string{Baseline, "acic", "opt"}, "fdp")...); err != nil {
+		t.Fatal(err)
+	}
 	for _, app := range s.AppNames() {
-		base := s.Result(app, Baseline, "fdp")
-		acic := s.Result(app, "acic", "fdp")
-		opt := s.Result(app, "opt", "fdp")
+		base := s.res(app, Baseline, "fdp")
+		acic := s.res(app, "acic", "fdp")
+		opt := s.res(app, "opt", "fdp")
 		if opt.MPKI() >= base.MPKI() {
 			t.Errorf("%s: OPT MPKI %.2f not below baseline %.2f", app, opt.MPKI(), base.MPKI())
 		}
@@ -76,11 +119,17 @@ func TestOrderingInvariants(t *testing.T) {
 
 func TestSpeedupAndReductionHelpers(t *testing.T) {
 	s := smallSuite(t)
-	sp := s.SpeedupOver("sibench", Baseline, "opt", "fdp")
+	sp, err := s.SpeedupOver("sibench", Baseline, "opt", "fdp")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sp <= 1.0 {
 		t.Errorf("OPT speedup = %.4f, want > 1", sp)
 	}
-	red := s.MPKIReductionOver("sibench", Baseline, "opt", "fdp")
+	red, err := s.MPKIReductionOver("sibench", Baseline, "opt", "fdp")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if red <= 0 || red > 1 {
 		t.Errorf("OPT MPKI reduction = %.4f", red)
 	}
@@ -109,7 +158,11 @@ func TestTable4ListsAllSchemes(t *testing.T) {
 
 func TestFig1aShape(t *testing.T) {
 	s := smallSuite(t)
-	out := s.Fig1a().String()
+	tbl, err := s.Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
 	if !strings.Contains(out, "media-streaming") {
 		t.Errorf("Fig 1a missing app row:\n%s", out)
 	}
@@ -122,7 +175,10 @@ func TestFig1aShape(t *testing.T) {
 
 func TestFig3bWrongInsertionBand(t *testing.T) {
 	s := smallSuite(t)
-	_, wrong := s.Fig3b("media-streaming")
+	_, wrong, err := s.Fig3b("media-streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The paper reports 38.38%; our band check: a substantial minority of
 	// insertions must be wrong, else admission control has nothing to do.
 	if wrong < 0.10 || wrong > 0.80 {
@@ -132,15 +188,22 @@ func TestFig3bWrongInsertionBand(t *testing.T) {
 
 func TestFig13AdmitFractionsInRange(t *testing.T) {
 	s := smallSuite(t)
-	out := s.Fig13().String()
-	if !strings.Contains(out, "%") {
+	tbl, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tbl.String(); !strings.Contains(out, "%") {
 		t.Errorf("Fig 13 output:\n%s", out)
 	}
 }
 
 func TestEnergyTableNegativeAvg(t *testing.T) {
 	s := smallSuite(t)
-	out := s.Energy().String()
+	tbl, err := s.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
 	if !strings.Contains(out, "avg") {
 		t.Errorf("energy table missing avg row:\n%s", out)
 	}
@@ -160,7 +223,10 @@ func TestACICBypassAdapter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunSubsystem(w, sub, DefaultOptions())
+	res, err := RunSubsystem(w, sub, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Instructions == 0 {
 		t.Error("no instructions retired")
 	}
@@ -171,13 +237,25 @@ func TestACICBypassAdapter(t *testing.T) {
 
 func TestExtensionDrivers(t *testing.T) {
 	s := smallSuite(t)
-	if out := s.ExtendedComparison().String(); !strings.Contains(out, "acic-pfaware") {
+	ext, err := s.ExtendedComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ext.String(); !strings.Contains(out, "acic-pfaware") {
 		t.Errorf("extended comparison missing pf-aware row:\n%s", out)
 	}
-	if out := s.Headroom().String(); !strings.Contains(out, "36KB") {
+	hr, err := s.Headroom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := hr.String(); !strings.Contains(out, "36KB") {
 		t.Errorf("headroom table missing 36KB column:\n%s", out)
 	}
-	out := s.PrefetcherBaselines().String()
+	pfb, err := s.PrefetcherBaselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pfb.String()
 	for _, pf := range []string{"none", "next-line", "stream", "entangling", "fdp"} {
 		if !strings.Contains(out, pf) {
 			t.Errorf("prefetcher table missing %s:\n%s", pf, out)
@@ -187,7 +265,11 @@ func TestExtensionDrivers(t *testing.T) {
 
 func TestAblationCSHRDefaultRows(t *testing.T) {
 	s := smallSuite(t)
-	out := AblationCSHRDefault(s).String()
+	tbl, err := AblationCSHRDefault(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
 	for _, m := range []string{"none", "admit", "drop"} {
 		if !strings.Contains(out, m) {
 			t.Errorf("ablation missing mode %s:\n%s", m, out)
@@ -202,7 +284,10 @@ func TestPrefetchAwareSchemeRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunSubsystem(w, sub, DefaultOptions())
+	res, err := RunSubsystem(w, sub, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Instructions == 0 || sub.Name() != "acic-pfaware" {
 		t.Errorf("pf-aware run broken: %+v name=%q", res, sub.Name())
 	}

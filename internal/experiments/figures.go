@@ -11,25 +11,49 @@ import (
 	"acic/internal/stats"
 )
 
+// The renderers in this file all follow the engine's plan → execute →
+// render shape: first declare the workloads and simulation cells the
+// artifact needs (PrepareAll / Require, executed in parallel with
+// deduplication), then render from completed results in paper order.
+// Instrumented sweeps that attach callbacks to a subsystem cannot share
+// plain cells; they fan out over the same worker pool via s.each, writing
+// into index-addressed slots so rendering stays deterministic.
+
 // Fig1a returns the per-app reuse-distance distributions at instruction
 // granularity (buckets 0, 1-16, 16-512, 512-1024, 1024-10000, >10000).
-func (s *Suite) Fig1a() *stats.Table {
-	t := &stats.Table{Header: []string{"app", "0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}}
-	for _, app := range s.AppNames() {
-		w := s.Workload(app)
+func (s *Suite) Fig1a() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.PrepareAll(apps...); err != nil {
+		return nil, err
+	}
+	rows := make([][6]float64, len(apps))
+	err := s.each(len(apps), func(i int) error {
+		w := s.wl(apps[i])
 		refs := analysis.InstBlockRefs(w.Trace)
 		dists := analysis.ReuseDistances(refs)
 		fr := analysis.Distribution(dists, analysis.Fig1aEdges)
+		copy(rows[i][:], fr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"app", "0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}}
+	for i, app := range apps {
+		fr := rows[i]
 		t.AddRow(app, stats.Percent(fr[0]), stats.Percent(fr[1]), stats.Percent(fr[2]),
 			stats.Percent(fr[3]), stats.Percent(fr[4]), stats.Percent(fr[5]))
 	}
-	return t
+	return t, nil
 }
 
 // Fig1b returns the Markov chain of reuse-distance buckets for the named
 // app (media-streaming in the paper).
-func (s *Suite) Fig1b(app string) *stats.Table {
-	w := s.Workload(app)
+func (s *Suite) Fig1b(app string) (*stats.Table, error) {
+	w, err := s.Workload(app)
+	if err != nil {
+		return nil, err
+	}
 	refs := analysis.InstBlockRefs(w.Trace)
 	chain := analysis.MarkovChain(refs, analysis.Fig1aEdges)
 	labels := []string{"0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}
@@ -42,23 +66,28 @@ func (s *Suite) Fig1b(app string) *stats.Table {
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig3a compares always-insert i-Filter, access-count bypass, and OPT
 // replacement speedups over the LRU+FDP baseline.
-func (s *Suite) Fig3a() *stats.Table {
+func (s *Suite) Fig3a() (*stats.Table, error) {
+	apps := s.AppNames()
+	schemes := []string{Baseline, "ifilter", "access-count", "opt"}
+	if err := s.Require(CrossCells(apps, schemes, "fdp")...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{"app", "always-insert", "access-count", "OPT"}}
 	var a1, a2, a3 []float64
-	for _, app := range s.AppNames() {
-		v1 := s.SpeedupOver(app, Baseline, "ifilter", "fdp")
-		v2 := s.SpeedupOver(app, Baseline, "access-count", "fdp")
-		v3 := s.SpeedupOver(app, Baseline, "opt", "fdp")
+	for _, app := range apps {
+		v1 := s.speedupOver(app, Baseline, "ifilter", "fdp")
+		v2 := s.speedupOver(app, Baseline, "access-count", "fdp")
+		v3 := s.speedupOver(app, Baseline, "opt", "fdp")
 		a1, a2, a3 = append(a1, v1), append(a2, v2), append(a3, v3)
 		t.AddRow(app, v1, v2, v3)
 	}
 	t.AddRow("gmean", stats.Geomean(a1), stats.Geomean(a2), stats.Geomean(a3))
-	return t
+	return t, nil
 }
 
 // Fig3bEdges are the signed reuse-delta bucket edges of Fig 3b.
@@ -68,8 +97,11 @@ var Fig3bEdges = []float64{-10000, -1000, -100, -10, 0, 10, 100, 1000, 10000}
 // distance of each block moving from the i-Filter into the i-cache and that
 // of the block OPT would evict from the target set. Positive deltas are
 // wrong insertions (the paper measures 38.38% for media streaming).
-func (s *Suite) Fig3b(app string) (*stats.Histogram, float64) {
-	w := s.Workload(app)
+func (s *Suite) Fig3b(app string) (*stats.Histogram, float64, error) {
+	w, err := s.Workload(app)
+	if err != nil {
+		return nil, 0, err
+	}
 	cc := core.DefaultConfig()
 	cc.Variant = core.VariantAlwaysAdmit
 	sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc, NextUse: w.Oracle.Func()})
@@ -96,12 +128,12 @@ func (s *Suite) Fig3b(app string) (*stats.Histogram, float64) {
 			wrong++
 		}
 	}
-	RunSubsystem(w, sub, DefaultOptions())
+	mustRun(w, sub, DefaultOptions())
 	frac := 0.0
 	if total > 0 {
 		frac = float64(wrong) / float64(total)
 	}
-	return h, frac
+	return h, frac, nil
 }
 
 func clampDist(d int64) float64 {
@@ -119,8 +151,11 @@ var Fig6Edges = []float64{50, 100, 150, 200, 250, 300, 350, 400}
 // Fig6 histograms the number of comparisons during CSHR entry lifetimes for
 // the named app; unresolved (evicted) entries land in the overflow bucket,
 // mirroring the paper's "InF" bar.
-func (s *Suite) Fig6(app string) *stats.Histogram {
-	w := s.Workload(app)
+func (s *Suite) Fig6(app string) (*stats.Histogram, error) {
+	w, err := s.Workload(app)
+	if err != nil {
+		return nil, err
+	}
 	cc := core.DefaultConfig()
 	// Measure lifetimes with an effectively unbounded CSHR so that "would
 	// never resolve" is separated from "evicted at 256 entries", as the
@@ -134,60 +169,69 @@ func (s *Suite) Fig6(app string) *stats.Histogram {
 		}
 		h.Add(float64(age))
 	}
-	RunSubsystem(w, sub, DefaultOptions())
+	mustRun(w, sub, DefaultOptions())
 	// Entries still unresolved at the end of the run count as InF.
 	if occ := sub.ACIC().CSHR.Occupancy(); occ > 0 {
 		for i := 0; i < occ; i++ {
 			h.Add(math.MaxInt32)
 		}
 	}
-	return h
+	return h, nil
 }
 
 // Fig10 reports per-app speedups of every Fig 10 scheme over the LRU+FDP
 // baseline, with a trailing gmean row.
-func (s *Suite) Fig10() *stats.Table { return s.schemeTable(Fig10Schemes, "fdp", true) }
+func (s *Suite) Fig10() (*stats.Table, error) { return s.schemeTable(Fig10Schemes, "fdp", true) }
 
 // Fig11 reports per-app MPKI reductions of every Fig 10 scheme over the
 // LRU+FDP baseline, with a trailing average row.
-func (s *Suite) Fig11() *stats.Table { return s.schemeTable(Fig10Schemes, "fdp", false) }
+func (s *Suite) Fig11() (*stats.Table, error) { return s.schemeTable(Fig10Schemes, "fdp", false) }
 
-func (s *Suite) schemeTable(schemes []string, pf string, speedup bool) *stats.Table {
+func (s *Suite) schemeTable(schemes []string, pf string, speedup bool) (*stats.Table, error) {
+	foot := "avg"
+	if speedup {
+		foot = "gmean"
+	}
+	return s.compareTable(s.AppNames(), schemes, pf, speedup, foot)
+}
+
+// compareTable renders the shared shape of Figs 10/11/18-21: one row per
+// app, one column per scheme (speedup or MPKI reduction over Baseline),
+// and a footer aggregating each column (geomean for speedups, mean for
+// reductions) under the given label.
+func (s *Suite) compareTable(apps, schemes []string, pf string, speedup bool, footLabel string) (*stats.Table, error) {
+	if err := s.Require(CrossCells(apps, append([]string{Baseline}, schemes...), pf)...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: append([]string{"app"}, schemes...)}
 	sums := make([][]float64, len(schemes))
-	for _, app := range s.AppNames() {
+	for _, app := range apps {
 		cells := make([]any, 0, len(schemes)+1)
 		cells = append(cells, app)
 		for i, sch := range schemes {
 			var v float64
 			if speedup {
-				v = s.SpeedupOver(app, Baseline, sch, pf)
-			} else {
-				v = s.MPKIReductionOver(app, Baseline, sch, pf)
-			}
-			sums[i] = append(sums[i], v)
-			if speedup {
+				v = s.speedupOver(app, Baseline, sch, pf)
 				cells = append(cells, fmt.Sprintf("%.4f", v))
 			} else {
+				v = s.mpkiReductionOver(app, Baseline, sch, pf)
 				cells = append(cells, stats.Percent(v))
 			}
+			sums[i] = append(sums[i], v)
 		}
 		t.AddRow(cells...)
 	}
 	foot := make([]any, 0, len(schemes)+1)
-	if speedup {
-		foot = append(foot, "gmean")
-		for i := range schemes {
+	foot = append(foot, footLabel)
+	for i := range schemes {
+		if speedup {
 			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
-		}
-	} else {
-		foot = append(foot, "avg")
-		for i := range schemes {
+		} else {
 			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
 		}
 	}
 	t.AddRow(foot...)
-	return t
+	return t, nil
 }
 
 // Fig12aRanges are the [0,bound) next-use windows of Fig 12a; 0 means no
@@ -196,14 +240,22 @@ var Fig12aRanges = []int64{0, 2048, 1024, 512, 256, 128}
 
 // Fig12a measures ACIC bypass accuracy over decisions whose nearer next-use
 // distance falls inside each window, averaged across apps.
-func (s *Suite) Fig12a() *stats.Table {
-	t := &stats.Table{Header: []string{"range", "avg accuracy"}}
-	correct := make([]float64, len(Fig12aRanges))
-	counts := make([]float64, len(Fig12aRanges))
-	for _, app := range s.AppNames() {
-		w := s.Workload(app)
-		decisions := s.collectDecisions(app)
-		for _, d := range decisions {
+func (s *Suite) Fig12a() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.PrepareAll(apps...); err != nil {
+		return nil, err
+	}
+	// One instrumented run per app, reduced to per-range tallies inside
+	// the decision callback so no app's raw decision stream is retained;
+	// per-app partials merge in app order afterward.
+	type tally struct{ correct, count []int64 }
+	partials := make([]tally, len(apps))
+	err := s.each(len(apps), func(i int) error {
+		partials[i] = tally{make([]int64, len(Fig12aRanges)), make([]int64, len(Fig12aRanges))}
+		w := s.wl(apps[i])
+		cc := core.DefaultConfig()
+		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+		sub.ACIC().OnDecision = func(d core.Decision) {
 			dIn := w.Oracle.NextUse(d.Victim, d.AccessIdx) - d.AccessIdx
 			dOut := w.Oracle.NextUse(d.Contender, d.AccessIdx) - d.AccessIdx
 			ideal := dIn < dOut
@@ -215,13 +267,27 @@ func (s *Suite) Fig12a() *stats.Table {
 				if bound != 0 && near >= bound {
 					continue
 				}
-				counts[ri]++
+				partials[i].count[ri]++
 				if ideal == d.Admitted {
-					correct[ri]++
+					partials[i].correct[ri]++
 				}
 			}
 		}
+		mustRun(w, sub, DefaultOptions())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	correct := make([]float64, len(Fig12aRanges))
+	counts := make([]float64, len(Fig12aRanges))
+	for i := range apps {
+		for ri := range Fig12aRanges {
+			correct[ri] += float64(partials[i].correct[ri])
+			counts[ri] += float64(partials[i].count[ri])
+		}
+	}
+	t := &stats.Table{Header: []string{"range", "avg accuracy"}}
 	for ri, bound := range Fig12aRanges {
 		label := "[0,InF)"
 		if bound != 0 {
@@ -233,61 +299,70 @@ func (s *Suite) Fig12a() *stats.Table {
 		}
 		t.AddRow(label, stats.Percent(acc))
 	}
-	return t
-}
-
-// decisionsCache memoizes instrumented ACIC runs per app.
-func (s *Suite) collectDecisions(app string) []core.Decision {
-	w := s.Workload(app)
-	var out []core.Decision
-	cc := core.DefaultConfig()
-	sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-	sub.ACIC().OnDecision = func(d core.Decision) { out = append(out, d) }
-	RunSubsystem(w, sub, DefaultOptions())
-	return out
+	return t, nil
 }
 
 // Fig12b compares the MPKI reduction of a 60%-admit random bypass against
 // ACIC, per app.
-func (s *Suite) Fig12b() *stats.Table {
+func (s *Suite) Fig12b() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, []string{Baseline, "random60", "acic"}, "fdp")...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{"app", "random-60%", "acic"}}
 	var r1, r2 []float64
-	for _, app := range s.AppNames() {
-		v1 := s.MPKIReductionOver(app, Baseline, "random60", "fdp")
-		v2 := s.MPKIReductionOver(app, Baseline, "acic", "fdp")
+	for _, app := range apps {
+		v1 := s.mpkiReductionOver(app, Baseline, "random60", "fdp")
+		v2 := s.mpkiReductionOver(app, Baseline, "acic", "fdp")
 		r1, r2 = append(r1, v1), append(r2, v2)
 		t.AddRow(app, stats.Percent(v1), stats.Percent(v2))
 	}
 	t.AddRow("avg", stats.Percent(stats.Mean(r1)), stats.Percent(stats.Mean(r2)))
-	return t
+	return t, nil
 }
 
 // Fig13 reports the percentage of i-Filter victims ACIC admits per app.
-func (s *Suite) Fig13() *stats.Table {
-	t := &stats.Table{Header: []string{"app", "admitted"}}
-	for _, app := range s.AppNames() {
-		w := s.Workload(app)
+func (s *Suite) Fig13() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.PrepareAll(apps...); err != nil {
+		return nil, err
+	}
+	admitted := make([]float64, len(apps))
+	err := s.each(len(apps), func(i int) error {
+		w := s.wl(apps[i])
 		cc := core.DefaultConfig()
 		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-		RunSubsystem(w, sub, DefaultOptions())
-		t.AddRow(app, stats.Percent(sub.ACIC().AdmitFraction()))
+		mustRun(w, sub, DefaultOptions())
+		admitted[i] = sub.ACIC().AdmitFraction()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return t
+	t := &stats.Table{Header: []string{"app", "admitted"}}
+	for i, app := range apps {
+		t.AddRow(app, stats.Percent(admitted[i]))
+	}
+	return t, nil
 }
 
 // Fig14 compares MPKI reduction with the 2-cycle parallel predictor update
 // against instant updates, per app.
-func (s *Suite) Fig14() *stats.Table {
+func (s *Suite) Fig14() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, []string{Baseline, "acic", "acic-instant"}, "fdp")...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{"app", "parallel", "instant"}}
 	var r1, r2 []float64
-	for _, app := range s.AppNames() {
-		v1 := s.MPKIReductionOver(app, Baseline, "acic", "fdp")
-		v2 := s.MPKIReductionOver(app, Baseline, "acic-instant", "fdp")
+	for _, app := range apps {
+		v1 := s.mpkiReductionOver(app, Baseline, "acic", "fdp")
+		v2 := s.mpkiReductionOver(app, Baseline, "acic-instant", "fdp")
 		r1, r2 = append(r1, v1), append(r2, v2)
 		t.AddRow(app, stats.Percent(v1), stats.Percent(v2))
 	}
 	t.AddRow("avg", stats.Percent(stats.Mean(r1)), stats.Percent(stats.Mean(r2)))
-	return t
+	return t, nil
 }
 
 // Fig15Variants are the sensitivity configurations of Fig 15.
@@ -310,51 +385,71 @@ var Fig15Variants = []struct {
 
 // Fig15 sweeps ACIC's key parameters and reports gmean speedup over the
 // baseline for each variant.
-func (s *Suite) Fig15() *stats.Table {
-	t := &stats.Table{Header: []string{"variant", "gmean speedup"}}
-	for _, v := range Fig15Variants {
-		var speedups []float64
-		for _, app := range s.AppNames() {
-			w := s.Workload(app)
-			cc := core.DefaultConfig()
-			v.Mutate(&cc)
-			sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-			res := RunSubsystem(w, sub, DefaultOptions())
-			speedups = append(speedups, Speedup(s.Result(app, Baseline, "fdp"), res))
-		}
-		t.AddRow(v.Name, stats.Geomean(speedups))
+func (s *Suite) Fig15() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, []string{Baseline}, "fdp")...); err != nil {
+		return nil, err
 	}
-	return t
+	speedups := make([][]float64, len(Fig15Variants))
+	for i := range speedups {
+		speedups[i] = make([]float64, len(apps))
+	}
+	err := s.eachCell(len(Fig15Variants), len(apps), func(vi, ai int) error {
+		v, app := Fig15Variants[vi], apps[ai]
+		w := s.wl(app)
+		cc := core.DefaultConfig()
+		v.Mutate(&cc)
+		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
+		res := mustRun(w, sub, DefaultOptions())
+		speedups[vi][ai] = Speedup(s.res(app, Baseline, "fdp"), res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"variant", "gmean speedup"}}
+	for vi, v := range Fig15Variants {
+		t.AddRow(v.Name, stats.Geomean(speedups[vi]))
+	}
+	return t, nil
 }
 
 // Fig16 reports ACIC's speedup over the FDP baseline *equipped with an
 // i-Filter* (the bypass policy's own contribution).
-func (s *Suite) Fig16() *stats.Table {
+func (s *Suite) Fig16() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, []string{"ifilter", "acic"}, "fdp")...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{"app", "speedup over lru+ifilter"}}
 	var all []float64
-	for _, app := range s.AppNames() {
-		v := s.SpeedupOver(app, "ifilter", "acic", "fdp")
+	for _, app := range apps {
+		v := s.speedupOver(app, "ifilter", "acic", "fdp")
 		all = append(all, v)
 		t.AddRow(app, v)
 	}
 	t.AddRow("gmean", stats.Geomean(all))
-	return t
+	return t, nil
 }
 
 // Fig17Schemes are the simplified designs of Fig 17.
 var Fig17Schemes = []string{"acic", "acic-nofilter", "ifilter", "acic-global", "acic-bimodal"}
 
 // Fig17 reports gmean speedups of ACIC's simplified designs.
-func (s *Suite) Fig17() *stats.Table {
+func (s *Suite) Fig17() (*stats.Table, error) {
+	apps := s.AppNames()
+	if err := s.Require(CrossCells(apps, append([]string{Baseline}, Fig17Schemes...), "fdp")...); err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{"design", "gmean speedup"}}
 	for _, sch := range Fig17Schemes {
 		var all []float64
-		for _, app := range s.AppNames() {
-			all = append(all, s.SpeedupOver(app, Baseline, sch, "fdp"))
+		for _, app := range apps {
+			all = append(all, s.speedupOver(app, Baseline, sch, "fdp"))
 		}
 		t.AddRow(sch, stats.Geomean(all))
 	}
-	return t
+	return t, nil
 }
 
 // SPECSchemes are the policies compared on SPEC (Figs 18/19) and on the
@@ -362,74 +457,22 @@ func (s *Suite) Fig17() *stats.Table {
 var SPECSchemes = []string{"ghrp", "l1i-36k", "acic", "opt"}
 
 // Fig18 reports SPEC speedups of GHRP, the 36KB L1i, ACIC, and OPT.
-func (s *Suite) Fig18() *stats.Table { return s.specTable(true) }
+func (s *Suite) Fig18() (*stats.Table, error) { return s.specTable(true) }
 
 // Fig19 reports SPEC MPKI reductions.
-func (s *Suite) Fig19() *stats.Table { return s.specTable(false) }
+func (s *Suite) Fig19() (*stats.Table, error) { return s.specTable(false) }
 
-func (s *Suite) specTable(speedup bool) *stats.Table {
-	t := &stats.Table{Header: append([]string{"app"}, SPECSchemes...)}
-	sums := make([][]float64, len(SPECSchemes))
-	for _, app := range s.SPECNames() {
-		cells := []any{app}
-		for i, sch := range SPECSchemes {
-			var v float64
-			if speedup {
-				v = s.SpeedupOver(app, Baseline, sch, "fdp")
-				cells = append(cells, fmt.Sprintf("%.4f", v))
-			} else {
-				v = s.MPKIReductionOver(app, Baseline, sch, "fdp")
-				cells = append(cells, stats.Percent(v))
-			}
-			sums[i] = append(sums[i], v)
-		}
-		t.AddRow(cells...)
-	}
-	foot := []any{"gmean/avg"}
-	for i := range SPECSchemes {
-		if speedup {
-			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
-		} else {
-			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
-		}
-	}
-	t.AddRow(foot...)
-	return t
+func (s *Suite) specTable(speedup bool) (*stats.Table, error) {
+	return s.compareTable(s.SPECNames(), SPECSchemes, "fdp", speedup, "gmean/avg")
 }
 
 // Fig20 reports datacenter speedups over the entangling-prefetcher
 // baseline.
-func (s *Suite) Fig20() *stats.Table { return s.entTable(true) }
+func (s *Suite) Fig20() (*stats.Table, error) { return s.entTable(true) }
 
 // Fig21 reports datacenter MPKI reductions over the entangling baseline.
-func (s *Suite) Fig21() *stats.Table { return s.entTable(false) }
+func (s *Suite) Fig21() (*stats.Table, error) { return s.entTable(false) }
 
-func (s *Suite) entTable(speedup bool) *stats.Table {
-	t := &stats.Table{Header: append([]string{"app"}, SPECSchemes...)}
-	sums := make([][]float64, len(SPECSchemes))
-	for _, app := range s.AppNames() {
-		cells := []any{app}
-		for i, sch := range SPECSchemes {
-			var v float64
-			if speedup {
-				v = s.SpeedupOver(app, Baseline, sch, "entangling")
-				cells = append(cells, fmt.Sprintf("%.4f", v))
-			} else {
-				v = s.MPKIReductionOver(app, Baseline, sch, "entangling")
-				cells = append(cells, stats.Percent(v))
-			}
-			sums[i] = append(sums[i], v)
-		}
-		t.AddRow(cells...)
-	}
-	foot := []any{"gmean/avg"}
-	for i := range SPECSchemes {
-		if speedup {
-			foot = append(foot, fmt.Sprintf("%.4f", stats.Geomean(sums[i])))
-		} else {
-			foot = append(foot, stats.Percent(stats.Mean(sums[i])))
-		}
-	}
-	t.AddRow(foot...)
-	return t
+func (s *Suite) entTable(speedup bool) (*stats.Table, error) {
+	return s.compareTable(s.AppNames(), SPECSchemes, "entangling", speedup, "gmean/avg")
 }

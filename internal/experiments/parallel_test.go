@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fig10Slice renders a small Fig10/Fig11 slice with the given worker
+// count and returns the exact bytes a tool would print.
+func fig10Slice(t *testing.T, workers int, cacheDir string) string {
+	t.Helper()
+	s := NewSuite(40_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.Workers = workers
+	s.CacheDir = cacheDir
+	t10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t11, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t10.String() + t11.String()
+}
+
+// TestParallelMatchesSerial asserts the engine's core promise: tables are
+// byte-identical whether cells run one at a time or many at once. Run with
+// -race this also exercises the worker pool, singleflight, and the shared
+// workload artifacts under real concurrency.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := fig10Slice(t, 1, "")
+	for _, workers := range []int{2, 8} {
+		if got := fig10Slice(t, workers, ""); got != serial {
+			t.Errorf("workers=%d output diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestConcurrentRenderers drives several figure renderers against one
+// suite from concurrent goroutines (as the bench harness does), checking
+// the shared store under -race and that overlapping cell sets are
+// deduplicated rather than recomputed.
+func TestConcurrentRenderers(t *testing.T) {
+	s := NewSuite(40_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.Workers = 4
+	done := make(chan error, 3)
+	go func() { _, err := s.Fig10(); done <- err }()
+	go func() { _, err := s.Fig11(); done <- err }()
+	go func() { _, err := s.Fig16(); done <- err }()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fig10 and Fig11 share an identical plan; Fig16 shares its "acic"
+	// cells and adds only "ifilter". The store must hold exactly the
+	// deduplicated grid: 2 apps x (baseline + 12 Fig10 schemes + ifilter).
+	computed, fromCache, workloads := s.Stats()
+	if want := int64(2 * (2 + len(Fig10Schemes))); computed != want {
+		t.Errorf("computed %d cells, want %d (dedup across renderers)", computed, want)
+	}
+	if fromCache != 0 {
+		t.Errorf("fromCache = %d without a cache dir", fromCache)
+	}
+	if workloads != 2 {
+		t.Errorf("prepared %d workloads, want 2", workloads)
+	}
+}
+
+// TestMixedRenderersDoNotDeadlock drives a PrepareAll-based renderer
+// (Fig13: workload batch + instrumented sweep) concurrently with
+// Require-based renderers on a width-1 pool — the shape that deadlocks if
+// a claimed-but-unstarted workload cell can be waited on by the tasks
+// holding the pool's only slot.
+func TestMixedRenderersDoNotDeadlock(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		s := NewSuite(30_000)
+		s.Apps = []string{"media-streaming", "sibench"}
+		s.Workers = 1
+		done := make(chan error, 3)
+		go func() { _, err := s.Fig13(); done <- err }()
+		go func() { _, err := s.Fig10(); done <- err }()
+		go func() { _, err := s.Fig16(); done <- err }()
+		for j := 0; j < 3; j++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(120 * time.Second):
+				t.Fatal("mixed renderers deadlocked")
+			}
+		}
+	}
+}
+
+// TestPersistentCacheMakesRerunsIncremental renders the same slice twice
+// through one on-disk cache directory: the second suite must serve every
+// cell from disk and still produce byte-identical output.
+func TestPersistentCacheMakesRerunsIncremental(t *testing.T) {
+	dir := t.TempDir()
+	first := fig10Slice(t, 4, dir)
+
+	s := NewSuite(40_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.Workers = 4
+	s.CacheDir = dir
+	var progressCalls atomic.Int64
+	s.Progress = func(done, total int, label string) { progressCalls.Add(1) }
+	t10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t11, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := t10.String() + t11.String(); got != first {
+		t.Errorf("cached rerun output diverges:\n--- first ---\n%s--- rerun ---\n%s", first, got)
+	}
+	computed, fromCache, _ := s.Stats()
+	if computed != 0 {
+		t.Errorf("rerun computed %d cells, want 0 (all from disk)", computed)
+	}
+	if want := int64(2 * (1 + len(Fig10Schemes))); fromCache != want {
+		t.Errorf("rerun served %d cells from cache, want %d", fromCache, want)
+	}
+	if progressCalls.Load() != fromCache {
+		t.Errorf("progress reported %d cells, want %d", progressCalls.Load(), fromCache)
+	}
+}
+
+// TestCacheKeySeparatesCells guards the persistent-cache key: distinct
+// cells and trace lengths must never collide.
+func TestCacheKeySeparatesCells(t *testing.T) {
+	s := NewSuite(40_000)
+	keys := map[string]Cell{}
+	for _, c := range []Cell{
+		{"media-streaming", "lru", "fdp"},
+		{"media-streaming", "lru", "entangling"},
+		{"media-streaming", "acic", "fdp"},
+		{"sibench", "lru", "fdp"},
+	} {
+		k := s.cacheKey(c)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("cells %v and %v share cache key %q", prev, c, k)
+		}
+		keys[k] = c
+	}
+	s2 := NewSuite(80_000)
+	c := Cell{"media-streaming", "lru", "fdp"}
+	if s.cacheKey(c) == s2.cacheKey(c) {
+		t.Error("different trace lengths must not share cache keys")
+	}
+}

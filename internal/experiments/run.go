@@ -48,7 +48,7 @@ func Prepare(p workload.Profile, n int) *Workload {
 // Options configure a simulation run.
 type Options struct {
 	WarmupFrac float64 // fraction of instructions treated as warmup (0.1)
-	Prefetcher string  // "fdp" (default), "entangling", "none"
+	Prefetcher string  // any name from Prefetchers(); "" = "fdp"
 }
 
 // DefaultOptions mirrors the paper's setup: FDP platform, 10% warmup.
@@ -60,33 +60,68 @@ func Run(w *Workload, scheme string, opts Options) (cpu.Result, error) {
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	return RunSubsystem(w, sub, opts), nil
+	return RunSubsystem(w, sub, opts)
+}
+
+// prefetcherPlatforms maps each platform name to its simulator wiring,
+// weakest first (the display order of the bracketing experiments). The
+// name list and RunSubsystem's dispatch both derive from this table so
+// they cannot drift.
+var prefetcherPlatforms = []struct {
+	name  string
+	apply func(*cpu.Config)
+}{
+	{"none", func(c *cpu.Config) { c.UseFDP = false }},
+	{"next-line", func(c *cpu.Config) { c.UseFDP = false; c.Extra = prefetch.NewNextLine(1) }},
+	{"stream", func(c *cpu.Config) { c.UseFDP = false; c.Extra = prefetch.NewStream(prefetch.DefaultStreamConfig()) }},
+	{"entangling", func(c *cpu.Config) {
+		c.UseFDP = false
+		c.Extra = prefetch.NewEntangling(prefetch.DefaultEntanglingConfig())
+	}},
+	{"fdp", func(c *cpu.Config) { c.UseFDP = true }},
+}
+
+// Prefetchers lists the implemented prefetcher platforms, weakest first.
+func Prefetchers() []string {
+	names := make([]string, len(prefetcherPlatforms))
+	for i, p := range prefetcherPlatforms {
+		names[i] = p.name
+	}
+	return names
 }
 
 // RunSubsystem simulates a pre-built subsystem over the workload.
-func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) cpu.Result {
+func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, error) {
 	cfg := cpu.DefaultConfig()
-	switch opts.Prefetcher {
-	case "", "fdp":
-		cfg.UseFDP = true
-	case "none":
-		cfg.UseFDP = false
-	case "entangling":
-		cfg.UseFDP = false
-		cfg.Extra = prefetch.NewEntangling(prefetch.DefaultEntanglingConfig())
-	case "next-line":
-		cfg.UseFDP = false
-		cfg.Extra = prefetch.NewNextLine(1)
-	case "stream":
-		cfg.UseFDP = false
-		cfg.Extra = prefetch.NewStream(prefetch.DefaultStreamConfig())
-	default:
-		panic(fmt.Sprintf("experiments: unknown prefetcher %q", opts.Prefetcher))
+	pf := opts.Prefetcher
+	if pf == "" {
+		pf = "fdp"
+	}
+	found := false
+	for _, p := range prefetcherPlatforms {
+		if p.name == pf {
+			p.apply(&cfg)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return cpu.Result{}, fmt.Errorf("experiments: unknown prefetcher %q", opts.Prefetcher)
 	}
 	hier := mem.New(mem.DefaultConfig())
 	sim := cpu.NewSimulator(cfg, w.Trace, w.Ann, sub, hier)
 	warm := int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
-	return sim.Run(warm)
+	return sim.Run(warm), nil
+}
+
+// mustRun simulates a pre-built subsystem under options already known to
+// be valid (the instrumented figure sweeps, which all use DefaultOptions).
+func mustRun(w *Workload, sub icache.Subsystem, opts Options) cpu.Result {
+	res, err := RunSubsystem(w, sub, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // Speedup returns base cycles over result cycles.

@@ -1,25 +1,78 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
+	"acic/internal/core"
 	"acic/internal/cpu"
+	"acic/internal/experiments/engine"
+	"acic/internal/mem"
+	"acic/internal/prefetch"
 	"acic/internal/workload"
 )
 
-// Suite memoizes workloads and (workload, scheme, prefetcher) simulation
-// results so that the many figures sharing runs (Fig 10/11/13/16, ...) pay
-// for each simulation once.
+// Cell identifies one simulation the evaluation needs: an application run
+// under a scheme and a prefetcher platform (trace length and warmup come
+// from the owning Suite). Figures and tables are rendered from a plan of
+// cells; the engine executes the deduplicated plan in parallel.
+type Cell struct {
+	App        string
+	Scheme     string
+	Prefetcher string
+}
+
+func (c Cell) String() string { return c.App + "|" + c.Scheme + "|" + c.Prefetcher }
+
+// CrossCells enumerates the cell grid apps × schemes under one prefetcher.
+func CrossCells(apps, schemes []string, prefetcher string) []Cell {
+	cells := make([]Cell, 0, len(apps)*len(schemes))
+	for _, app := range apps {
+		for _, sch := range schemes {
+			cells = append(cells, Cell{App: app, Scheme: sch, Prefetcher: prefetcher})
+		}
+	}
+	return cells
+}
+
+// Suite plans and executes the simulations behind the paper's tables and
+// figures. Workload preparation and (app, scheme, prefetcher) runs are
+// memoized with per-key singleflight and executed on a bounded worker
+// pool, so figures sharing runs (Fig 10/11/13/16, ...) pay for each
+// simulation once and independent cells run in parallel. Renderers first
+// declare their cell set (Require / PrepareAll) and then read completed
+// results, which keeps output byte-identical across worker counts.
+//
+// Configure the exported fields before the first figure call; they are
+// frozen once the engine spins up.
 type Suite struct {
 	// N is the trace length in instructions per workload.
 	N int
 	// Apps restricts the datacenter app list (nil = all ten).
 	Apps []string
+	// Workers bounds the worker pool (0 = ACIC_WORKERS or GOMAXPROCS).
+	Workers int
+	// CacheDir enables the persistent result cache in that directory
+	// ("" = in-memory only). Entries are keyed by workload profile hash,
+	// trace length, scheme, prefetcher, and run options, so reruns of
+	// acic-bench / acic-sim recompute only what changed.
+	CacheDir string
+	// Progress, if non-nil, is called after each completed cell with the
+	// running done count, the number of cells planned so far, and a
+	// human-readable label. Called from worker goroutines.
+	Progress func(done, total int, label string)
 
-	workloads map[string]*Workload
-	results   map[string]cpu.Result
+	once      sync.Once
+	pool      *engine.Pool
+	workloads *engine.Group[string, *Workload]
+	results   *engine.Group[Cell, cpu.Result]
+	done      atomic.Int64
+	cacheErr  error
 }
 
 // DefaultTraceLen is the default per-workload instruction count, overridable
@@ -41,11 +94,88 @@ func NewSuite(n int) *Suite {
 	if n <= 0 {
 		n = DefaultTraceLen()
 	}
-	return &Suite{
-		N:         n,
-		workloads: make(map[string]*Workload),
-		results:   make(map[string]cpu.Result),
+	return &Suite{N: n}
+}
+
+// init spins up the engine on first use.
+func (s *Suite) init() {
+	s.once.Do(func() {
+		s.pool = engine.NewPool(s.Workers)
+		s.workloads = engine.NewGroup(s.pool, func(app string) (*Workload, error) {
+			prof, ok := workload.ByName(app)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown workload %q", app)
+			}
+			return Prepare(prof, s.N), nil
+		})
+		s.results = engine.NewGroup(s.pool, s.computeCell)
+		if s.CacheDir != "" {
+			cache, err := engine.NewDiskCache[Cell, cpu.Result](s.CacheDir, s.cacheKey)
+			if err != nil {
+				s.cacheErr = err
+			} else {
+				s.results.Cache = cache
+			}
+		}
+		s.results.OnDone = func(c Cell, fromCache bool, err error) {
+			if s.Progress == nil {
+				return
+			}
+			label := c.String()
+			if fromCache {
+				label += " (cached)"
+			}
+			if err != nil {
+				label += " (error)"
+			}
+			s.Progress(int(s.done.Add(1)), s.results.Size(), label)
+		}
+	})
+}
+
+// cacheSchemaVersion invalidates persistent cache entries when simulator
+// behavior changes in a way the hashed default configs don't capture —
+// algorithm changes anywhere in the pipeline, or the per-scheme constants
+// hard-coded in NewScheme (filter slots, bypass thresholds, victim-cache
+// sizes). Bump it alongside such changes.
+const cacheSchemaVersion = 1
+
+// simConfigHash digests the default simulator configuration (core, memory
+// hierarchy, prefetchers, ACIC) and the shape of cpu.Result (%#v of the
+// zero value spells out its field names), so editing a config parameter
+// or reshaping the result struct invalidates the persistent cache
+// mechanically. It does NOT cover scheme-local constants or algorithm
+// changes — those need a cacheSchemaVersion bump. All hashed structs are
+// value-only, so %#v is stable.
+var simConfigHash = sync.OnceValue(func() string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%#v|%#v|%#v|%#v|%#v|%#v",
+		cpu.DefaultConfig(), mem.DefaultConfig(), core.DefaultConfig(),
+		prefetch.DefaultEntanglingConfig(), prefetch.DefaultStreamConfig(),
+		cpu.Result{}))
+	return hex.EncodeToString(sum[:16])
+})
+
+// cacheKey canonicalizes everything a cell's result depends on.
+func (s *Suite) cacheKey(c Cell) string {
+	prof := "unknown:" + c.App
+	if p, ok := workload.ByName(c.App); ok {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+		prof = hex.EncodeToString(sum[:])
 	}
+	opts := DefaultOptions()
+	return fmt.Sprintf("v%d|cfg:%s|profile:%s|n:%d|scheme:%s|pf:%s|warmup:%g",
+		cacheSchemaVersion, simConfigHash(), prof, s.N, c.Scheme, c.Prefetcher, opts.WarmupFrac)
+}
+
+// computeCell runs one simulation cell.
+func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
+	w, err := s.workloads.Get(c.App)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	opts := DefaultOptions()
+	opts.Prefetcher = c.Prefetcher
+	return Run(w, c.Scheme, opts)
 }
 
 // AppNames returns the datacenter application list in paper order.
@@ -69,48 +199,107 @@ func (s *Suite) SPECNames() []string {
 	return names
 }
 
-// Workload returns the prepared workload for an app, generating on demand.
-func (s *Suite) Workload(name string) *Workload {
-	if w, ok := s.workloads[name]; ok {
-		return w
-	}
-	prof, ok := workload.ByName(name)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown workload %q", name))
-	}
-	w := Prepare(prof, s.N)
-	s.workloads[name] = w
-	return w
+// PrepareAll generates and annotates the named workloads in parallel
+// (trace generation, branch annotation, next-use oracle), memoizing each.
+func (s *Suite) PrepareAll(apps ...string) error {
+	s.init()
+	return s.workloads.Require(apps...)
 }
 
-// Result returns the memoized simulation result for (app, scheme) under
-// the given prefetcher ("fdp", "entangling", "none").
-func (s *Suite) Result(app, scheme, prefetcher string) cpu.Result {
-	key := app + "|" + scheme + "|" + prefetcher
-	if r, ok := s.results[key]; ok {
-		return r
-	}
-	w := s.Workload(app)
-	opts := DefaultOptions()
-	opts.Prefetcher = prefetcher
-	r, err := Run(w, scheme, opts)
+// Workload returns the prepared workload for an app, generating on demand.
+func (s *Suite) Workload(app string) (*Workload, error) {
+	s.init()
+	return s.workloads.Get(app)
+}
+
+// wl returns an already-validated workload; renderers call it after a
+// successful PrepareAll/Require, at which point failure is a logic error.
+func (s *Suite) wl(app string) *Workload {
+	w, err := s.Workload(app)
 	if err != nil {
 		panic(err)
 	}
-	s.results[key] = r
+	return w
+}
+
+// Require plans and executes the given cells: duplicates (within the batch
+// and against earlier work) are executed once, the rest run in parallel on
+// the worker pool. All cells are attempted; the first error in argument
+// order is returned. Renderers call Require before reading results so
+// their output does not depend on execution order.
+func (s *Suite) Require(cells ...Cell) error {
+	s.init()
+	return s.results.Require(cells...)
+}
+
+// Result returns the simulation result for (app, scheme) under the given
+// prefetcher (any name from Prefetchers()), computing it if needed.
+func (s *Suite) Result(app, scheme, prefetcher string) (cpu.Result, error) {
+	s.init()
+	return s.results.Get(Cell{App: app, Scheme: scheme, Prefetcher: prefetcher})
+}
+
+// res returns an already-planned result; renderers call it after a
+// successful Require, at which point failure is a logic error.
+func (s *Suite) res(app, scheme, prefetcher string) cpu.Result {
+	r, err := s.Result(app, scheme, prefetcher)
+	if err != nil {
+		panic(err)
+	}
 	return r
 }
 
 // SpeedupOver returns cycles(base)/cycles(scheme) for one app.
-func (s *Suite) SpeedupOver(app, base, scheme, prefetcher string) float64 {
-	b := s.Result(app, base, prefetcher)
-	v := s.Result(app, scheme, prefetcher)
-	return Speedup(b, v)
+func (s *Suite) SpeedupOver(app, base, scheme, prefetcher string) (float64, error) {
+	if err := s.Require(Cell{app, base, prefetcher}, Cell{app, scheme, prefetcher}); err != nil {
+		return 0, err
+	}
+	return s.speedupOver(app, base, scheme, prefetcher), nil
+}
+
+func (s *Suite) speedupOver(app, base, scheme, prefetcher string) float64 {
+	return Speedup(s.res(app, base, prefetcher), s.res(app, scheme, prefetcher))
 }
 
 // MPKIReductionOver returns the fractional MPKI reduction vs base.
-func (s *Suite) MPKIReductionOver(app, base, scheme, prefetcher string) float64 {
-	b := s.Result(app, base, prefetcher)
-	v := s.Result(app, scheme, prefetcher)
-	return MPKIReduction(b, v)
+func (s *Suite) MPKIReductionOver(app, base, scheme, prefetcher string) (float64, error) {
+	if err := s.Require(Cell{app, base, prefetcher}, Cell{app, scheme, prefetcher}); err != nil {
+		return 0, err
+	}
+	return s.mpkiReductionOver(app, base, scheme, prefetcher), nil
+}
+
+func (s *Suite) mpkiReductionOver(app, base, scheme, prefetcher string) float64 {
+	return MPKIReduction(s.res(app, base, prefetcher), s.res(app, scheme, prefetcher))
+}
+
+// each runs fn(0..n-1) on the worker pool and waits; it powers the
+// instrumented per-app sweeps (Fig 3b-style runs that attach callbacks and
+// so cannot share plain cells). Results must be written to index-addressed
+// slots so rendering order stays deterministic.
+func (s *Suite) each(n int, fn func(i int) error) error {
+	s.init()
+	return s.pool.Each(n, fn)
+}
+
+// eachCell flattens a rows × cols instrumented sweep (variant × app,
+// mode × app, ...) onto the worker pool; fn writes its outputs to
+// caller-owned (row, col)-addressed slots.
+func (s *Suite) eachCell(rows, cols int, fn func(row, col int) error) error {
+	return s.each(rows*cols, func(i int) error { return fn(i/cols, i%cols) })
+}
+
+// CacheError reports whether the persistent cache requested via CacheDir
+// could not be opened (the suite still runs, uncached). Callers that want
+// caching to be load-bearing should fail on it.
+func (s *Suite) CacheError() error {
+	s.init()
+	return s.cacheErr
+}
+
+// Stats reports engine counters: simulations computed this process,
+// results served from the persistent cache, and workloads prepared.
+func (s *Suite) Stats() (computed, fromCache, workloads int64) {
+	s.init()
+	return s.results.Computed(), s.results.CacheHits(), s.workloads.Computed()
 }
