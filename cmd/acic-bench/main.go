@@ -9,12 +9,20 @@
 // persist on disk keyed by workload/trace-length/scheme/prefetcher, making
 // reruns incremental.
 //
+// The -bench-json mode instead times raw simulator throughput (ns per
+// block access) per (scheme x prefetcher) cell and writes the
+// measurements as JSON — the tracked trajectory file BENCH_PR2.json at
+// the repo root is produced this way. -cpuprofile/-memprofile write
+// pprof data for either mode.
+//
 // Usage:
 //
 //	acic-bench -exp all            # everything (minutes)
 //	acic-bench -exp fig10,fig11    # the headline comparison
 //	acic-bench -exp table3 -n 1000000
 //	acic-bench -exp all -workers 4 -cache-dir ~/.cache/acic -progress
+//	acic-bench -bench-json bench.json -bench-repeats 5
+//	acic-bench -exp fig10 -cpuprofile cpu.prof
 //	acic-bench -list
 package main
 
@@ -22,11 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"acic/internal/experiments"
+	"acic/internal/perf"
 	"acic/internal/stats"
 )
 
@@ -121,8 +132,72 @@ func main() {
 		cacheDir = flag.String("cache-dir", os.Getenv("ACIC_CACHE_DIR"), "persistent result cache directory (empty = disabled)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		list     = flag.Bool("list", false, "list experiments and exit")
+
+		benchJSON    = flag.String("bench-json", "", "throughput microbenchmark mode: write ns/access per (scheme x prefetcher) to this JSON file and exit")
+		benchApp     = flag.String("bench-app", "media-streaming", "workload for -bench-json")
+		benchSchemes = flag.String("bench-schemes", "", "schemes for -bench-json (comma-separated; empty = tracked default set)")
+		benchPfs     = flag.String("bench-prefetchers", "none,fdp", "prefetcher platforms for -bench-json (comma-separated)")
+		benchRepeats = flag.Int("bench-repeats", 3, "timed repetitions per -bench-json cell (best kept)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopCPUProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPUProfile = func() { pprof.StopCPUProfile(); f.Close() }
+	}
+	defer stopCPUProfile()
+	writeMemProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *benchJSON != "" {
+		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats}
+		if *benchSchemes != "" {
+			cfg.Schemes = strings.Split(*benchSchemes, ",")
+		}
+		if *benchPfs != "" {
+			cfg.Prefetchers = strings.Split(*benchPfs, ",")
+		}
+		rep, err := perf.Measure(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== throughput microbenchmark: %s, n=%d (best of %d)\n%s", *benchApp, rep.N, *benchRepeats, rep.Table())
+		fmt.Printf("wrote %s\n", *benchJSON)
+		stopCPUProfile()
+		writeMemProfile()
+		return
+	}
 
 	exps := allExperiments()
 	if *list {
@@ -187,4 +262,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "computed %d cells, %d from cache, %d workloads prepared\n",
 			computed, fromCache, workloads)
 	}
+	stopCPUProfile()
+	writeMemProfile()
 }

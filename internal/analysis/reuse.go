@@ -6,8 +6,6 @@
 package analysis
 
 import (
-	"sort"
-
 	"acic/internal/cache"
 	"acic/internal/trace"
 )
@@ -207,6 +205,29 @@ func Bursts(blocks []uint64, threshold int64) BurstStats {
 	return st
 }
 
+// NextUseArray precomputes the successor array of a block-access sequence:
+// out[i] is the index of the next access to blocks[i] strictly after i, or
+// cache.NeverUsed when the block is never accessed again. One backward O(n)
+// pass replaces the per-query map lookup + binary search of NextUseOracle
+// for the dominant query shape — "when is the block I am touching right now
+// used next" — which the cache layer then carries as per-line metadata, so
+// OPT replacement and OPT bypass run without any oracle lookups on the hot
+// path. NextUseOracle remains the reference implementation (and serves the
+// arbitrary (block, after) queries of the offline figure analyses).
+func NextUseArray(blocks []uint64) []int64 {
+	out := make([]int64, len(blocks))
+	last := make(map[uint64]int64, 1024)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if j, ok := last[blocks[i]]; ok {
+			out[i] = j
+		} else {
+			out[i] = cache.NeverUsed
+		}
+		last[blocks[i]] = int64(i)
+	}
+	return out
+}
+
 // NextUseOracle answers "when is block b next accessed strictly after
 // time t" over a fixed block-access sequence; it powers OPT replacement
 // (Belady) and OPT bypass.
@@ -225,14 +246,24 @@ func NewNextUseOracle(blocks []uint64) *NextUseOracle {
 }
 
 // NextUse returns the access index of the first access to block strictly
-// after index `after`, or cache.NeverUsed if none exists.
+// after index `after`, or cache.NeverUsed if none exists. The binary search
+// is hand-rolled: sort.Search costs a closure call per probe, and this
+// query sits on the prefetch-fill path of the oracle schemes.
 func (o *NextUseOracle) NextUse(block uint64, after int64) int64 {
 	ps := o.positions[block]
-	i := sort.Search(len(ps), func(i int) bool { return int64(ps[i]) > after })
-	if i == len(ps) {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int64(ps[mid]) > after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(ps) {
 		return cache.NeverUsed
 	}
-	return int64(ps[i])
+	return int64(ps[lo])
 }
 
 // Func adapts the oracle to the cache.AccessContext.NextUse signature.

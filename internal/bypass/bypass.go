@@ -166,12 +166,27 @@ func (OPTBypass) Name() string { return "opt-bypass" }
 // OnFetch implements Policy.
 func (OPTBypass) OnFetch(uint64) {}
 
-// ShouldInsert implements Policy.
+// ShouldInsert implements Policy. Both next-use times are carried by the
+// context when the i-cache layer runs with a successor-array oracle (the
+// incoming block's from its i-Filter slot, the contender's from its cache
+// line), making the oracle decision two int64 compares; contexts without
+// carried values fall back to oracle queries. A carried value equal to a
+// prefetch context's access index denotes the not-yet-performed demand
+// access that index names; it is re-queried so decisions stay
+// byte-identical to the oracle ("strictly after") semantics.
 func (OPTBypass) ShouldInsert(incoming, contender uint64, contenderValid bool, ctx *cache.AccessContext) bool {
 	if !contenderValid {
 		return true
 	}
-	return ctx.NextUseOf(incoming) < ctx.NextUseOf(contender)
+	in := ctx.SelfNext
+	if in == 0 || ctx.Block != incoming || (ctx.IsPrefetch && in == ctx.AccessIdx) {
+		in = ctx.NextUseOf(incoming)
+	}
+	cn := ctx.ContenderNext
+	if cn == 0 || (ctx.IsPrefetch && cn == ctx.AccessIdx) {
+		cn = ctx.NextUseOf(contender)
+	}
+	return in < cn
 }
 
 // StorageBits implements Policy.

@@ -1,6 +1,9 @@
 package bypass
 
-import "acic/internal/cache"
+import (
+	"acic/internal/cache"
+	"acic/internal/flat"
+)
 
 // EAF implements the Evicted-Address Filter (Seshadri et al., PACT'12,
 // [78] in the paper's related work) as a bypass policy: a bounded filter
@@ -15,7 +18,7 @@ type EAF struct {
 	capacity    int
 	fifo        []uint64
 	pos         int
-	index       map[uint64]int // block -> count of live occurrences
+	index       *flat.Table // block -> count of live occurrences
 	state       uint64
 	BypassOneIn uint64
 
@@ -45,7 +48,7 @@ func NewEAF(cfg EAFConfig) *EAF {
 	return &EAF{
 		capacity:    cfg.Capacity,
 		fifo:        make([]uint64, cfg.Capacity),
-		index:       make(map[uint64]int, cfg.Capacity),
+		index:       flat.NewTable(cfg.Capacity),
 		state:       0xFEE1DEADCAFEF00D,
 		BypassOneIn: cfg.BypassOneIn,
 	}
@@ -62,19 +65,15 @@ func (p *EAF) OnFetch(uint64) {}
 func (p *EAF) OnEvict(block uint64) {
 	old := p.fifo[p.pos]
 	if old != 0 {
-		if n := p.index[old]; n <= 1 {
-			delete(p.index, old)
-		} else {
-			p.index[old] = n - 1
-		}
+		p.index.Add(old, -1)
 	}
 	p.fifo[p.pos] = block
-	p.index[block]++
+	p.index.Add(block, 1)
 	p.pos = (p.pos + 1) % p.capacity
 }
 
 // InFilter reports whether block is currently tracked.
-func (p *EAF) InFilter(block uint64) bool { return p.index[block] > 0 }
+func (p *EAF) InFilter(block uint64) bool { return p.index.Contains(block) }
 
 // ShouldInsert implements Policy.
 func (p *EAF) ShouldInsert(incoming, _ uint64, contenderValid bool, _ *cache.AccessContext) bool {

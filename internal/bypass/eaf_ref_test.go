@@ -1,0 +1,56 @@
+package bypass
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refEAFIndex is the retained map-based reference for the EAF's live-count
+// index (the pre-flat-table code). The production flat.Table-backed index
+// must agree with it on any eviction stream.
+type refEAFIndex struct {
+	capacity int
+	fifo     []uint64
+	pos      int
+	index    map[uint64]int
+}
+
+func newRefEAFIndex(capacity int) *refEAFIndex {
+	return &refEAFIndex{capacity: capacity, fifo: make([]uint64, capacity), index: make(map[uint64]int, capacity)}
+}
+
+func (p *refEAFIndex) onEvict(block uint64) {
+	old := p.fifo[p.pos]
+	if old != 0 {
+		if n := p.index[old]; n <= 1 {
+			delete(p.index, old)
+		} else {
+			p.index[old] = n - 1
+		}
+	}
+	p.fifo[p.pos] = block
+	p.index[block]++
+	p.pos = (p.pos + 1) % p.capacity
+}
+
+func (p *refEAFIndex) inFilter(block uint64) bool { return p.index[block] > 0 }
+
+// TestEAFMatchesMapReference drives the flat-table EAF and the map
+// reference through identical eviction streams and compares membership
+// after every step, across footprints below and above the FIFO capacity.
+func TestEAFMatchesMapReference(t *testing.T) {
+	for _, span := range []int{8, 60, 600, 4000} {
+		rng := rand.New(rand.NewSource(int64(span)))
+		eaf := NewEAF(EAFConfig{Capacity: 64, BypassOneIn: 2})
+		ref := newRefEAFIndex(64)
+		for step := 0; step < 30000; step++ {
+			b := uint64(rng.Intn(span)) + 1
+			eaf.OnEvict(b)
+			ref.onEvict(b)
+			probe := uint64(rng.Intn(span)) + 1
+			if got, want := eaf.InFilter(probe), ref.inFilter(probe); got != want {
+				t.Fatalf("span %d step %d: InFilter(%d) = %v, ref = %v", span, step, probe, got, want)
+			}
+		}
+	}
+}

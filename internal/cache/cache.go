@@ -15,6 +15,7 @@ import "fmt"
 // Line is one cache line's bookkeeping state (data is not simulated).
 type Line struct {
 	Block uint64 // full block number
+	Next  int64  // next-use time carried from the filling/hitting context (0 = none)
 	Valid bool
 }
 
@@ -26,11 +27,23 @@ type AccessContext struct {
 	Block      uint64 // block being accessed / inserted
 	AccessIdx  int64  // index in the block-access sequence (oracle time)
 	IsPrefetch bool   // access originates from a prefetcher, not demand fetch
-	NextUse    func(block uint64, after int64) int64
+
+	// SelfNext, when non-zero, is the precomputed next-use time of Block
+	// strictly after AccessIdx (the O(1) successor-array value supplied by
+	// the i-cache layer). Zero means "not precomputed": consumers fall back
+	// to the NextUse closure. Next-use times are strictly positive, so zero
+	// is unambiguous.
+	SelfNext int64
+	// ContenderNext, when non-zero, is the carried next-use time of the
+	// replacement contender a bypass decision runs against (Line.Next of
+	// the victim way). Zero means unknown.
+	ContenderNext int64
+
+	NextUse func(block uint64, after int64) int64
 }
 
 // NextUseOf returns the oracle next-use time of block strictly after the
-// context's access index, or MaxInt64 when no oracle is attached or the
+// context's access index, or NeverUsed when no oracle is attached or the
 // block is never used again.
 func (ctx *AccessContext) NextUseOf(block uint64) int64 {
 	if ctx == nil || ctx.NextUse == nil {
@@ -82,12 +95,24 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Cache is a set-associative cache of block numbers.
+// invalidKey marks an empty line in the key array. Block numbers are byte
+// addresses shifted right by 6, so no real block reaches 2^64-1 and lookups
+// need no separate valid check on the scan path.
+const invalidKey = ^uint64(0)
+
+// Cache is a set-associative cache of block numbers. Line state is stored
+// structure-of-arrays: the key array holds one uint64 per line (the block
+// number, or invalidKey), so looking up an 8-way set scans a single cache
+// line of memory; the carried next-use metadata lives in a parallel array
+// touched only on hits and fills.
 type Cache struct {
-	cfg    Config
-	mask   uint64
-	lines  []Line // sets*ways, row-major by set
-	policy Policy
+	cfg      Config
+	mask     uint64
+	keys     []uint64 // sets*ways block numbers, row-major by set; invalidKey = empty
+	next     []int64  // sets*ways carried next-use times
+	mru      []int32  // per-set most-recently-hit/filled way (way prediction)
+	policy   Policy
+	occupied int // valid-line count, maintained incrementally
 
 	// Stats
 	Hits   uint64
@@ -105,10 +130,16 @@ func New(cfg Config, p Policy) (*Cache, error) {
 		return nil, fmt.Errorf("cache: nil policy")
 	}
 	p.Reset(cfg.Sets, cfg.Ways)
+	keys := make([]uint64, cfg.Sets*cfg.Ways)
+	for i := range keys {
+		keys[i] = invalidKey
+	}
 	return &Cache{
 		cfg:    cfg,
 		mask:   uint64(cfg.Sets - 1),
-		lines:  make([]Line, cfg.Sets*cfg.Ways),
+		keys:   keys,
+		next:   make([]int64, cfg.Sets*cfg.Ways),
+		mru:    make([]int32, cfg.Sets),
 		policy: p,
 	}, nil
 }
@@ -131,21 +162,37 @@ func (c *Cache) Policy() Policy { return c.policy }
 // SetIndex maps a block to its set.
 func (c *Cache) SetIndex(block uint64) int { return int(block & c.mask) }
 
-// line returns a pointer to the line at (set, way).
-func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.cfg.Ways+way] }
-
-// Lines returns the lines of a set (aliasing internal storage; callers must
-// not mutate). Exposed for oracle analyses and victim-cache integration.
-func (c *Cache) Lines(set int) []Line {
-	return c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+// lineAt materializes the Line value stored at index i.
+func (c *Cache) lineAt(i int) Line {
+	if c.keys[i] == invalidKey {
+		return Line{}
+	}
+	return Line{Block: c.keys[i], Next: c.next[i], Valid: true}
 }
 
-// Lookup finds block without updating replacement state.
+// Lines returns a snapshot of the lines of a set. Exposed for oracle
+// analyses and victim-cache integration (off the hot path: it allocates).
+func (c *Cache) Lines(set int) []Line {
+	out := make([]Line, c.cfg.Ways)
+	base := set * c.cfg.Ways
+	for w := range out {
+		out[w] = c.lineAt(base + w)
+	}
+	return out
+}
+
+// Lookup finds block without updating replacement state. The set's most
+// recently touched way is probed first (way prediction): accesses are
+// bursty, so the common hit costs one compare instead of a way scan. The
+// match is exact either way — prediction only reorders the probe sequence.
 func (c *Cache) Lookup(block uint64) (way int, hit bool) {
 	set := c.SetIndex(block)
 	base := set * c.cfg.Ways
+	if m := int(c.mru[set]); c.keys[base+m] == block {
+		return m, true
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
-		if ln := &c.lines[base+w]; ln.Valid && ln.Block == block {
+		if c.keys[base+w] == block {
 			return w, true
 		}
 	}
@@ -159,7 +206,10 @@ func (c *Cache) Access(ctx *AccessContext) (hit bool) {
 	way, ok := c.Lookup(ctx.Block)
 	if ok {
 		c.Hits++
-		c.policy.OnHit(c.SetIndex(ctx.Block), way, ctx)
+		set := c.SetIndex(ctx.Block)
+		c.next[set*c.cfg.Ways+way] = ctx.SelfNext
+		c.mru[set] = int32(way)
+		c.policy.OnHit(set, way, ctx)
 		return true
 	}
 	c.Misses++
@@ -172,13 +222,18 @@ func (c *Cache) Access(ctx *AccessContext) (hit bool) {
 func (c *Cache) PeekVictim(ctx *AccessContext) (way int, victim Line) {
 	set := c.SetIndex(ctx.Block)
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.lines[base+w].Valid {
-			return w, c.lines[base+w]
+	// The empty-way scan matters only while the cache fills; once every
+	// line is valid (the steady state — nothing in the simulated datapaths
+	// invalidates lines), it can never find one, so skip it.
+	if c.occupied < len(c.keys) {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.keys[base+w] == invalidKey {
+				return w, Line{}
+			}
 		}
 	}
 	w := c.policy.Victim(set, ctx)
-	return w, c.lines[base+w]
+	return w, c.lineAt(base + w)
 }
 
 // Insert fills block into its set, evicting the policy's victim if the set
@@ -190,28 +245,33 @@ func (c *Cache) Insert(ctx *AccessContext) (evicted Line) {
 	if victim.Valid {
 		c.policy.OnEvict(set, way, ctx)
 		c.Evicts++
+	} else {
+		c.occupied++
 	}
-	ln := c.line(set, way)
-	evicted = *ln
-	ln.Block = ctx.Block
-	ln.Valid = true
+	i := set*c.cfg.Ways + way
+	c.keys[i] = ctx.Block
+	c.next[i] = ctx.SelfNext
+	c.mru[set] = int32(way)
 	c.Fills++
 	c.policy.OnFill(set, way, ctx)
-	return evicted
+	return victim
 }
 
 // InsertAt fills block into an explicit way of its set (used by victim-cache
 // swap paths), returning the previous contents.
 func (c *Cache) InsertAt(way int, ctx *AccessContext) (evicted Line) {
 	set := c.SetIndex(ctx.Block)
-	ln := c.line(set, way)
-	if ln.Valid {
+	i := set*c.cfg.Ways + way
+	evicted = c.lineAt(i)
+	if evicted.Valid {
 		c.policy.OnEvict(set, way, ctx)
 		c.Evicts++
+	} else {
+		c.occupied++
 	}
-	evicted = *ln
-	ln.Block = ctx.Block
-	ln.Valid = true
+	c.keys[i] = ctx.Block
+	c.next[i] = ctx.SelfNext
+	c.mru[set] = int32(way)
 	c.Fills++
 	c.policy.OnFill(set, way, ctx)
 	return evicted
@@ -223,7 +283,8 @@ func (c *Cache) Invalidate(block uint64) bool {
 	if !ok {
 		return false
 	}
-	c.line(c.SetIndex(block), way).Valid = false
+	c.keys[c.SetIndex(block)*c.cfg.Ways+way] = invalidKey
+	c.occupied--
 	return true
 }
 
@@ -233,16 +294,10 @@ func (c *Cache) Contains(block uint64) bool {
 	return ok
 }
 
-// Occupancy returns the number of valid lines.
-func (c *Cache) Occupancy() int {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			n++
-		}
-	}
-	return n
-}
+// Occupancy returns the number of valid lines. The count is maintained
+// incrementally by Insert/InsertAt/Invalidate, so this is O(1) and safe to
+// call from analysis and victim paths on every access.
+func (c *Cache) Occupancy() int { return c.occupied }
 
 // ResetStats zeroes the hit/miss/fill/evict counters.
 func (c *Cache) ResetStats() { c.Hits, c.Misses, c.Fills, c.Evicts = 0, 0, 0, 0 }

@@ -8,16 +8,16 @@ import (
 
 func TestIFilterLRU(t *testing.T) {
 	f := NewIFilter(2)
-	if _, ev := f.Insert(1); ev {
+	if _, _, ev := f.Insert(1, 0); ev {
 		t.Error("insert into empty filter must not evict")
 	}
-	if _, ev := f.Insert(2); ev {
+	if _, _, ev := f.Insert(2, 0); ev {
 		t.Error("second insert must not evict")
 	}
-	if !f.Access(1) {
+	if !f.Access(1, 0) {
 		t.Error("block 1 should hit")
 	}
-	victim, ev := f.Insert(3)
+	victim, _, ev := f.Insert(3, 0)
 	if !ev || victim != 2 {
 		t.Errorf("victim = %d,%v; want 2 (LRU)", victim, ev)
 	}
@@ -31,11 +31,11 @@ func TestIFilterLRU(t *testing.T) {
 
 func TestIFilterInvalidate(t *testing.T) {
 	f := NewIFilter(4)
-	f.Insert(7)
+	f.Insert(7, 0)
 	if !f.Invalidate(7) || f.Invalidate(7) {
 		t.Error("invalidate semantics wrong")
 	}
-	if f.Access(7) {
+	if f.Access(7, 0) {
 		t.Error("invalidated block must miss")
 	}
 }
@@ -317,11 +317,11 @@ func TestIFilterInvariantProperty(t *testing.T) {
 		resident := map[uint64]bool{}
 		for i := 0; i < 200; i++ {
 			b := uint64(rng.Intn(40))
-			if fl.Access(b) != resident[b] {
+			if fl.Access(b, 0) != resident[b] {
 				return false
 			}
 			if !resident[b] {
-				victim, ev := fl.Insert(b)
+				victim, _, ev := fl.Insert(b, 0)
 				if ev {
 					if !resident[victim] {
 						return false

@@ -23,6 +23,7 @@ type IFilter struct {
 type ifSlot struct {
 	block uint64
 	stamp int64
+	next  int64 // carried next-use time of block (0 = unknown)
 	valid bool
 }
 
@@ -48,11 +49,15 @@ func (f *IFilter) Contains(block uint64) bool {
 }
 
 // Access looks up block, updating LRU state and hit statistics on a hit.
-func (f *IFilter) Access(block uint64) bool {
+// next, when non-zero, is the next-use time of block strictly after this
+// access (successor-array value); the slot carries it so that, at eviction
+// time, the victim's next use is known without an oracle query.
+func (f *IFilter) Access(block uint64, next int64) bool {
 	for i := range f.slots {
 		if f.slots[i].valid && f.slots[i].block == block {
 			f.clock++
 			f.slots[i].stamp = f.clock
+			f.slots[i].next = next
 			f.Hits++
 			return true
 		}
@@ -62,23 +67,25 @@ func (f *IFilter) Access(block uint64) bool {
 }
 
 // Insert places block into the filter, evicting the LRU slot if full.
-// It returns the evicted block and whether an eviction happened. The caller
-// (the ACIC datapath) runs admission control on the victim.
-func (f *IFilter) Insert(block uint64) (victim uint64, evicted bool) {
+// It returns the evicted block, its carried next-use time (0 when the
+// filter was run without next-use tracking), and whether an eviction
+// happened. The caller (the ACIC datapath) runs admission control on the
+// victim.
+func (f *IFilter) Insert(block uint64, next int64) (victim uint64, victimNext int64, evicted bool) {
 	f.clock++
 	lru, lruStamp := -1, int64(0)
 	for i := range f.slots {
 		if !f.slots[i].valid {
-			f.slots[i] = ifSlot{block: block, stamp: f.clock, valid: true}
-			return 0, false
+			f.slots[i] = ifSlot{block: block, stamp: f.clock, next: next, valid: true}
+			return 0, 0, false
 		}
 		if lru == -1 || f.slots[i].stamp < lruStamp {
 			lru, lruStamp = i, f.slots[i].stamp
 		}
 	}
-	victim = f.slots[lru].block
-	f.slots[lru] = ifSlot{block: block, stamp: f.clock, valid: true}
-	return victim, true
+	victim, victimNext = f.slots[lru].block, f.slots[lru].next
+	f.slots[lru] = ifSlot{block: block, stamp: f.clock, next: next, valid: true}
+	return victim, victimNext, true
 }
 
 // Invalidate removes block if resident (used when a block is promoted into

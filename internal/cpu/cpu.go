@@ -15,6 +15,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"acic/internal/branch"
 	"acic/internal/icache"
 	"acic/internal/mem"
@@ -99,13 +101,119 @@ type inflight struct {
 	readyAt int64
 }
 
+// Per-instruction descriptor bits, precomputed in NewProgram. The fetch
+// and run-ahead loops each visit every dynamic instruction; one descriptor
+// byte answers their common questions (does this instruction open a new
+// fetch block / touch memory / end the fetch group / redirect the front
+// end) without loading the 32-byte Inst record or the branch annotation,
+// which cuts the loops' memory traffic to a sequential byte stream.
+const (
+	descNewBlock uint8 = 1 << iota // first instruction of a block access
+	descLoad
+	descStore
+	descGroupEnd // taken branch: ends the fetch group
+	descMispredict
+	descMisfetch
+
+	descRunEvent = descNewBlock | descMispredict | descMisfetch
+)
+
+// Program is a trace preprocessed for simulation: flat, scheme-independent
+// per-instruction and per-access arrays that every scheme run over a
+// workload shares. The simulation loops read only these arrays — the
+// descriptor byte stream, the collapsed block-access sequence (one uint64
+// per access, indexed by access index), and the data-block array for
+// memory operations — never the 32-byte Inst records, which matters when
+// the per-access budget is a few hundred nanoseconds.
+type Program struct {
+	Trace  *trace.Trace
+	Ann    []branch.Annotation
+	Desc   []uint8  // descriptor byte per instruction
+	Blocks []uint64 // collapsed block-access sequence (== Trace.BlockAccesses())
+	MemBlk []uint64 // data block per instruction (loads/stores; 0 otherwise)
+
+	// runEvents is a bitmap over instructions with a run-ahead event bit
+	// (descRunEvent) set, letting the run-ahead walker skip straight-line
+	// stretches 64 instructions per word instead of byte by byte.
+	runEvents []uint64
+}
+
+// nextRunEvent returns the smallest index >= i whose descriptor carries a
+// run-ahead event bit, or n when none remains.
+func (p *Program) nextRunEvent(i, n int) int {
+	w := i >> 6
+	word := p.runEvents[w] & (^uint64(0) << uint(i&63))
+	for word == 0 {
+		w++
+		if w >= len(p.runEvents) {
+			return n
+		}
+		word = p.runEvents[w]
+	}
+	if j := w<<6 + bits.TrailingZeros64(word); j < n {
+		return j
+	}
+	return n
+}
+
+// NewProgram preprocesses tr under its branch annotations ann
+// (branch.FrontEnd.Annotate) in one pass.
+func NewProgram(tr *trace.Trace, ann []branch.Annotation) *Program {
+	if len(ann) != len(tr.Insts) {
+		panic("cpu: annotation length mismatch")
+	}
+	p := &Program{
+		Trace:     tr,
+		Ann:       ann,
+		Desc:      make([]uint8, len(tr.Insts)),
+		Blocks:    make([]uint64, 0, len(tr.Insts)/4+1),
+		MemBlk:    make([]uint64, len(tr.Insts)),
+		runEvents: make([]uint64, (len(tr.Insts)+63)/64+1),
+	}
+	var prevBlock uint64
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		var d uint8
+		b := in.Block()
+		if i == 0 || b != prevBlock {
+			d |= descNewBlock
+			p.Blocks = append(p.Blocks, b)
+		}
+		prevBlock = b
+		switch in.Class {
+		case trace.ClassLoad:
+			d |= descLoad
+			p.MemBlk[i] = trace.Block(in.MemAddr)
+		case trace.ClassStore:
+			d |= descStore
+			p.MemBlk[i] = trace.Block(in.MemAddr)
+		}
+		if in.Class.IsBranch() && (in.Class != trace.ClassCondBranch || in.Taken) {
+			d |= descGroupEnd
+		}
+		switch ann[i].Redirect {
+		case branch.RedirectMispredict:
+			d |= descMispredict
+		case branch.RedirectMisfetch:
+			d |= descMisfetch
+		}
+		p.Desc[i] = d
+		if d&descRunEvent != 0 {
+			p.runEvents[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return p
+}
+
+// Len returns the number of dynamic instructions.
+func (p *Program) Len() int { return len(p.Desc) }
+
 // Simulator runs one (trace, scheme) simulation.
 type Simulator struct {
 	cfg  Config
 	sub  icache.Subsystem
 	hier *mem.Hierarchy
-	tr   *trace.Trace
-	ann  []branch.Annotation
+	prog *Program
 
 	// Timing state.
 	cycle       int64
@@ -119,19 +227,22 @@ type Simulator struct {
 	fetchIdx  int
 	lastBlock uint64
 	haveBlock bool
+	retrying  bool // current instruction's demand access already performed (stall retry)
 	accessIdx int64
 
 	// FDP run-ahead state.
-	runIdx      int
-	runLastBlk  uint64
-	runHaveBlk  bool
-	runAccesses int64
-	blockedAt   int // trace index of the mispredict blocking run-ahead (-1 none)
+	runIdx       int
+	runLastBlk   uint64
+	runHaveBlk   bool
+	runSkipIssue bool // current run-ahead event already counted; skip its issue on retry
+	runAccesses  int64
+	blockedAt    int // trace index of the mispredict blocking run-ahead (-1 none)
 
 	// Prefetch state.
-	pfInFlight []inflight
-	pfScratch  []uint64
-	l2NextFree int64 // instruction-side L2 port availability (bandwidth)
+	pfInFlight  []inflight
+	pfScratch   []uint64
+	pfNextReady int64 // earliest readyAt in pfInFlight (scan gate)
+	l2NextFree  int64 // instruction-side L2 port availability (bandwidth)
 
 	// Counters.
 	demandMisses  uint64
@@ -142,21 +253,19 @@ type Simulator struct {
 	redirectStall int64
 }
 
-// NewSimulator assembles a simulation of tr over the given i-cache
-// subsystem and hierarchy. ann must be the branch annotations of tr
-// (branch.FrontEnd.Annotate); they are scheme-independent and reusable.
-func NewSimulator(cfg Config, tr *trace.Trace, ann []branch.Annotation, sub icache.Subsystem, hier *mem.Hierarchy) *Simulator {
-	if len(ann) != len(tr.Insts) {
-		panic("cpu: annotation length mismatch")
-	}
+// NewSimulator assembles a simulation of the preprocessed program over the
+// given i-cache subsystem and hierarchy. The Program is immutable and
+// shared: build it once per workload (NewProgram) and hand it to every
+// scheme's simulator.
+func NewSimulator(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hierarchy) *Simulator {
 	return &Simulator{
-		cfg:       cfg,
-		sub:       sub,
-		hier:      hier,
-		tr:        tr,
-		ann:       ann,
-		rob:       make([]int64, cfg.ROB),
-		blockedAt: -1,
+		cfg:        cfg,
+		sub:        sub,
+		hier:       hier,
+		prog:       prog,
+		rob:        make([]int64, cfg.ROB),
+		pfInFlight: make([]inflight, 0, cfg.MaxPrefetches),
+		blockedAt:  -1,
 	}
 }
 
@@ -167,20 +276,46 @@ func (s *Simulator) Run(warmupInstrs int64) Result {
 	var wMiss, wLate, wPf uint64
 	warmupTaken := warmupInstrs <= 0
 
-	n := len(s.tr.Insts)
+	n := s.prog.Len()
 	for s.fetchIdx < n || s.robLen > 0 {
-		s.retire()
-		s.completePrefetches()
-		if s.cfg.UseFDP && s.fetchIdx < n {
-			s.runAhead()
-		}
-		s.fetch()
-		s.cycle++
+		s.step()
 		if !warmupTaken && s.instructions >= warmupInstrs {
 			wCycles, wInstr, wBlocks = s.cycle, s.instructions, s.accessIdx
 			wMiss, wLate, wPf = s.demandMisses, s.lateMisses, s.prefetches
 			wIStall, wRStall = s.imissStall, s.redirectStall
 			warmupTaken = true
+		}
+		// Quiescent-stall fast-forward: while the front end is stalled, a
+		// cycle can only matter if the ROB head completes, a prefetch fill
+		// lands, or the run-ahead stream advances. When the stream is
+		// gated (blocked on a redirect, FTQ full, or past the trace end —
+		// all conditions only fetch progress can change) and neither
+		// completion is due, every intermediate cycle is a pure idle tick:
+		// jump to the earliest event and account the skipped cycles to the
+		// active stall counter. Observable state is identical to stepping.
+		if s.cycle < s.stallUntil &&
+			(s.robLen == 0 || s.rob[s.robHead] > s.cycle) &&
+			(len(s.pfInFlight) == 0 || s.pfNextReady > s.cycle) {
+			gated := !s.cfg.UseFDP || s.fetchIdx >= n || s.runIdx >= n ||
+				(s.blockedAt >= 0 && s.fetchIdx <= s.blockedAt) ||
+				s.runAccesses-s.accessIdx >= int64(s.cfg.FTQBlocks)
+			if gated {
+				target := s.stallUntil
+				if s.robLen > 0 && s.rob[s.robHead] < target {
+					target = s.rob[s.robHead]
+				}
+				if len(s.pfInFlight) > 0 && s.pfNextReady < target {
+					target = s.pfNextReady
+				}
+				if skipped := target - s.cycle; skipped > 0 {
+					s.cycle = target
+					if s.stallIsMiss {
+						s.imissStall += skipped
+					} else {
+						s.redirectStall += skipped
+					}
+				}
+			}
 		}
 	}
 	return Result{
@@ -196,28 +331,62 @@ func (s *Simulator) Run(warmupInstrs int64) Result {
 	}
 }
 
+// step advances the simulation by one core cycle. It is the unit the
+// steady-state allocation guard measures: after warmup, a step must not
+// allocate (testing.AllocsPerRun == 0), which keeps the per-access cost of
+// wide sweeps bounded by arithmetic and cache misses rather than GC.
+func (s *Simulator) step() {
+	s.retire()
+	s.completePrefetches()
+	if s.cfg.UseFDP && s.fetchIdx < s.prog.Len() {
+		s.runAhead()
+	}
+	s.fetch()
+	s.cycle++
+}
+
+// done reports whether the simulation has retired everything.
+func (s *Simulator) done() bool { return s.fetchIdx >= s.prog.Len() && s.robLen == 0 }
+
 // retire pops completed instructions from the ROB head.
 func (s *Simulator) retire() {
+	rob := s.rob
 	for k := 0; k < s.cfg.RetireWidth && s.robLen > 0; k++ {
-		if s.rob[s.robHead] > s.cycle {
+		if rob[s.robHead] > s.cycle {
 			return
 		}
-		s.robHead = (s.robHead + 1) % len(s.rob)
+		// Conditional wrap instead of modulo: ROB size is not a power of
+		// two, and an integer division per retired instruction is
+		// measurable in the cycle loop.
+		s.robHead++
+		if s.robHead == len(rob) {
+			s.robHead = 0
+		}
 		s.robLen--
 	}
 }
 
-// completePrefetches installs prefetches whose fill latency elapsed.
+// completePrefetches installs prefetches whose fill latency elapsed. The
+// in-flight list is scanned only when the earliest completion is due — the
+// loop runs every cycle, and most cycles nothing completes.
 func (s *Simulator) completePrefetches() {
+	if len(s.pfInFlight) == 0 || s.cycle < s.pfNextReady {
+		return
+	}
 	kept := s.pfInFlight[:0]
+	nextReady := int64(1)<<62 - 1
 	for _, pf := range s.pfInFlight {
 		if pf.readyAt <= s.cycle {
 			s.sub.PrefetchFill(pf.block, s.accessIdx, s.cycle)
 		} else {
+			if pf.readyAt < nextReady {
+				nextReady = pf.readyAt
+			}
 			kept = append(kept, pf)
 		}
 	}
 	s.pfInFlight = kept
+	s.pfNextReady = nextReady
 }
 
 func (s *Simulator) prefetchPending(block uint64) (int64, bool) {
@@ -240,7 +409,11 @@ func (s *Simulator) issuePrefetch(block uint64) bool {
 	if _, pending := s.prefetchPending(block); pending {
 		return true
 	}
-	s.pfInFlight = append(s.pfInFlight, inflight{block: block, readyAt: s.instrFillReady(block)})
+	readyAt := s.instrFillReady(block)
+	if len(s.pfInFlight) == 0 || readyAt < s.pfNextReady {
+		s.pfNextReady = readyAt
+	}
+	s.pfInFlight = append(s.pfInFlight, inflight{block: block, readyAt: readyAt})
 	s.prefetches++
 	return true
 }
@@ -275,25 +448,51 @@ func (s *Simulator) runAhead() {
 		s.runHaveBlk = s.haveBlock
 		s.runLastBlk = s.lastBlock
 		s.runAccesses = s.accessIdx
+		// Fetch stalled retrying the instruction at fetchIdx means its
+		// demand access is already counted in accessIdx: suppress that
+		// event's issue (keeping the access counter aligned with the
+		// collapsed block sequence) but still process its redirect bits —
+		// a mispredicted branch at the retried block start must block the
+		// stream exactly as the per-instruction walk did.
+		s.runSkipIssue = s.retrying
 	}
 	issued := 0
-	n := len(s.tr.Insts)
+	n := s.prog.Len()
 	for s.runIdx < n && issued < s.cfg.PrefetchPerCycle {
+		d := s.prog.Desc[s.runIdx]
+		if d&descRunEvent == 0 {
+			// Same block, no redirect: nothing for the run-ahead stream to
+			// do until the next event; jump there via the event bitmap.
+			s.runIdx = s.prog.nextRunEvent(s.runIdx, n)
+			continue
+		}
 		if s.runAccesses-s.accessIdx >= int64(s.cfg.FTQBlocks) {
 			return
 		}
-		in := &s.tr.Insts[s.runIdx]
-		b := in.Block()
-		if !s.runHaveBlk || b != s.runLastBlk {
-			s.runHaveBlk = true
-			s.runLastBlk = b
-			s.runAccesses++
-			if !s.issuePrefetch(b) {
-				return // MSHRs full; retry next cycle
+		if d&descNewBlock != 0 {
+			if s.runSkipIssue {
+				// This event's access was counted on a previous attempt
+				// that found the MSHRs full; the stream does not re-issue
+				// it (the block comparison against the already-updated
+				// run-ahead state used to absorb it).
+				s.runSkipIssue = false
+			} else {
+				// The run-ahead access counter indexes the collapsed
+				// sequence, so the upcoming block is one array read.
+				b := s.prog.Blocks[s.runAccesses]
+				if !s.runHaveBlk || b != s.runLastBlk {
+					s.runHaveBlk = true
+					s.runLastBlk = b
+					s.runAccesses++
+					if !s.issuePrefetch(b) {
+						s.runSkipIssue = true
+						return // MSHRs full
+					}
+					issued++
+				}
 			}
-			issued++
 		}
-		if s.ann[s.runIdx].Redirect != branch.RedirectNone {
+		if d&(descMispredict|descMisfetch) != 0 {
 			// The run-ahead stream cannot proceed past a branch the front
 			// end will get wrong: a mispredicted direction sends it down
 			// the wrong path, and a BTB miss leaves it with no target to
@@ -316,48 +515,57 @@ func (s *Simulator) fetch() {
 		}
 		return
 	}
-	n := len(s.tr.Insts)
+	desc := s.prog.Desc
 	for f := 0; f < s.cfg.FetchWidth; f++ {
-		if s.fetchIdx >= n || s.robLen >= len(s.rob) {
+		if s.fetchIdx >= len(desc) || s.robLen >= len(s.rob) {
 			return
 		}
-		in := &s.tr.Insts[s.fetchIdx]
-		b := in.Block()
-		if !s.haveBlock || b != s.lastBlock {
-			if !s.demandAccess(b) {
+		d := desc[s.fetchIdx]
+		if d&descNewBlock != 0 {
+			// The descriptor flags the first instruction of a block access;
+			// the accessIdx counter indexes the collapsed sequence, so the
+			// demanded block is one array read. A stalled fetch retries
+			// this instruction after its demand access already ran; the
+			// retrying flag keeps the retry from double-counting.
+			if s.retrying {
+				s.retrying = false
+			} else if !s.demandAccess(s.prog.Blocks[s.accessIdx]) {
+				s.retrying = true
 				return // miss: front end stalls until the fill arrives
 			}
 		}
 
 		// Dispatch into the ROB with a class-based completion time.
 		completion := s.cycle + s.cfg.PipelineDepth
-		switch in.Class {
-		case trace.ClassLoad:
-			completion += s.hier.DataAccess(trace.Block(in.MemAddr))
-		case trace.ClassStore:
-			// Stores retire through the store buffer; access the hierarchy
-			// for fills but do not delay completion.
-			s.hier.DataAccess(trace.Block(in.MemAddr))
+		if d&(descLoad|descStore) != 0 {
+			lat := s.hier.DataAccess(s.prog.MemBlk[s.fetchIdx])
+			if d&descLoad != 0 {
+				// Stores retire through the store buffer: they access the
+				// hierarchy for fills but do not delay completion.
+				completion += lat
+			}
 		}
-		tail := (s.robHead + s.robLen) % len(s.rob)
+		tail := s.robHead + s.robLen
+		if tail >= len(s.rob) {
+			tail -= len(s.rob)
+		}
 		s.rob[tail] = completion
 		s.robLen++
 		s.instructions++
 		s.fetchIdx++
 
 		// Front-end redirects end the fetch group.
-		switch s.ann[s.fetchIdx-1].Redirect {
-		case branch.RedirectMispredict:
-			s.stallUntil = s.cycle + s.cfg.MispredictPenalty
-			s.stallIsMiss = false
-			return
-		case branch.RedirectMisfetch:
-			s.stallUntil = s.cycle + s.cfg.MisfetchPenalty
+		if d&(descMispredict|descMisfetch) != 0 {
+			if d&descMispredict != 0 {
+				s.stallUntil = s.cycle + s.cfg.MispredictPenalty
+			} else {
+				s.stallUntil = s.cycle + s.cfg.MisfetchPenalty
+			}
 			s.stallIsMiss = false
 			return
 		}
 		// A taken branch ends the fetch group (new fetch target next cycle).
-		if in.Class.IsBranch() && (in.Class != trace.ClassCondBranch || in.Taken) {
+		if d&descGroupEnd != 0 {
 			return
 		}
 	}

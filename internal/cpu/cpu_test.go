@@ -29,7 +29,7 @@ func newSub(t *testing.T) *icache.Complex {
 
 func TestSimulatorRetiresEverything(t *testing.T) {
 	tr, ann := tinyWorkload(t, 20000)
-	sim := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig()))
+	sim := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig()))
 	res := sim.Run(0)
 	if res.Instructions != int64(len(tr.Insts)) {
 		t.Errorf("retired %d of %d instructions", res.Instructions, len(tr.Insts))
@@ -47,8 +47,8 @@ func TestSimulatorRetiresEverything(t *testing.T) {
 
 func TestWarmupExcluded(t *testing.T) {
 	tr, ann := tinyWorkload(t, 20000)
-	full := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
-	warm := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(10000)
+	full := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	warm := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(10000)
 	if warm.Instructions >= full.Instructions {
 		t.Errorf("warmup did not reduce measured instructions: %d vs %d", warm.Instructions, full.Instructions)
 	}
@@ -61,7 +61,7 @@ func TestBlockAccessIndexMatchesOracleTimebase(t *testing.T) {
 	// The simulator's access numbering must equal trace.BlockAccesses'
 	// numbering — the OPT oracle depends on it.
 	tr, ann := tinyWorkload(t, 30000)
-	sim := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig()))
+	sim := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig()))
 	res := sim.Run(0)
 	if got, want := res.BlockAccesses, int64(len(tr.BlockAccesses())); got != want {
 		t.Errorf("simulator saw %d block accesses, trace has %d", got, want)
@@ -73,8 +73,8 @@ func TestFDPReducesStallsNotMissesAccounting(t *testing.T) {
 	cfgOn := DefaultConfig()
 	cfgOff := DefaultConfig()
 	cfgOff.UseFDP = false
-	on := NewSimulator(cfgOn, tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
-	off := NewSimulator(cfgOff, tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	on := NewSimulator(cfgOn, NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	off := NewSimulator(cfgOff, NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(0)
 	if on.Cycles >= off.Cycles {
 		t.Errorf("FDP should speed things up: %d vs %d cycles", on.Cycles, off.Cycles)
 	}
@@ -93,8 +93,8 @@ func TestBiggerCacheIsFaster(t *testing.T) {
 	tr, ann := tinyWorkload(t, 60000)
 	small := icache.MustNew(icache.Config{Sets: 16, Ways: 2, Policy: policy.NewLRU()})
 	big := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU()})
-	rs := NewSimulator(DefaultConfig(), tr, ann, small, mem.New(mem.DefaultConfig())).Run(0)
-	rb := NewSimulator(DefaultConfig(), tr, ann, big, mem.New(mem.DefaultConfig())).Run(0)
+	rs := NewSimulator(DefaultConfig(), NewProgram(tr, ann), small, mem.New(mem.DefaultConfig())).Run(0)
+	rb := NewSimulator(DefaultConfig(), NewProgram(tr, ann), big, mem.New(mem.DefaultConfig())).Run(0)
 	if rb.Cycles >= rs.Cycles {
 		t.Errorf("32KB cache should beat 2KB: %d vs %d cycles", rb.Cycles, rs.Cycles)
 	}
@@ -121,12 +121,12 @@ func TestAnnotationLengthChecked(t *testing.T) {
 			t.Error("expected panic on annotation mismatch")
 		}
 	}()
-	NewSimulator(DefaultConfig(), tr, nil, newSub(t), mem.New(mem.DefaultConfig()))
+	NewSimulator(DefaultConfig(), NewProgram(tr, nil), newSub(t), mem.New(mem.DefaultConfig()))
 }
 
 func TestEmptyTrace(t *testing.T) {
 	tr := &trace.Trace{}
-	sim := NewSimulator(DefaultConfig(), tr, nil, newSub(t), mem.New(mem.DefaultConfig()))
+	sim := NewSimulator(DefaultConfig(), NewProgram(tr, nil), newSub(t), mem.New(mem.DefaultConfig()))
 	res := sim.Run(0)
 	if res.Instructions != 0 {
 		t.Error("empty trace should retire nothing")
@@ -135,8 +135,8 @@ func TestEmptyTrace(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	tr, ann := tinyWorkload(t, 30000)
-	r1 := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
-	r2 := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
+	r1 := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
+	r2 := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(1000)
 	if r1 != r2 {
 		t.Errorf("simulation is not deterministic:\n%+v\n%+v", r1, r2)
 	}
@@ -144,7 +144,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestStallBreakdownAccounting(t *testing.T) {
 	tr, ann := tinyWorkload(t, 40000)
-	res := NewSimulator(DefaultConfig(), tr, ann, newSub(t), mem.New(mem.DefaultConfig())).Run(0)
+	res := NewSimulator(DefaultConfig(), NewProgram(tr, ann), newSub(t), mem.New(mem.DefaultConfig())).Run(0)
 	if res.IMissStallCycles <= 0 {
 		t.Error("a missing workload must accumulate i-miss stall cycles")
 	}
@@ -157,7 +157,7 @@ func TestStallBreakdownAccounting(t *testing.T) {
 	}
 	// A perfect-size cache reduces i-miss stalls.
 	big := icache.MustNew(icache.Config{Sets: 512, Ways: 8, Policy: policy.NewLRU()})
-	resBig := NewSimulator(DefaultConfig(), tr, ann, big, mem.New(mem.DefaultConfig())).Run(0)
+	resBig := NewSimulator(DefaultConfig(), NewProgram(tr, ann), big, mem.New(mem.DefaultConfig())).Run(0)
 	if resBig.IMissStallCycles >= res.IMissStallCycles {
 		t.Error("a much larger cache should cut i-miss stalls")
 	}

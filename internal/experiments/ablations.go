@@ -39,7 +39,10 @@ func AblationCSHRDefault(s *Suite) (*stats.Table, error) {
 		cc := core.DefaultConfig()
 		cc.EvictTrain = m.mode
 		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-		res := mustRun(w, sub, DefaultOptions())
+		res, err := RunSubsystem(w, sub, DefaultOptions())
+		if err != nil {
+			return err
+		}
 		base := s.res(app, Baseline, "fdp")
 		speedups[mi][ai] = Speedup(base, res)
 		reductions[mi][ai] = MPKIReduction(base, res)

@@ -128,7 +128,9 @@ func (s *Suite) Fig3b(app string) (*stats.Histogram, float64, error) {
 			wrong++
 		}
 	}
-	mustRun(w, sub, DefaultOptions())
+	if _, err := RunSubsystem(w, sub, DefaultOptions()); err != nil {
+		return nil, 0, err
+	}
 	frac := 0.0
 	if total > 0 {
 		frac = float64(wrong) / float64(total)
@@ -169,7 +171,9 @@ func (s *Suite) Fig6(app string) (*stats.Histogram, error) {
 		}
 		h.Add(float64(age))
 	}
-	mustRun(w, sub, DefaultOptions())
+	if _, err := RunSubsystem(w, sub, DefaultOptions()); err != nil {
+		return nil, err
+	}
 	// Entries still unresolved at the end of the run count as InF.
 	if occ := sub.ACIC().CSHR.Occupancy(); occ > 0 {
 		for i := 0; i < occ; i++ {
@@ -273,7 +277,9 @@ func (s *Suite) Fig12a() (*stats.Table, error) {
 				}
 			}
 		}
-		mustRun(w, sub, DefaultOptions())
+		if _, err := RunSubsystem(w, sub, DefaultOptions()); err != nil {
+			return err
+		}
 		return nil
 	})
 	if err != nil {
@@ -332,7 +338,9 @@ func (s *Suite) Fig13() (*stats.Table, error) {
 		w := s.wl(apps[i])
 		cc := core.DefaultConfig()
 		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-		mustRun(w, sub, DefaultOptions())
+		if _, err := RunSubsystem(w, sub, DefaultOptions()); err != nil {
+			return err
+		}
 		admitted[i] = sub.ACIC().AdmitFraction()
 		return nil
 	})
@@ -400,7 +408,10 @@ func (s *Suite) Fig15() (*stats.Table, error) {
 		cc := core.DefaultConfig()
 		v.Mutate(&cc)
 		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-		res := mustRun(w, sub, DefaultOptions())
+		res, err := RunSubsystem(w, sub, DefaultOptions())
+		if err != nil {
+			return err
+		}
 		speedups[vi][ai] = Speedup(s.res(app, Baseline, "fdp"), res)
 		return nil
 	})

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"acic/internal/bypass"
+	"acic/internal/icache"
+	"acic/internal/policy"
+	"acic/internal/workload"
+)
+
+// TestSuccessorArrayEquivalence pins the hot-path data layout end to end:
+// the oracle schemes simulated with the successor array attached (carried
+// per-line and per-filter-slot next-use metadata, O(1) self-next reads)
+// must produce exactly the same cpu.Result as the same schemes running on
+// oracle-closure fallback queries alone. Any drift in the carried-metadata
+// invariants (staleness on hit/fill, filter victim carry, lazy prefetch
+// resolution) shows up as a cycle or miss-count difference here.
+func TestSuccessorArrayEquivalence(t *testing.T) {
+	for _, app := range []string{"media-streaming", "data-caching", "wikipedia"} {
+		prof, ok := workload.ByName(app)
+		if !ok {
+			t.Fatalf("unknown workload %q", app)
+		}
+		w := Prepare(prof, 200_000)
+		build := func(scheme string, withArray bool) icache.Subsystem {
+			c := icache.Config{Sets: 64, Ways: 8, NextUse: w.Oracle.Func()}
+			switch scheme {
+			case "opt":
+				c.Policy = policy.NewOPT()
+			case "opt-bypass":
+				c.Policy = policy.NewLRU()
+				c.FilterSlots = 16
+				c.Bypass = bypass.OPTBypass{}
+			}
+			if withArray {
+				c.NextAt = w.NextAt
+			}
+			return icache.MustNew(c)
+		}
+		for _, scheme := range []string{"opt", "opt-bypass"} {
+			for _, pf := range []string{"none", "fdp"} {
+				opts := DefaultOptions()
+				opts.Prefetcher = pf
+				fast, err := RunSubsystem(w, build(scheme, true), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := RunSubsystem(w, build(scheme, false), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast != slow {
+					t.Errorf("%s/%s/%s: successor-array result %+v != oracle-fallback result %+v",
+						app, scheme, pf, fast, slow)
+				}
+			}
+		}
+	}
+}

@@ -19,14 +19,19 @@ import (
 )
 
 // Workload bundles everything scheme runs share for one application: the
-// trace, its branch annotations (scheme-independent), the block-access
-// sequence, and the next-use oracle built over it.
+// preprocessed program (trace, branch annotations, fetch descriptors, and
+// the collapsed block-access sequence — all scheme-independent), the
+// next-use oracle built over the block sequence, and the successor array
+// (NextAt[i] = next access to the block demanded at access i) that lets
+// the oracle schemes answer their dominant query with one slice read.
 type Workload struct {
 	Profile workload.Profile
+	Prog    *cpu.Program
 	Trace   *trace.Trace
 	Ann     []branch.Annotation
 	Blocks  []uint64
 	Oracle  *analysis.NextUseOracle
+	NextAt  []int64
 }
 
 // Prepare generates a workload of n instructions and builds the shared
@@ -35,13 +40,15 @@ func Prepare(p workload.Profile, n int) *Workload {
 	tr := workload.Generate(p, n)
 	fe := branch.NewFrontEnd()
 	ann := fe.Annotate(tr)
-	blocks := tr.BlockAccesses()
+	prog := cpu.NewProgram(tr, ann)
 	return &Workload{
 		Profile: p,
+		Prog:    prog,
 		Trace:   tr,
 		Ann:     ann,
-		Blocks:  blocks,
-		Oracle:  analysis.NewNextUseOracle(blocks),
+		Blocks:  prog.Blocks,
+		Oracle:  analysis.NewNextUseOracle(prog.Blocks),
+		NextAt:  analysis.NextUseArray(prog.Blocks),
 	}
 }
 
@@ -109,19 +116,9 @@ func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, 
 		return cpu.Result{}, fmt.Errorf("experiments: unknown prefetcher %q", opts.Prefetcher)
 	}
 	hier := mem.New(mem.DefaultConfig())
-	sim := cpu.NewSimulator(cfg, w.Trace, w.Ann, sub, hier)
+	sim := cpu.NewSimulator(cfg, w.Prog, sub, hier)
 	warm := int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
 	return sim.Run(warm), nil
-}
-
-// mustRun simulates a pre-built subsystem under options already known to
-// be valid (the instrumented figure sweeps, which all use DefaultOptions).
-func mustRun(w *Workload, sub icache.Subsystem, opts Options) cpu.Result {
-	res, err := RunSubsystem(w, sub, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res
 }
 
 // Speedup returns base cycles over result cycles.

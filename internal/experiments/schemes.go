@@ -125,6 +125,7 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		c := base()
 		c.Policy = policy.NewOPT()
 		c.NextUse = oracle
+		c.NextAt = w.NextAt
 		return icache.New(c)
 	case "opt-bypass":
 		c := base()
@@ -132,6 +133,7 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		c.FilterSlots = 16
 		c.Bypass = bypass.OPTBypass{}
 		c.NextUse = oracle
+		c.NextAt = w.NextAt
 		c.Name = "opt-bypass"
 		return icache.New(c)
 	case "ifilter":

@@ -1,0 +1,188 @@
+// Package flat provides the open-addressed hash tables the simulation hot
+// path uses in place of Go maps. A Go map lookup costs a hash, a bucket
+// walk, and (on insert) possible allocation; the structures here are flat
+// power-of-two arrays with multiplicative hashing and linear probing, so
+// steady-state operation touches one or two cache lines and never
+// allocates. Deletion uses backward-shift compaction (no tombstones), which
+// keeps probe chains short over arbitrarily long runs — the property the
+// per-block policy state (EAF live counts, prefetch-covered tracking)
+// needs, since those tables churn for the whole simulation.
+package flat
+
+const minCapacity = 16
+
+// fibMul is the 64-bit Fibonacci hashing multiplier (golden-ratio
+// reciprocal); taking the top bits of k*fibMul spreads dense block numbers
+// across the table.
+const fibMul = 0x9E3779B97F4A7C15
+
+// Table maps uint64 keys to non-zero int32 values. A stored value of zero
+// is indistinguishable from absence: Put(k, 0) and Add reaching zero both
+// delete. This matches the hot-path uses — occurrence counts and presence
+// flags — and lets Get double as the membership test.
+type Table struct {
+	keys  []uint64
+	vals  []int32
+	used  []bool
+	mask  int
+	shift uint
+	n     int
+}
+
+// NewTable returns a table pre-sized for about capacityHint live entries.
+func NewTable(capacityHint int) *Table {
+	capacity := minCapacity
+	// Size to <50% load at the hinted occupancy.
+	for capacity < 2*capacityHint {
+		capacity *= 2
+	}
+	t := &Table{}
+	t.init(capacity)
+	return t
+}
+
+func (t *Table) init(capacity int) {
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]int32, capacity)
+	t.used = make([]bool, capacity)
+	t.mask = capacity - 1
+	shift := uint(64)
+	for c := capacity; c > 1; c >>= 1 {
+		shift--
+	}
+	t.shift = shift
+	t.n = 0
+}
+
+func (t *Table) home(k uint64) int { return int((k * fibMul) >> t.shift) }
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.n }
+
+// find returns the slot holding k, or (insertion point, false).
+func (t *Table) find(k uint64) (int, bool) {
+	i := t.home(k)
+	for t.used[i] {
+		if t.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+	return i, false
+}
+
+// Get returns the value stored for k, or 0 when absent.
+func (t *Table) Get(k uint64) int32 {
+	i := t.home(k)
+	for t.used[i] {
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0
+}
+
+// Contains reports whether k has a (non-zero) value.
+func (t *Table) Contains(k uint64) bool { return t.Get(k) != 0 }
+
+// Put sets k's value; v == 0 deletes the entry.
+func (t *Table) Put(k uint64, v int32) {
+	if v == 0 {
+		t.Delete(k)
+		return
+	}
+	i, ok := t.find(k)
+	if ok {
+		t.vals[i] = v
+		return
+	}
+	t.insertAt(i, k, v)
+}
+
+// Add adjusts k's value by delta (inserting at delta from absent) and
+// returns the new value; an entry reaching a value <= 0 is removed and 0 is
+// returned.
+func (t *Table) Add(k uint64, delta int32) int32 {
+	i, ok := t.find(k)
+	if !ok {
+		if delta <= 0 {
+			return 0
+		}
+		t.insertAt(i, k, delta)
+		return delta
+	}
+	v := t.vals[i] + delta
+	if v <= 0 {
+		t.deleteSlot(i)
+		return 0
+	}
+	t.vals[i] = v
+	return v
+}
+
+func (t *Table) insertAt(i int, k uint64, v int32) {
+	t.keys[i], t.vals[i], t.used[i] = k, v, true
+	t.n++
+	// Grow at 3/4 load so probe chains stay short; steady-state workloads
+	// reach their high-water capacity once and never allocate again.
+	if 4*t.n >= 3*len(t.keys) {
+		t.grow()
+	}
+}
+
+func (t *Table) grow() {
+	keys, vals, used := t.keys, t.vals, t.used
+	t.init(2 * len(keys))
+	for i := range keys {
+		if used[i] {
+			j, _ := t.find(keys[i])
+			t.keys[j], t.vals[j], t.used[j] = keys[i], vals[i], true
+			t.n++
+		}
+	}
+}
+
+// Delete removes k if present.
+func (t *Table) Delete(k uint64) {
+	if i, ok := t.find(k); ok {
+		t.deleteSlot(i)
+	}
+}
+
+// deleteSlot empties slot i and backward-shifts the probe chain behind it
+// so that no entry becomes unreachable (linear-probing invariant: every
+// entry is reachable from its home slot without crossing an empty slot).
+func (t *Table) deleteSlot(i int) {
+	t.n--
+	j := i
+	for {
+		t.used[i] = false
+		for {
+			j = (j + 1) & t.mask
+			if !t.used[j] {
+				return
+			}
+			h := t.home(t.keys[j])
+			// The entry at j may move into the hole at i only if its home
+			// slot does not lie in the cyclic interval (i, j] — otherwise
+			// moving it would place it before its home.
+			if i <= j {
+				if h > i && h <= j {
+					continue
+				}
+			} else if h > i || h <= j {
+				continue
+			}
+			break
+		}
+		t.keys[i], t.vals[i], t.used[i] = t.keys[j], t.vals[j], true
+		i = j
+	}
+}
+
+// Reset empties the table without releasing storage.
+func (t *Table) Reset() {
+	clear(t.used)
+	t.n = 0
+}

@@ -1,0 +1,138 @@
+package flat
+
+import "testing"
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable(4)
+	if tb.Len() != 0 || tb.Get(7) != 0 || tb.Contains(7) {
+		t.Fatal("empty table not empty")
+	}
+	tb.Put(7, 3)
+	tb.Put(9, 1)
+	if tb.Get(7) != 3 || tb.Get(9) != 1 || tb.Len() != 2 {
+		t.Fatalf("get after put: %d %d len %d", tb.Get(7), tb.Get(9), tb.Len())
+	}
+	tb.Put(7, 5)
+	if tb.Get(7) != 5 || tb.Len() != 2 {
+		t.Fatal("overwrite changed length")
+	}
+	tb.Put(7, 0)
+	if tb.Contains(7) || tb.Len() != 1 {
+		t.Fatal("put zero should delete")
+	}
+	tb.Delete(9)
+	tb.Delete(9)
+	if tb.Len() != 0 {
+		t.Fatal("delete")
+	}
+}
+
+func TestTableAdd(t *testing.T) {
+	tb := NewTable(4)
+	if got := tb.Add(42, 2); got != 2 {
+		t.Fatalf("Add new = %d", got)
+	}
+	if got := tb.Add(42, -1); got != 1 {
+		t.Fatalf("Add -1 = %d", got)
+	}
+	if got := tb.Add(42, -1); got != 0 || tb.Contains(42) {
+		t.Fatalf("Add to zero should delete (got %d)", got)
+	}
+	if got := tb.Add(42, -5); got != 0 || tb.Contains(42) {
+		t.Fatal("Add negative on absent key must stay absent")
+	}
+}
+
+// TestTableVsMap drives identical operation streams through Table and a Go
+// map and checks every observable result, including across growth and
+// backward-shift deletions on colliding keys.
+func TestTableVsMap(t *testing.T) {
+	tb := NewTable(0)
+	ref := map[uint64]int32{}
+	rng := uint64(0x1234567)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	for step := 0; step < 200000; step++ {
+		// Small key space (and multiples of a power of two to force home
+		// collisions) so deletes hit mid-chain slots often.
+		k := next(512) * 64
+		switch next(4) {
+		case 0:
+			v := int32(next(5)) + 1
+			tb.Put(k, v)
+			ref[k] = v
+		case 1:
+			d := int32(next(5)) - 2
+			got := tb.Add(k, d)
+			want := ref[k] + d
+			if want <= 0 {
+				want = 0
+				delete(ref, k)
+			} else {
+				ref[k] = want
+			}
+			if got != want {
+				t.Fatalf("step %d: Add(%d,%d) = %d, want %d", step, k, d, got, want)
+			}
+		case 2:
+			tb.Delete(k)
+			delete(ref, k)
+		case 3:
+			if got, want := tb.Get(k), ref[k]; got != want {
+				t.Fatalf("step %d: Get(%d) = %d, want %d", step, k, got, want)
+			}
+		}
+		if tb.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, tb.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		if got := tb.Get(k); got != v {
+			t.Fatalf("final: Get(%d) = %d, want %d", k, got, v)
+		}
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tb := NewTable(8)
+	for i := uint64(0); i < 20; i++ {
+		tb.Put(i, 1)
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatal("reset should empty the table")
+	}
+	for i := uint64(0); i < 20; i++ {
+		if tb.Contains(i) {
+			t.Fatalf("key %d survived reset", i)
+		}
+	}
+	tb.Put(3, 9)
+	if tb.Get(3) != 9 {
+		t.Fatal("table unusable after reset")
+	}
+}
+
+// TestTableSteadyStateAllocs pins the zero-allocation property: once a
+// table has reached its high-water capacity, churn (insert/delete cycles)
+// must not allocate.
+func TestTableSteadyStateAllocs(t *testing.T) {
+	tb := NewTable(64)
+	for i := uint64(0); i < 64; i++ {
+		tb.Put(i, 1)
+	}
+	k := uint64(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tb.Put(k, 1)
+		tb.Add(k, 1)
+		tb.Delete(k)
+		k += 7
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %v times per run", allocs)
+	}
+}

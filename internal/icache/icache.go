@@ -13,6 +13,7 @@ import (
 	"acic/internal/bypass"
 	"acic/internal/cache"
 	"acic/internal/core"
+	"acic/internal/flat"
 	"acic/internal/victim"
 )
 
@@ -76,6 +77,15 @@ type Config struct {
 	VictimBlocks int
 	// NextUse attaches the oracle used by OPT replacement and OPT bypass.
 	NextUse func(block uint64, after int64) int64
+	// NextAt, when set, is the successor array of the workload's block-
+	// access sequence: NextAt[i] is the next-use time of the block demanded
+	// at access index i. With it attached, the oracle schemes answer "when
+	// is the block I am touching used next" with one slice read, and carry
+	// the value on cache lines and i-Filter slots so victim selection and
+	// bypass decisions never query NextUse. The caller must drive Fetch
+	// with accessIdx values that index this sequence (the CPU front end
+	// does). Optional: without it, consumers fall back to NextUse.
+	NextAt []int64
 }
 
 // DefaultGeometry fills Sets/Ways with the paper's 32KB 8-way baseline when
@@ -98,12 +108,19 @@ type Complex struct {
 	byp    bypass.Policy
 	vc     *victim.VC
 	oracle func(uint64, int64) int64
+	nextAt []int64
 	stats  Stats
+
+	// actx is the reusable per-access context. One access may repopulate
+	// it several times (demand lookup, then the fill candidate), but it
+	// never escapes an access, so steady-state fetching performs zero heap
+	// allocations.
+	actx cache.AccessContext
 
 	// prefFilled tracks blocks installed by a prefetch with no demand
 	// access yet; the first demand to such a block is "prefetch covered"
 	// (consumed by prefetch-aware admission control).
-	prefFilled map[uint64]struct{}
+	prefFilled *flat.Table
 }
 
 // New builds a Complex from cfg.
@@ -119,7 +136,8 @@ func New(cfg Config) (*Complex, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Complex{l1: l1, byp: cfg.Bypass, oracle: cfg.NextUse, prefFilled: make(map[uint64]struct{})}
+	c := &Complex{l1: l1, byp: cfg.Bypass, oracle: cfg.NextUse, nextAt: cfg.NextAt, prefFilled: flat.NewTable(64)}
+	c.actx.NextUse = cfg.NextUse
 	if cfg.ACIC != nil {
 		c.acic = core.New(*cfg.ACIC)
 		c.filter = c.acic.Filter
@@ -174,8 +192,25 @@ func (c *Complex) ACIC() *core.ACIC { return c.acic }
 // Filter exposes the i-Filter when configured (else nil).
 func (c *Complex) Filter() *core.IFilter { return c.filter }
 
-func (c *Complex) ctx(block uint64, accessIdx int64, prefetch bool) cache.AccessContext {
-	return cache.AccessContext{Block: block, AccessIdx: accessIdx, IsPrefetch: prefetch, NextUse: c.oracle}
+// ctx repopulates the reusable access context (NextUse is constant and set
+// at construction). The pointer is only valid until the next ctx call;
+// policies must not retain it (none do).
+func (c *Complex) ctx(block uint64, accessIdx, selfNext int64, prefetch bool) *cache.AccessContext {
+	c.actx.Block = block
+	c.actx.AccessIdx = accessIdx
+	c.actx.IsPrefetch = prefetch
+	c.actx.SelfNext = selfNext
+	c.actx.ContenderNext = 0
+	return &c.actx
+}
+
+// demandNext returns the successor-array next-use time of the block
+// demanded at accessIdx, or 0 when no array is attached.
+func (c *Complex) demandNext(accessIdx int64) int64 {
+	if c.nextAt == nil || accessIdx < 0 || accessIdx >= int64(len(c.nextAt)) {
+		return 0
+	}
+	return c.nextAt[accessIdx]
 }
 
 // Fetch implements Subsystem.
@@ -183,32 +218,35 @@ func (c *Complex) Fetch(block uint64, accessIdx, cycle int64) bool {
 	c.stats.Accesses++
 	sets := c.l1.Config().Sets
 	set := c.l1.SetIndex(block)
-	_, prefetched := c.prefFilled[block]
-	if prefetched {
-		delete(c.prefFilled, block)
-	}
 	if c.acic != nil {
+		// Prefetch-covered tracking is consumed only by ACIC's admission
+		// control, so only ACIC complexes pay for it.
+		prefetched := c.prefFilled.Contains(block)
+		if prefetched {
+			c.prefFilled.Delete(block)
+		}
 		c.acic.Tick(cycle)
 		c.acic.OnFetch(block, set, sets, prefetched)
 	}
 	if c.byp != nil {
 		c.byp.OnFetch(block)
 	}
+	selfNext := c.demandNext(accessIdx)
 	// Concurrent search of i-Filter and i-cache (Fig 2).
-	if c.filter != nil && c.filter.Access(block) {
+	if c.filter != nil && c.filter.Access(block, selfNext) {
 		c.stats.Hits++
 		c.stats.FilterHits++
 		return true
 	}
-	ctx := c.ctx(block, accessIdx, false)
-	if c.l1.Access(&ctx) {
+	ctx := c.ctx(block, accessIdx, selfNext, false)
+	if c.l1.Access(ctx) {
 		c.stats.Hits++
 		c.stats.L1Hits++
 		return true
 	}
 	if c.vc != nil && c.vc.Probe(block) {
 		// Swap the victim-cache hit into the i-cache.
-		evicted := c.l1.Insert(&ctx)
+		evicted := c.l1.Insert(ctx)
 		if evicted.Valid {
 			c.vc.Insert(evicted.Block)
 		}
@@ -226,7 +264,9 @@ func (c *Complex) PrefetchFill(block uint64, accessIdx, cycle int64) {
 	if c.Contains(block) {
 		return
 	}
-	c.prefFilled[block] = struct{}{}
+	if c.acic != nil {
+		c.prefFilled.Put(block, 1)
+	}
 	c.fill(block, accessIdx, cycle, true)
 }
 
@@ -234,15 +274,27 @@ func (c *Complex) PrefetchFill(block uint64, accessIdx, cycle int64) {
 // path: into the i-Filter when present (with admission control on the
 // filter's victim), else directly into the i-cache subject to bypass.
 func (c *Complex) fill(block uint64, accessIdx, cycle int64, prefetch bool) {
+	// The incoming block's next use: one successor-array read for a demand
+	// miss. A prefetched block is not the block demanded at accessIdx, so
+	// its value stays 0 ("unknown"); consumers that ever examine it (OPT
+	// victim scans, bypass decisions) resolve it lazily with the oracle —
+	// most prefetched blocks are demanded first, which fills the value for
+	// free.
+	var next int64
+	if !prefetch {
+		next = c.demandNext(accessIdx)
+	}
 	sets := c.l1.Config().Sets
 	if c.filter != nil {
-		victimBlock, evicted := c.filter.Insert(block)
+		victimBlock, victimNext, evicted := c.filter.Insert(block, next)
 		if !evicted {
 			return
 		}
-		// The filter victim is the insertion candidate now.
-		vctx := c.ctx(victimBlock, accessIdx, prefetch)
-		way, contender := c.l1.PeekVictim(&vctx)
+		// The filter victim is the insertion candidate now, and its slot
+		// carried its next-use time, so the oracle bypass decision below
+		// needs no lookups.
+		vctx := c.ctx(victimBlock, accessIdx, victimNext, prefetch)
+		way, contender := c.l1.PeekVictim(vctx)
 		admit := true
 		switch {
 		case c.acic != nil:
@@ -251,12 +303,13 @@ func (c *Complex) fill(block uint64, accessIdx, cycle int64, prefetch bool) {
 				admit = true // empty way: nothing to pollute
 			}
 		case c.byp != nil:
-			admit = c.byp.ShouldInsert(victimBlock, contender.Block, contender.Valid, &vctx)
+			vctx.ContenderNext = contender.Next
+			admit = c.byp.ShouldInsert(victimBlock, contender.Block, contender.Valid, vctx)
 		}
 		if !admit {
 			return
 		}
-		ev := c.l1.InsertAt(way, &vctx)
+		ev := c.l1.InsertAt(way, vctx)
 		if ev.Valid {
 			c.notifyEvict(ev.Block)
 			if c.vc != nil {
@@ -265,14 +318,15 @@ func (c *Complex) fill(block uint64, accessIdx, cycle int64, prefetch bool) {
 		}
 		return
 	}
-	ctx := c.ctx(block, accessIdx, prefetch)
+	ctx := c.ctx(block, accessIdx, next, prefetch)
 	if c.byp != nil {
-		_, contender := c.l1.PeekVictim(&ctx)
-		if !c.byp.ShouldInsert(block, contender.Block, contender.Valid, &ctx) {
+		_, contender := c.l1.PeekVictim(ctx)
+		ctx.ContenderNext = contender.Next
+		if !c.byp.ShouldInsert(block, contender.Block, contender.Valid, ctx) {
 			return
 		}
 	}
-	ev := c.l1.Insert(&ctx)
+	ev := c.l1.Insert(ctx)
 	if ev.Valid {
 		c.notifyEvict(ev.Block)
 		if c.vc != nil {

@@ -1,0 +1,34 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"acic/internal/cache"
+	"acic/internal/policy"
+)
+
+// TestLevelMatchesGenericLRUCache pins the flat level implementation to
+// the generic cache.Cache + policy.LRU reference on identical access/fill
+// streams: every access must agree on hit/miss, which forces identical
+// victim selection, stamping, and fill placement throughout.
+func TestLevelMatchesGenericLRUCache(t *testing.T) {
+	for _, span := range []int{4, 30, 200, 3000} {
+		rng := rand.New(rand.NewSource(int64(span)))
+		lv := newLevel(8, 4)
+		ref := cache.MustNew(cache.Config{Sets: 8, Ways: 4}, policy.NewLRU())
+		for step := 0; step < 50000; step++ {
+			b := uint64(rng.Intn(span))
+			hit := lv.access(b)
+			ctx := cache.AccessContext{Block: b}
+			refHit := ref.Access(&ctx)
+			if hit != refHit {
+				t.Fatalf("span %d step %d: access(%d) = %v, ref = %v", span, step, b, hit, refHit)
+			}
+			if !hit {
+				lv.insert(b)
+				ref.Insert(&ctx)
+			}
+		}
+	}
+}

@@ -4,12 +4,17 @@
 // channel, modeled as a fixed access latency at the 4GHz core clock).
 // Instruction and data streams share L2 and L3. MSHR counts bound the
 // overlap the timing model allows, matching Table II's 16/16/32/64.
+//
+// The level caches are plain LRU and nothing consumes their per-line
+// metadata, so they use a specialized flat implementation instead of the
+// generic policy-pluggable cache.Cache: per-level key/stamp arrays with an
+// MRU way probe. Every load and store in the simulated program passes
+// through DataAccess, making this the single hottest call in the
+// simulator; the flat form performs it with no interface dispatch, no
+// access-context traffic, and no allocation. Semantics are identical to
+// cache.Cache with policy.LRU (same clock, same first-way tie-breaks),
+// which the differential test in mem_test.go pins.
 package mem
-
-import (
-	"acic/internal/cache"
-	"acic/internal/policy"
-)
 
 // Latencies are the load-to-use latencies of each level, in core cycles.
 type Latencies struct {
@@ -46,11 +51,101 @@ func DefaultConfig() Config {
 	}
 }
 
+// invalidKey marks an empty line; block numbers never reach 2^64-1.
+const invalidKey = ^uint64(0)
+
+// memLine pairs a line's block with its LRU stamp so the hit path — probe
+// the predicted way, refresh its stamp — touches one cache line of host
+// memory. The simulated L2/L3 arrays are hundreds of kilobytes, so the
+// host-cache behavior of this struct dominates the data-side cost.
+type memLine struct {
+	block uint64
+	stamp int64
+}
+
+// level is one flat LRU set-associative cache level.
+type level struct {
+	mask     uint64
+	ways     int
+	lines    []memLine // row-major by set; block == invalidKey = empty
+	mru      []int32   // most recently touched way per set (probe-first)
+	clock    int64
+	occupied int
+}
+
+func newLevel(sets, ways int) *level {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("mem: bad level geometry")
+	}
+	lines := make([]memLine, sets*ways)
+	for i := range lines {
+		lines[i].block = invalidKey
+	}
+	return &level{
+		mask:  uint64(sets - 1),
+		ways:  ways,
+		lines: lines,
+		mru:   make([]int32, sets),
+	}
+}
+
+// access looks up block and refreshes its LRU stamp on a hit.
+func (l *level) access(block uint64) bool {
+	set := int(block & l.mask)
+	base := set * l.ways
+	w := int(l.mru[set])
+	if l.lines[base+w].block != block {
+		w = -1
+		for v := 0; v < l.ways; v++ {
+			if l.lines[base+v].block == block {
+				w = v
+				break
+			}
+		}
+		if w < 0 {
+			return false
+		}
+		l.mru[set] = int32(w)
+	}
+	l.clock++
+	l.lines[base+w].stamp = l.clock
+	return true
+}
+
+// insert fills block into its set: the first empty way while the level is
+// still filling, else the least recently used way (first-way tie-break).
+func (l *level) insert(block uint64) {
+	set := int(block & l.mask)
+	base := set * l.ways
+	w := -1
+	if l.occupied < len(l.lines) {
+		for v := 0; v < l.ways; v++ {
+			if l.lines[base+v].block == invalidKey {
+				w = v
+				l.occupied++
+				break
+			}
+		}
+	}
+	if w < 0 {
+		w = 0
+		best := l.lines[base].stamp
+		for v := 1; v < l.ways; v++ {
+			if s := l.lines[base+v].stamp; s < best {
+				w, best = v, s
+			}
+		}
+	}
+	l.clock++
+	l.lines[base+w] = memLine{block: block, stamp: l.clock}
+	l.mru[set] = int32(w)
+}
+
 // Hierarchy is the shared L1d/L2/L3/DRAM model.
 type Hierarchy struct {
-	l1d *cache.Cache
-	l2  *cache.Cache
-	l3  *cache.Cache
+	l1d *level
+	l2  *level
+	l3  *level
 	lat Latencies
 
 	// Stats.
@@ -67,9 +162,9 @@ type Hierarchy struct {
 // New builds the hierarchy.
 func New(cfg Config) *Hierarchy {
 	return &Hierarchy{
-		l1d: cache.MustNew(cache.Config{Sets: cfg.L1DSets, Ways: cfg.L1DWays}, policy.NewLRU()),
-		l2:  cache.MustNew(cache.Config{Sets: cfg.L2Sets, Ways: cfg.L2Ways}, policy.NewLRU()),
-		l3:  cache.MustNew(cache.Config{Sets: cfg.L3Sets, Ways: cfg.L3Ways}, policy.NewLRU()),
+		l1d: newLevel(cfg.L1DSets, cfg.L1DWays),
+		l2:  newLevel(cfg.L2Sets, cfg.L2Ways),
+		l3:  newLevel(cfg.L3Sets, cfg.L3Ways),
 		lat: cfg.Lat,
 	}
 }
@@ -80,19 +175,18 @@ func (h *Hierarchy) Latencies() Latencies { return h.lat }
 // InstrMiss services an L1i miss for an instruction block, filling L2/L3 on
 // the way, and returns the additional latency beyond the L1i hit time.
 func (h *Hierarchy) InstrMiss(block uint64) int64 {
-	ctx := cache.AccessContext{Block: block}
-	if h.l2.Access(&ctx) {
+	if h.l2.access(block) {
 		h.L2InstrHits++
 		return h.lat.L2
 	}
-	if h.l3.Access(&ctx) {
+	if h.l3.access(block) {
 		h.L3InstrHits++
-		h.l2.Insert(&ctx)
+		h.l2.insert(block)
 		return h.lat.L3
 	}
 	h.DRAMInstr++
-	h.l3.Insert(&ctx)
-	h.l2.Insert(&ctx)
+	h.l3.insert(block)
+	h.l2.insert(block)
 	return h.lat.DRAM
 }
 
@@ -100,25 +194,24 @@ func (h *Hierarchy) InstrMiss(block uint64) int64 {
 // and returns its load-to-use latency in cycles.
 func (h *Hierarchy) DataAccess(block uint64) int64 {
 	h.DataAccesses++
-	ctx := cache.AccessContext{Block: block}
-	if h.l1d.Access(&ctx) {
+	if h.l1d.access(block) {
 		h.L1DHits++
 		return h.lat.L1D
 	}
-	if h.l2.Access(&ctx) {
+	if h.l2.access(block) {
 		h.L2DataHits++
-		h.l1d.Insert(&ctx)
+		h.l1d.insert(block)
 		return h.lat.L2
 	}
-	if h.l3.Access(&ctx) {
+	if h.l3.access(block) {
 		h.L3DataHits++
-		h.l2.Insert(&ctx)
-		h.l1d.Insert(&ctx)
+		h.l2.insert(block)
+		h.l1d.insert(block)
 		return h.lat.L3
 	}
 	h.DRAMData++
-	h.l3.Insert(&ctx)
-	h.l2.Insert(&ctx)
-	h.l1d.Insert(&ctx)
+	h.l3.insert(block)
+	h.l2.insert(block)
+	h.l1d.insert(block)
 	return h.lat.DRAM
 }

@@ -1,0 +1,194 @@
+// Package perf measures raw simulator throughput — nanoseconds per block
+// access and accesses per second — for a grid of (scheme × prefetcher)
+// cells over one workload. The measurements serialize to JSON
+// (BENCH_PR2.json at the repo root is the tracked trajectory file) so that
+// future PRs can regress hot-path changes against a committed baseline
+// instead of folklore.
+//
+// Throughput here is *simulator* speed, not simulated-machine speed: the
+// denominator is the number of instruction-block accesses the front end
+// issues over the whole run (warmup included), which is identical across
+// schemes for a given workload and therefore isolates the per-access cost
+// of the i-cache subsystem under test.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"acic/internal/experiments"
+	"acic/internal/stats"
+)
+
+// Cell is one measured (scheme × prefetcher) throughput point.
+type Cell struct {
+	App            string  `json:"app"`
+	Scheme         string  `json:"scheme"`
+	Prefetcher     string  `json:"prefetcher"`
+	Accesses       int64   `json:"accesses"`         // block accesses per run (warmup included)
+	Instructions   int64   `json:"instructions"`     // trace length
+	Runs           int     `json:"runs"`             // repetitions measured; best run reported
+	NsPerAccess    float64 `json:"ns_per_access"`    // best-of-runs wall time / accesses
+	AccessesPerSec float64 `json:"accesses_per_sec"` // 1e9 / NsPerAccess
+}
+
+// Report is the serialized benchmark trajectory for one tree state.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	N         int    `json:"trace_instructions"`
+	Cells     []Cell `json:"cells"`
+}
+
+// Config selects the measurement grid.
+type Config struct {
+	App         string   // workload name (default "media-streaming")
+	N           int      // trace length (0 = experiments.DefaultTraceLen)
+	Schemes     []string // scheme names (default DefaultSchemes)
+	Prefetchers []string // prefetcher platforms (default {"none", "fdp"})
+	Repeats     int      // timed repetitions per cell, best kept (default 3)
+}
+
+// DefaultSchemes is the tracked scheme set: the baseline, the learned and
+// oracle policies whose inner loops this repo optimizes, and the bypass
+// family with per-block state.
+func DefaultSchemes() []string {
+	return []string{
+		"lru", "srrip", "ship", "harmony", "ghrp",
+		"eaf", "ripple-lite", "acic", "opt", "opt-bypass",
+	}
+}
+
+func (c *Config) defaults() {
+	if c.App == "" {
+		c.App = "media-streaming"
+	}
+	if c.N <= 0 {
+		c.N = experiments.DefaultTraceLen()
+	}
+	if len(c.Schemes) == 0 {
+		c.Schemes = DefaultSchemes()
+	}
+	if len(c.Prefetchers) == 0 {
+		c.Prefetchers = []string{"none", "fdp"}
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+}
+
+// Measure runs the configured grid and returns the throughput report.
+// Workload preparation (trace generation, branch annotation, oracle
+// construction) happens once and is excluded from the timings; subsystem
+// construction is re-done per run but timed separately and excluded too,
+// so the numbers isolate the simulation loop.
+func Measure(cfg Config) (*Report, error) {
+	cfg.defaults()
+	s := experiments.NewSuite(cfg.N)
+	w, err := s.Workload(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		N:         cfg.N,
+	}
+	for _, pf := range cfg.Prefetchers {
+		for _, scheme := range cfg.Schemes {
+			cell, err := measureCell(w, cfg.App, scheme, pf, cfg.Repeats)
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s/%s: %w", scheme, pf, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+func measureCell(w *experiments.Workload, app, scheme, pf string, repeats int) (Cell, error) {
+	opts := experiments.DefaultOptions()
+	opts.Prefetcher = pf
+	var best time.Duration
+	var accesses int64
+	for r := 0; r < repeats; r++ {
+		sub, err := experiments.NewScheme(scheme, w)
+		if err != nil {
+			return Cell{}, err
+		}
+		start := time.Now()
+		res, err := experiments.RunSubsystem(w, sub, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Cell{}, err
+		}
+		// Total accesses processed: the subsystem's demand-access counter
+		// covers the whole run including warmup and is scheme-independent
+		// for a fixed workload.
+		accesses = int64(res.ICache.Accesses)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	if accesses == 0 {
+		return Cell{}, fmt.Errorf("no accesses simulated")
+	}
+	ns := float64(best.Nanoseconds()) / float64(accesses)
+	return Cell{
+		App:            app,
+		Scheme:         scheme,
+		Prefetcher:     pf,
+		Accesses:       accesses,
+		Instructions:   int64(len(w.Trace.Insts)),
+		Runs:           repeats,
+		NsPerAccess:    ns,
+		AccessesPerSec: 1e9 / ns,
+	}, nil
+}
+
+// WriteJSON serializes the report to path with stable formatting.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadJSON loads a previously written report (regression comparisons).
+func ReadJSON(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Table renders the report for terminal output.
+func (r *Report) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"scheme", "prefetcher", "ns/access", "accesses/sec"}}
+	for _, c := range r.Cells {
+		t.AddRow(c.Scheme, c.Prefetcher, fmt.Sprintf("%.1f", c.NsPerAccess),
+			fmt.Sprintf("%.3fM", c.AccessesPerSec/1e6))
+	}
+	return t
+}
+
+// Cell returns the measurement for (scheme, prefetcher), if present.
+func (r *Report) Cell(scheme, prefetcher string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Scheme == scheme && c.Prefetcher == prefetcher {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}

@@ -40,36 +40,99 @@ func DefaultHawkeyeConfig() HawkeyeConfig {
 	return HawkeyeConfig{PredictorBits: 13, VectorLen: 64, RRPVBits: 3, SampleShift: 0}
 }
 
-// optgen reconstructs OPT decisions for one sampled set.
+// optgenMeta is one block's last-access record: time (stored as t+1), the
+// signature that accessed it, and the prefetch flag. One flat record
+// replaces the three per-block Go maps the original implementation kept.
+type optgenMeta struct {
+	time int64 // last access time + 1
+	sig  uint32
+	pref bool
+}
+
+const optgenFibMul = 0x9E3779B97F4A7C15
+
+// optgen reconstructs OPT decisions for one sampled set. Per-block state
+// lives in two open-addressed generation tables recycled every vecLength
+// accesses: an access at time t only ever consults records younger than
+// vecLength, and any such record was written during the current or the
+// previous generation, so the two tables together always cover the usable
+// window while stale records vanish wholesale with a memclr instead of
+// per-entry map deletions. Keys (block+1, so zero means empty) live apart
+// from the metadata records, so a probe walks a dense uint64 array; each
+// table is sized at 2x the generation's maximum insert count, so probes
+// stay short and lookups never allocate.
 type optgen struct {
 	ways      int
-	vec       []uint16 // occupancy per time quantum, ring buffer
+	vec       []uint8 // occupancy per time quantum, ring buffer (<= ways <= 255)
 	t         int64
-	last      map[uint64]int64  // block -> last access time
-	lastSig   map[uint64]uint32 // block -> signature of last access
-	lastPref  map[uint64]bool   // block -> last access was prefetch
+	curKeys   []uint64 // block+1 per slot; 0 = empty
+	prevKeys  []uint64
+	curMeta   []optgenMeta // records written this generation
+	prevMeta  []optgenMeta // records from the previous generation
+	tabMask   int
+	tabShift  uint
 	vecMask   int64
 	vecLength int64
 }
 
 func newOptgen(ways, vecLen int) optgen {
+	tabCap := 2 * vecLen // <=vecLen inserts per generation -> <=50% load
+	shift := uint(64)
+	for c := tabCap; c > 1; c >>= 1 {
+		shift--
+	}
 	return optgen{
 		ways:      ways,
-		vec:       make([]uint16, vecLen),
-		last:      make(map[uint64]int64),
-		lastSig:   make(map[uint64]uint32),
-		lastPref:  make(map[uint64]bool),
+		vec:       make([]uint8, vecLen),
+		curKeys:   make([]uint64, tabCap),
+		prevKeys:  make([]uint64, tabCap),
+		curMeta:   make([]optgenMeta, tabCap),
+		prevMeta:  make([]optgenMeta, tabCap),
+		tabMask:   tabCap - 1,
+		tabShift:  shift,
 		vecMask:   int64(vecLen - 1),
 		vecLength: int64(vecLen),
 	}
+}
+
+// slot probes keys for block, returning its slot when found, else the
+// empty slot a new record for block should claim.
+func (g *optgen) slot(keys []uint64, block uint64) (int, bool) {
+	k := block + 1
+	i := int((block * optgenFibMul) >> g.tabShift)
+	for keys[i] != 0 {
+		if keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & g.tabMask
+	}
+	return i, false
 }
 
 // access simulates one access in the sampled set and returns whether OPT
 // would have hit, plus the signature and prefetch flag of the *previous*
 // access to this block (the access OPT's verdict trains).
 func (g *optgen) access(block uint64, sig uint32, isPref bool) (trained bool, optHit bool, prevSig uint32, prevPref bool) {
-	t0, seen := g.last[block]
-	if seen && g.t-t0 < g.vecLength {
+	if g.t&g.vecMask == 0 {
+		// Generation boundary: every record in the older table is now at
+		// least vecLength old (unusable), so recycle it as the new current
+		// table. Only the keys need clearing; metadata is valid iff its key
+		// is.
+		g.curKeys, g.prevKeys = g.prevKeys, g.curKeys
+		g.curMeta, g.prevMeta = g.prevMeta, g.curMeta
+		clear(g.curKeys)
+	}
+	// Latest record for block: the current generation shadows the previous.
+	ci, inCur := g.slot(g.curKeys, block)
+	var m optgenMeta
+	seen := inCur
+	if inCur {
+		m = g.curMeta[ci]
+	} else if pi, ok := g.slot(g.prevKeys, block); ok {
+		m = g.prevMeta[pi]
+		seen = true
+	}
+	if t0 := m.time - 1; seen && g.t-t0 < g.vecLength {
 		optHit = true
 		for q := t0; q < g.t; q++ {
 			if int(g.vec[q&g.vecMask]) >= g.ways {
@@ -83,24 +146,13 @@ func (g *optgen) access(block uint64, sig uint32, isPref bool) (trained bool, op
 			}
 		}
 		trained = true
-		prevSig = g.lastSig[block]
-		prevPref = g.lastPref[block]
+		prevSig = m.sig
+		prevPref = m.pref
 	}
 	g.vec[g.t&g.vecMask] = 0 // open the new quantum
-	g.last[block] = g.t
-	g.lastSig[block] = sig
-	g.lastPref[block] = isPref
+	g.curKeys[ci] = block + 1
+	g.curMeta[ci] = optgenMeta{time: g.t + 1, sig: sig, pref: isPref}
 	g.t++
-	// Keep the maps bounded: drop entries far outside the vector window.
-	if len(g.last) > 8*int(g.vecLength) {
-		for b, tb := range g.last {
-			if g.t-tb >= g.vecLength {
-				delete(g.last, b)
-				delete(g.lastSig, b)
-				delete(g.lastPref, b)
-			}
-		}
-	}
 	return trained, optHit, prevSig, prevPref
 }
 
@@ -151,11 +203,12 @@ func (p *Hawkeye) table(isPref bool) []uint8 {
 	return p.pred
 }
 
-func (p *Hawkeye) sample(set int, ctx *cache.AccessContext) {
+// sample runs the set's OPTgen (when sampled) under the access's
+// precomputed signature and trains the predictor from its verdict.
+func (p *Hawkeye) sample(set int, sig uint32, ctx *cache.AccessContext) {
 	if p.samples[set].vec == nil {
 		return
 	}
-	sig := p.signature(ctx.Block)
 	trained, optHit, prevSig, prevPref := p.samples[set].access(ctx.Block, sig, ctx.IsPrefetch)
 	if !trained {
 		return
@@ -170,17 +223,14 @@ func (p *Hawkeye) sample(set int, ctx *cache.AccessContext) {
 	}
 }
 
-func (p *Hawkeye) friendly(ctx *cache.AccessContext) bool {
-	return p.table(ctx.IsPrefetch)[p.signature(ctx.Block)] >= 4
-}
-
 // OnHit implements cache.Policy.
 func (p *Hawkeye) OnHit(set, way int, ctx *cache.AccessContext) {
-	p.sample(set, ctx)
+	sig := p.signature(ctx.Block)
+	p.sample(set, sig, ctx)
 	i := set*p.ways + way
-	p.sig[i] = p.signature(ctx.Block)
+	p.sig[i] = sig
 	p.wasPref[i] = ctx.IsPrefetch
-	if p.friendly(ctx) {
+	if p.table(ctx.IsPrefetch)[sig] >= 4 {
 		p.rrpv[i] = 0
 	} else {
 		p.rrpv[i] = p.max
@@ -189,11 +239,12 @@ func (p *Hawkeye) OnHit(set, way int, ctx *cache.AccessContext) {
 
 // OnFill implements cache.Policy.
 func (p *Hawkeye) OnFill(set, way int, ctx *cache.AccessContext) {
-	p.sample(set, ctx)
+	sig := p.signature(ctx.Block)
+	p.sample(set, sig, ctx)
 	i := set*p.ways + way
-	p.sig[i] = p.signature(ctx.Block)
+	p.sig[i] = sig
 	p.wasPref[i] = ctx.IsPrefetch
-	if p.friendly(ctx) {
+	if p.table(ctx.IsPrefetch)[sig] >= 4 { // predicted cache-friendly
 		// Age friendly lines so older friendly lines become evictable.
 		base := set * p.ways
 		for w := 0; w < p.ways; w++ {

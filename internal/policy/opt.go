@@ -2,17 +2,28 @@ package policy
 
 import "acic/internal/cache"
 
+// neverFilled orders empty ways before every resident line in the OPT
+// victim scan: it exceeds cache.NeverUsed, so an invalid way always looks
+// "furthest in the future" and is chosen first, matching the fill-empty-
+// ways-first contract.
+const neverFilled = int64(1<<63 - 1)
+
 // OPT is Belady's optimal replacement (Belady, 1966): evict the resident
 // block whose next use lies furthest in the future. It requires oracle
-// knowledge of the access stream, supplied per access through
-// cache.AccessContext.NextUse; the oracle itself is built by
-// internal/analysis.NextUseOracle from the trace's block-access sequence.
-// OPT is not implementable in hardware; the paper uses it as the upper
-// bound every practical scheme is measured against.
+// knowledge of the access stream; rather than querying an oracle per way
+// per eviction, each line carries its own next-use time, refreshed from the
+// access context on every hit and fill (AccessContext.SelfNext is the O(1)
+// successor-array value supplied by the i-cache layer; contexts without it
+// fall back to the oracle closure). A line's carried value stays exact
+// while it is resident: the value is an access index of that block, and if
+// the block is still cached when that access arrives, the hit refreshes it.
+// Victim selection is therefore a straight O(ways) int64 scan with no map
+// traffic. OPT is not implementable in hardware; the paper uses it as the
+// upper bound every practical scheme is measured against.
 type OPT struct {
 	ways   int
 	blocks []uint64 // shadow of line contents, maintained via fill hooks
-	valid  []bool
+	next   []int64  // per-line next-use time; neverFilled when empty
 }
 
 // NewOPT returns the Belady oracle policy.
@@ -25,35 +36,62 @@ func (p *OPT) Name() string { return "opt" }
 func (p *OPT) Reset(sets, ways int) {
 	p.ways = ways
 	p.blocks = make([]uint64, sets*ways)
-	p.valid = make([]bool, sets*ways)
+	p.next = make([]int64, sets*ways)
+	for i := range p.next {
+		p.next[i] = neverFilled
+	}
 }
 
-// OnHit implements cache.Policy.
-func (p *OPT) OnHit(int, int, *cache.AccessContext) {}
+// OnHit implements cache.Policy: refresh the line's carried next-use time.
+// A context without a precomputed value stores 0 ("unknown"); Victim
+// resolves unknowns lazily.
+func (p *OPT) OnHit(set, way int, ctx *cache.AccessContext) {
+	p.next[set*p.ways+way] = ctx.SelfNext
+}
 
-// OnFill implements cache.Policy: shadow the fill so Victim can consult the
-// oracle about resident blocks.
+// OnFill implements cache.Policy: shadow the fill and carry the incoming
+// block's next-use time. Prefetch fills (and oracle-closure-only runs)
+// carry no precomputed value and store 0; Victim resolves them lazily, so
+// fills never pay an oracle query up front.
 func (p *OPT) OnFill(set, way int, ctx *cache.AccessContext) {
 	i := set*p.ways + way
 	p.blocks[i] = ctx.Block
-	p.valid[i] = true
+	p.next[i] = ctx.SelfNext
 }
 
 // OnEvict implements cache.Policy.
 func (p *OPT) OnEvict(int, int, *cache.AccessContext) {}
 
 // Victim implements cache.Policy: the resident block re-used furthest in
-// the future (ties broken by lowest way for determinism).
+// the future (ties broken by lowest way for determinism; empty ways sort
+// first via the neverFilled sentinel).
+//
+// One edge preserves exact oracle semantics: a prefetch fill runs at the
+// access index of the *upcoming* demand access, so an oracle query "next
+// use strictly after AccessIdx" excludes a line whose re-use is that very
+// access, while the line's carried value records it. Such a line (carried
+// next == AccessIdx, prefetch context) is re-queried, keeping decisions
+// byte-identical to the query-per-way implementation; this triggers only
+// on prefetch-triggered evictions racing an imminent demand, so the scan
+// stays oracle-free in the steady state.
 func (p *OPT) Victim(set int, ctx *cache.AccessContext) int {
 	base := set * p.ways
 	best, bestNext := 0, int64(-1)
 	for w := 0; w < p.ways; w++ {
-		if !p.valid[base+w] {
-			return w
+		n := p.next[base+w]
+		if n == 0 {
+			// Unknown (prefetch-filled, or no successor array attached):
+			// resolve with the oracle query the per-way implementation
+			// would have made here, and cache it — later hits refresh it,
+			// so the line never needs another query while resident.
+			n = ctx.NextUseOf(p.blocks[base+w])
+			p.next[base+w] = n
+		} else if ctx != nil && ctx.IsPrefetch && n == ctx.AccessIdx {
+			n = ctx.NextUseOf(p.blocks[base+w])
+			p.next[base+w] = n
 		}
-		next := ctx.NextUseOf(p.blocks[base+w])
-		if next > bestNext {
-			best, bestNext = w, next
+		if n > bestNext {
+			best, bestNext = w, n
 		}
 	}
 	return best
@@ -64,5 +102,5 @@ func (p *OPT) Victim(set int, ctx *cache.AccessContext) int {
 // contender's.
 func (p *OPT) ResidentBlock(set, way int) (uint64, bool) {
 	i := set*p.ways + way
-	return p.blocks[i], p.valid[i]
+	return p.blocks[i], p.next[i] != neverFilled
 }

@@ -3,6 +3,7 @@ package policy
 import (
 	"acic/internal/analysis"
 	"acic/internal/cache"
+	"acic/internal/flat"
 )
 
 // ProfileGuided is a profile-guided i-cache replacement policy in the
@@ -19,7 +20,7 @@ import (
 // workload (the harness uses the warmup prefix), then attach the policy to
 // the evaluation run.
 type ProfileGuided struct {
-	transient map[uint64]bool
+	transient *flat.Table // transient-classified blocks (open-addressed set)
 	lru       LRU
 	ways      int
 	isTrans   []bool // per-line cache of the classification
@@ -53,12 +54,18 @@ func Profile(training []uint64, horizon int64) map[uint64]bool {
 	return out
 }
 
-// NewProfileGuided returns the policy for a given classification.
+// NewProfileGuided returns the policy for a given classification. The map
+// (the natural product of offline profiling) is flattened into an
+// open-addressed set so the per-fill classification lookup on the hot path
+// stays allocation-free and cache-friendly.
 func NewProfileGuided(transient map[uint64]bool) *ProfileGuided {
-	if transient == nil {
-		transient = map[uint64]bool{}
+	set := flat.NewTable(len(transient))
+	for b, isTransient := range transient {
+		if isTransient {
+			set.Put(b, 1)
+		}
 	}
-	return &ProfileGuided{transient: transient}
+	return &ProfileGuided{transient: set}
 }
 
 // Name implements cache.Policy.
@@ -77,7 +84,7 @@ func (p *ProfileGuided) OnHit(set, way int, ctx *cache.AccessContext) { p.lru.On
 // OnFill implements cache.Policy.
 func (p *ProfileGuided) OnFill(set, way int, ctx *cache.AccessContext) {
 	p.lru.OnFill(set, way, ctx)
-	p.isTrans[set*p.ways+way] = p.transient[ctx.Block]
+	p.isTrans[set*p.ways+way] = p.transient.Contains(ctx.Block)
 }
 
 // OnEvict implements cache.Policy.
@@ -103,4 +110,4 @@ func (p *ProfileGuided) Victim(set int, ctx *cache.AccessContext) int {
 }
 
 // TransientCount reports the classification size (introspection/tests).
-func (p *ProfileGuided) TransientCount() int { return len(p.transient) }
+func (p *ProfileGuided) TransientCount() int { return p.transient.Len() }
