@@ -4,16 +4,20 @@
 // against the published values.
 //
 // Experiments plan their simulation cells up front and execute them on a
-// worker pool (one worker per core by default), so the full evaluation
-// scales with the host. With -cache-dir (or ACIC_CACHE_DIR) results
-// persist on disk keyed by workload/trace-length/scheme/prefetcher, making
-// reruns incremental.
+// worker pool (one worker per core by default); same-(app, prefetcher)
+// cells are additionally grouped into gang simulations — one Program
+// traversal driving a whole scheme row — when the trace is long enough
+// for the shared traversal to pay (-gang on|off|auto and -gang-size;
+// output is byte-identical in every mode). With -cache-dir (or
+// ACIC_CACHE_DIR) results persist on disk keyed by workload/trace-length/
+// scheme/prefetcher, making reruns incremental.
 //
 // The -bench-json mode instead times raw simulator throughput (ns per
-// block access) per (scheme x prefetcher) cell and writes the
-// measurements as JSON — the tracked trajectory file BENCH_PR2.json at
-// the repo root is produced this way. -cpuprofile/-memprofile write
-// pprof data for either mode.
+// block access) per (scheme x prefetcher) cell, plus gang-vs-serial sweep
+// wall-clocks, and writes the measurements as JSON — the tracked
+// trajectory file BENCH_PR3.json at the repo root is produced this way.
+// -compare diffs two such files per cell (exiting non-zero past
+// -regress-pct). -cpuprofile/-memprofile write pprof data for any mode.
 //
 // Usage:
 //
@@ -21,7 +25,10 @@
 //	acic-bench -exp fig10,fig11    # the headline comparison
 //	acic-bench -exp table3 -n 1000000
 //	acic-bench -exp all -workers 4 -cache-dir ~/.cache/acic -progress
+//	acic-bench -exp all -n 2000000 -gang on # gang a long-trace sweep
 //	acic-bench -bench-json bench.json -bench-repeats 5
+//	acic-bench -compare BENCH_PR2.json -compare-to bench.json
+//	acic-bench -bench-json bench.json -compare BENCH_PR2.json
 //	acic-bench -exp fig10 -cpuprofile cpu.prof
 //	acic-bench -list
 package main
@@ -123,26 +130,57 @@ func runFig6(s *experiments.Suite) (string, error) {
 	return t.String(), nil
 }
 
+// gangAutoThreshold is the trace length from which the gang's shared
+// traversal measurably beats per-cell execution (BENCH_PR3.json gang
+// sweeps / DESIGN.md §8: neutral at 400k on large-LLC hosts, ~1.15x at
+// multi-million-instruction traces).
+const gangAutoThreshold = 1_000_000
+
+// gangEnabled resolves the three-state -gang flag against the resolved
+// trace length.
+func gangEnabled(mode string, n int) bool {
+	switch mode {
+	case "on":
+		return true
+	case "off":
+		return false
+	default:
+		return n >= gangAutoThreshold
+	}
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		n        = flag.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000)")
 		apps     = flag.String("apps", "", "restrict datacenter apps (comma-separated)")
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+		gang     = flag.String("gang", "auto", "group same-(app, prefetcher) cells into gang simulations — one Program traversal per group: on, off, or auto (gang from 1M instructions, where the shared traversal measurably pays; output is byte-identical either way)")
+		gangSize = flag.Int("gang-size", 10, "max schemes per gang task (with -gang)")
 		cacheDir = flag.String("cache-dir", os.Getenv("ACIC_CACHE_DIR"), "persistent result cache directory (empty = disabled)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
-		benchJSON    = flag.String("bench-json", "", "throughput microbenchmark mode: write ns/access per (scheme x prefetcher) to this JSON file and exit")
+		benchJSON    = flag.String("bench-json", "", "throughput microbenchmark mode: write ns/access per (scheme x prefetcher) plus gang-sweep wall-clocks to this JSON file and exit")
 		benchApp     = flag.String("bench-app", "media-streaming", "workload for -bench-json")
 		benchSchemes = flag.String("bench-schemes", "", "schemes for -bench-json (comma-separated; empty = tracked default set)")
 		benchPfs     = flag.String("bench-prefetchers", "none,fdp", "prefetcher platforms for -bench-json (comma-separated)")
 		benchRepeats = flag.Int("bench-repeats", 3, "timed repetitions per -bench-json cell (best kept)")
+		benchSweeps  = flag.Bool("bench-sweeps", true, "also measure per-prefetcher gang-vs-serial sweep wall-clocks in -bench-json mode")
+
+		compare    = flag.String("compare", "", "baseline bench JSON: compare per-cell ns/access against it and exit (new side: -compare-to, or the report just measured by -bench-json)")
+		compareTo  = flag.String("compare-to", "", "new-side bench JSON for -compare (empty = the -bench-json report measured in this run)")
+		regressPct = flag.Float64("regress-pct", 25, "exit non-zero when any compared cell regresses by more than this percentage (negative = never fail)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *gang != "on" && *gang != "off" && *gang != "auto" {
+		fmt.Fprintf(os.Stderr, "acic-bench: -gang must be on, off, or auto (got %q)\n", *gang)
+		os.Exit(1)
+	}
 
 	stopCPUProfile := func() {}
 	if *cpuProfile != "" {
@@ -175,6 +213,40 @@ func main() {
 		}
 	}
 
+	// runCompare diffs a baseline bench JSON against newRep (read from
+	// -compare-to when newRep is nil) and exits non-zero on a regression
+	// beyond -regress-pct.
+	runCompare := func(newRep *perf.Report) {
+		oldRep, err := perf.ReadJSON(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		if newRep == nil {
+			if *compareTo == "" {
+				fmt.Fprintln(os.Stderr, "acic-bench: -compare needs -compare-to FILE (or -bench-json to measure the new side)")
+				os.Exit(1)
+			}
+			if newRep, err = perf.ReadJSON(*compareTo); err != nil {
+				fmt.Fprintf(os.Stderr, "acic-bench: -compare-to: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		c := perf.Compare(oldRep, newRep)
+		fmt.Printf("=== bench comparison: %s -> new\n%s%s\n", *compare, c.Table(), c.Summary())
+		for _, only := range c.OnlyOld {
+			fmt.Printf("only in baseline: %s\n", only)
+		}
+		for _, only := range c.OnlyNew {
+			fmt.Printf("only in new: %s\n", only)
+		}
+		if *regressPct >= 0 && c.WorstPct() > *regressPct {
+			fmt.Fprintf(os.Stderr, "acic-bench: throughput regression: worst cell %+.1f%% exceeds -regress-pct %.1f\n",
+				c.WorstPct(), *regressPct)
+			os.Exit(1)
+		}
+	}
+
 	if *benchJSON != "" {
 		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats}
 		if *benchSchemes != "" {
@@ -182,6 +254,10 @@ func main() {
 		}
 		if *benchPfs != "" {
 			cfg.Prefetchers = strings.Split(*benchPfs, ",")
+		}
+		cfg.GangSize = *gangSize
+		if !*benchSweeps {
+			cfg.GangSize = -1
 		}
 		rep, err := perf.Measure(cfg)
 		if err != nil {
@@ -193,9 +269,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== throughput microbenchmark: %s, n=%d (best of %d)\n%s", *benchApp, rep.N, *benchRepeats, rep.Table())
+		if st := rep.SweepTable(); st != nil {
+			fmt.Printf("=== gang sweeps: wall-clock per full scheme row (best of %d)\n%s", *benchRepeats, st)
+		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+		// Finish the profiles before the comparison: its regression gate
+		// may os.Exit, and the profile of a regressed tree is exactly the
+		// one worth keeping intact.
 		stopCPUProfile()
 		writeMemProfile()
+		if *compare != "" {
+			runCompare(rep)
+		}
+		return
+	}
+
+	if *compare != "" {
+		runCompare(nil)
 		return
 	}
 
@@ -231,6 +321,9 @@ func main() {
 
 	suite := experiments.NewSuite(*n)
 	suite.Workers = *workers
+	if gangEnabled(*gang, suite.N) && *gangSize > 1 {
+		suite.GangSize = *gangSize
+	}
 	suite.CacheDir = *cacheDir
 	if *apps != "" {
 		suite.Apps = strings.Split(*apps, ",")

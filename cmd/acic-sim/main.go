@@ -2,14 +2,17 @@
 // cycles, IPC, MPKI, and subsystem statistics. It is the low-level probe
 // tool; use acic-bench to regenerate the paper's tables and figures.
 //
-// When several schemes are given they are simulated in parallel on a
-// worker pool, but rows are always printed in the order the schemes were
-// listed.
+// When several schemes are given over a long trace (>= 1M instructions,
+// the default -n) they are simulated as a gang — one traversal of the
+// shared trace drives every scheme; shorter runs use independent cells on
+// a worker pool. -gang on|off overrides; results are identical in every
+// mode. Rows are always printed in the order the schemes were listed.
 //
 // Usage:
 //
 //	acic-sim -workload media-streaming -scheme acic -n 1000000
 //	acic-sim -workload web-search -schemes lru,acic,opt -n 500000
+//	acic-sim -workload web-search -schemes lru,acic -gang off
 package main
 
 import (
@@ -33,6 +36,25 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// gangAutoThreshold is the trace length from which the gang's shared
+// traversal measurably beats independent runs (DESIGN.md §8).
+const gangAutoThreshold = 1_000_000
+
+// gangEnabled resolves the three-state -gang flag against the trace length.
+func gangEnabled(mode string, n int) bool {
+	switch mode {
+	case "on":
+		return true
+	case "off":
+		return false
+	case "auto":
+		return n >= gangAutoThreshold
+	default:
+		fail("-gang must be on, off, or auto (got %q)", mode)
+		return false
+	}
+}
+
 // schemeRun is one scheme's simulation output: the timing result plus the
 // ACIC diagnostics note, when the scheme carries an ACIC complex.
 type schemeRun struct {
@@ -48,6 +70,8 @@ func main() {
 		pf       = flag.String("prefetcher", "fdp", "prefetcher: "+strings.Join(experiments.Prefetchers(), ", "))
 		warmup   = flag.Float64("warmup", 0.1, "warmup fraction")
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+		gang     = flag.String("gang", "auto", "simulate the scheme list as gangs (one trace traversal per gang) instead of independent runs: on, off, or auto (gang from 1M instructions; results identical either way)")
+		gangSize = flag.Int("gang-size", 10, "max schemes per gang (with -gang)")
 		showDist = flag.Bool("reuse", false, "also print the reuse-distance distribution")
 	)
 	flag.Parse()
@@ -77,10 +101,18 @@ func main() {
 	}
 
 	// Plan → execute: every scheme is an independent cell over the shared
-	// workload; the group dedupes repeats and runs them in parallel.
+	// workload; the group dedupes repeats. With -gang the deduplicated list
+	// runs as gang simulations (one trace traversal per gang of up to
+	// -gang-size schemes); otherwise cells run in parallel on the pool.
+	// Either way each scheme's result is identical.
 	runs := engine.NewGroup(engine.NewPool(*workers), func(scheme string) (schemeRun, error) {
 		return runScheme(w, scheme, opts)
 	})
+	if gangEnabled(*gang, *n) && *gangSize > 1 {
+		if err := runGangs(w, order, opts, *gangSize, runs); err != nil {
+			fail("%v", err)
+		}
+	}
 	if err := runs.Require(order...); err != nil {
 		fail("%v", err)
 	}
@@ -122,6 +154,18 @@ func main() {
 	}
 }
 
+// instrument attaches an ACIC decision recorder when the subsystem carries
+// an ACIC complex and returns the capture slot (nil otherwise).
+func instrument(sub icache.Subsystem) *[]core.Decision {
+	cx, ok := sub.(*icache.Complex)
+	if !ok || cx.ACIC() == nil {
+		return nil
+	}
+	decisions := new([]core.Decision)
+	cx.ACIC().OnDecision = func(d core.Decision) { *decisions = append(*decisions, d) }
+	return decisions
+}
+
 // runScheme simulates one scheme, collecting ACIC decision diagnostics
 // when the subsystem exposes them.
 func runScheme(w *experiments.Workload, scheme string, opts experiments.Options) (schemeRun, error) {
@@ -129,56 +173,103 @@ func runScheme(w *experiments.Workload, scheme string, opts experiments.Options)
 	if err != nil {
 		return schemeRun{}, err
 	}
-	var decisions []core.Decision
-	if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
-		cx.ACIC().OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
-	}
+	captured := instrument(sub)
 	res, err := experiments.RunSubsystem(w, sub, opts)
 	if err != nil {
 		return schemeRun{}, err
 	}
-	out := schemeRun{res: res}
-	if cx, ok := sub.(*icache.Complex); ok && cx.ACIC() != nil {
-		a := cx.ACIC()
-		correct, shouldAdmit := 0, 0
-		for _, d := range decisions {
-			vNext := w.Oracle.NextUse(d.Victim, d.AccessIdx)
-			cNext := w.Oracle.NextUse(d.Contender, d.AccessIdx)
-			ideal := vNext < cNext
-			if ideal {
-				shouldAdmit++
-			}
-			if ideal == d.Admitted {
-				correct++
-			}
+	return schemeRun{res: res, note: acicNote(w, scheme, sub, captured)}, nil
+}
+
+// runGangs claims the not-yet-computed schemes of order and produces them
+// through gang simulations of at most gangSize members each, fulfilling
+// the run group's cells so rendering reads them exactly like serial runs.
+func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
+	gangSize int, runs *engine.Group[string, schemeRun]) error {
+	var uniq []string
+	for _, s := range order {
+		if runs.TryClaim(s) {
+			uniq = append(uniq, s)
 		}
-		// Per-victim-block majority vote: the ceiling for any
-		// per-address admission predictor.
-		wins := map[uint64][2]int{}
-		for _, d := range decisions {
-			c := wins[d.Victim]
-			if w.Oracle.NextUse(d.Victim, d.AccessIdx) < w.Oracle.NextUse(d.Contender, d.AccessIdx) {
-				c[0]++
-			} else {
-				c[1]++
-			}
-			wins[d.Victim] = c
-		}
-		ceiling := 0
-		for _, c := range wins {
-			if c[0] > c[1] {
-				ceiling += c[0]
-			} else {
-				ceiling += c[1]
-			}
-		}
-		out.note = fmt.Sprintf(
-			"%s: decisions=%d admit=%.1f%% ideal-admit=%.1f%% accuracy=%.1f%% ceiling=%.1f%% cshr[v=%d c=%d evict=%d]",
-			scheme, a.Decisions, 100*a.AdmitFraction(),
-			100*float64(shouldAdmit)/float64(len(decisions)+1),
-			100*float64(correct)/float64(len(decisions)+1),
-			100*float64(ceiling)/float64(len(decisions)+1),
-			a.CSHR.ResolvedVictim, a.CSHR.ResolvedContend, a.CSHR.EvictedUnres)
 	}
-	return out, nil
+	for at := 0; at < len(uniq); at += gangSize {
+		chunk := uniq[at:min(at+gangSize, len(uniq))]
+		subs := make([]icache.Subsystem, 0, len(chunk))
+		captures := make([]*[]core.Decision, 0, len(chunk))
+		members := make([]string, 0, len(chunk))
+		for _, scheme := range chunk {
+			sub, err := experiments.NewScheme(scheme, w)
+			if err != nil {
+				runs.Fulfill(scheme, schemeRun{}, err)
+				continue
+			}
+			subs = append(subs, sub)
+			captures = append(captures, instrument(sub))
+			members = append(members, scheme)
+		}
+		res, err := experiments.RunGangSubsystems(w, subs, opts)
+		if err != nil {
+			for _, scheme := range members {
+				runs.Fulfill(scheme, schemeRun{}, err)
+			}
+			return err
+		}
+		for i, scheme := range members {
+			runs.Fulfill(scheme, schemeRun{
+				res:  res[i],
+				note: acicNote(w, scheme, subs[i], captures[i]),
+			}, nil)
+		}
+	}
+	return nil
+}
+
+// acicNote summarizes a run's captured ACIC admission decisions against
+// the next-use oracle ("" for schemes without an ACIC complex).
+func acicNote(w *experiments.Workload, scheme string, sub icache.Subsystem, captured *[]core.Decision) string {
+	cx, ok := sub.(*icache.Complex)
+	if !ok || cx.ACIC() == nil || captured == nil {
+		return ""
+	}
+	a := cx.ACIC()
+	decisions := *captured
+	correct, shouldAdmit := 0, 0
+	for _, d := range decisions {
+		vNext := w.Oracle.NextUse(d.Victim, d.AccessIdx)
+		cNext := w.Oracle.NextUse(d.Contender, d.AccessIdx)
+		ideal := vNext < cNext
+		if ideal {
+			shouldAdmit++
+		}
+		if ideal == d.Admitted {
+			correct++
+		}
+	}
+	// Per-victim-block majority vote: the ceiling for any per-address
+	// admission predictor.
+	wins := map[uint64][2]int{}
+	for _, d := range decisions {
+		c := wins[d.Victim]
+		if w.Oracle.NextUse(d.Victim, d.AccessIdx) < w.Oracle.NextUse(d.Contender, d.AccessIdx) {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		wins[d.Victim] = c
+	}
+	ceiling := 0
+	for _, c := range wins {
+		if c[0] > c[1] {
+			ceiling += c[0]
+		} else {
+			ceiling += c[1]
+		}
+	}
+	return fmt.Sprintf(
+		"%s: decisions=%d admit=%.1f%% ideal-admit=%.1f%% accuracy=%.1f%% ceiling=%.1f%% cshr[v=%d c=%d evict=%d]",
+		scheme, a.Decisions, 100*a.AdmitFraction(),
+		100*float64(shouldAdmit)/float64(len(decisions)+1),
+		100*float64(correct)/float64(len(decisions)+1),
+		100*float64(ceiling)/float64(len(decisions)+1),
+		a.CSHR.ResolvedVictim, a.CSHR.ResolvedContend, a.CSHR.EvictedUnres)
 }

@@ -195,13 +195,17 @@ func (p *Predictor) Tick(cycle int64) {
 	}
 	for h := range p.queues {
 		q := p.queues[h]
-		pops := int64(0)
-		for len(q) > 0 && q[0].due <= cycle && pops < elapsed {
-			p.applyPT(uint32(h), q[0].increment)
-			q = q[1:]
+		pops := 0
+		for pops < len(q) && q[pops].due <= cycle && int64(pops) < elapsed {
+			p.applyPT(uint32(h), q[pops].increment)
 			pops++
 		}
-		p.queues[h] = q
+		if pops > 0 {
+			// Compact to the front instead of re-slicing the head away:
+			// q[1:] bleeds capacity, so the next Train append reallocates —
+			// a steady-state heap allocation the zero-alloc guard forbids.
+			p.queues[h] = q[:copy(q, q[pops:])]
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 // realizes fetch-directed prefetching (FDP), an i-cache subsystem slot where
 // every evaluated scheme plugs in, and a 352-entry ROB backend that retires
 // up to 6 instructions per cycle with data-side latencies taken from the
-// shared memory hierarchy.
+// workload's precomputed data timeline (Program.EnsureDataLatencies).
 //
 // The model is detailed where the paper's experiments live — the
 // instruction supply path — and calibrated-approximate elsewhere: the
@@ -16,6 +16,7 @@ package cpu
 
 import (
 	"math/bits"
+	"sync"
 
 	"acic/internal/branch"
 	"acic/internal/icache"
@@ -132,10 +133,49 @@ type Program struct {
 	Blocks []uint64 // collapsed block-access sequence (== Trace.BlockAccesses())
 	MemBlk []uint64 // data block per instruction (loads/stores; 0 otherwise)
 
+	// DataLat is the data-side latency timeline: the load-to-use latency,
+	// in cycles, of the memory operation at each instruction index (0 for
+	// non-memory instructions). The data-access sequence is fixed by
+	// instruction order — the front end issues every load and store exactly
+	// once, in order, regardless of i-cache scheme or timing — so the
+	// timeline is scheme-independent and computed once per workload by
+	// EnsureDataLatencies. Populated lazily by NewSimulator when the caller
+	// has not done it explicitly.
+	DataLat []int16
+
+	dataLatOnce sync.Once
+	dataLatCfg  mem.Config
+
 	// runEvents is a bitmap over instructions with a run-ahead event bit
 	// (descRunEvent) set, letting the run-ahead walker skip straight-line
 	// stretches 64 instructions per word instead of byte by byte.
 	runEvents []uint64
+}
+
+// EnsureDataLatencies computes the data-side latency timeline by replaying
+// the program's loads and stores, in instruction order, through a fresh
+// data hierarchy of the given configuration. It runs at most once per
+// Program (subsequent same-config calls, even concurrent ones, are
+// no-ops), so N scheme simulations over one workload pay for the data
+// side once instead of N times. A Program is bound to one hierarchy
+// configuration: asking for a timeline under a different config would
+// silently hand every simulation the wrong latencies, so it panics
+// instead — build a separate Program to simulate another hierarchy.
+func (p *Program) EnsureDataLatencies(cfg mem.Config) {
+	p.dataLatOnce.Do(func() {
+		h := mem.New(cfg)
+		lat := make([]int16, len(p.Desc))
+		for i, d := range p.Desc {
+			if d&(descLoad|descStore) != 0 {
+				lat[i] = int16(h.DataAccess(p.MemBlk[i]))
+			}
+		}
+		p.DataLat = lat
+		p.dataLatCfg = cfg
+	})
+	if p.dataLatCfg != cfg {
+		panic("cpu: data-latency timeline was computed under a different mem.Config; use one Program per hierarchy configuration")
+	}
 }
 
 // nextRunEvent returns the smallest index >= i whose descriptor carries a
@@ -251,14 +291,33 @@ type Simulator struct {
 	instructions  int64
 	imissStall    int64
 	redirectStall int64
+
+	// Warmup accounting (start/result). Kept on the simulator rather than
+	// in Run's frame so a gang can suspend and resume a member mid-run.
+	warmupInstrs      int64
+	warmupTaken       bool
+	wCycles, wInstr   int64
+	wBlocks           int64
+	wIStall, wRStall  int64
+	wMiss, wLate, wPf uint64
 }
 
 // NewSimulator assembles a simulation of the preprocessed program over the
 // given i-cache subsystem and hierarchy. The Program is immutable and
 // shared: build it once per workload (NewProgram) and hand it to every
-// scheme's simulator.
+// scheme's simulator. The program's data-side latency timeline is
+// precomputed here (a no-op when the workload already did it).
 func NewSimulator(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hierarchy) *Simulator {
-	return &Simulator{
+	s := new(Simulator)
+	s.init(cfg, prog, sub, hier)
+	return s
+}
+
+// init readies a (possibly embedded) simulator value; NewGang uses it to
+// lay its members out contiguously.
+func (s *Simulator) init(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hierarchy) {
+	prog.EnsureDataLatencies(hier.Config())
+	*s = Simulator{
 		cfg:        cfg,
 		sub:        sub,
 		hier:       hier,
@@ -269,21 +328,40 @@ func NewSimulator(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hie
 	}
 }
 
+// maxInt is an unreachable fetch bound: runTo(maxInt) runs to completion.
+const maxInt = int(^uint(0) >> 1)
+
 // Run executes the simulation, treating the first warmupInstrs instructions
 // as warmup (excluded from the reported Result timing/counters).
 func (s *Simulator) Run(warmupInstrs int64) Result {
-	var wCycles, wInstr, wBlocks, wIStall, wRStall int64
-	var wMiss, wLate, wPf uint64
-	warmupTaken := warmupInstrs <= 0
+	s.start(warmupInstrs)
+	s.runTo(maxInt)
+	return s.result()
+}
 
+// start arms warmup accounting; call once, before the first runTo.
+func (s *Simulator) start(warmupInstrs int64) {
+	s.warmupInstrs = warmupInstrs
+	s.warmupTaken = warmupInstrs <= 0
+}
+
+// runTo advances the simulation until the next instruction to fetch is at
+// or past bound, or the program has fully retired (then it returns true).
+// The state after runTo(b1); runTo(b2) is identical to the state the
+// single-run loop passes through — bounds only choose where the loop
+// pauses — which is what makes gang scheduling result-preserving.
+func (s *Simulator) runTo(bound int) bool {
 	n := s.prog.Len()
 	for s.fetchIdx < n || s.robLen > 0 {
+		if s.fetchIdx >= bound && s.fetchIdx < n {
+			return false
+		}
 		s.step()
-		if !warmupTaken && s.instructions >= warmupInstrs {
-			wCycles, wInstr, wBlocks = s.cycle, s.instructions, s.accessIdx
-			wMiss, wLate, wPf = s.demandMisses, s.lateMisses, s.prefetches
-			wIStall, wRStall = s.imissStall, s.redirectStall
-			warmupTaken = true
+		if !s.warmupTaken && s.instructions >= s.warmupInstrs {
+			s.wCycles, s.wInstr, s.wBlocks = s.cycle, s.instructions, s.accessIdx
+			s.wMiss, s.wLate, s.wPf = s.demandMisses, s.lateMisses, s.prefetches
+			s.wIStall, s.wRStall = s.imissStall, s.redirectStall
+			s.warmupTaken = true
 		}
 		// Quiescent-stall fast-forward: while the front end is stalled, a
 		// cycle can only matter if the ROB head completes, a prefetch fill
@@ -318,15 +396,20 @@ func (s *Simulator) Run(warmupInstrs int64) Result {
 			}
 		}
 	}
+	return true
+}
+
+// result reports the post-warmup counters of a completed run.
+func (s *Simulator) result() Result {
 	return Result{
-		Cycles:              s.cycle - wCycles,
-		Instructions:        s.instructions - wInstr,
-		BlockAccesses:       s.accessIdx - wBlocks,
-		DemandMisses:        s.demandMisses - wMiss,
-		LateMisses:          s.lateMisses - wLate,
-		Prefetches:          s.prefetches - wPf,
-		IMissStallCycles:    s.imissStall - wIStall,
-		RedirectStallCycles: s.redirectStall - wRStall,
+		Cycles:              s.cycle - s.wCycles,
+		Instructions:        s.instructions - s.wInstr,
+		BlockAccesses:       s.accessIdx - s.wBlocks,
+		DemandMisses:        s.demandMisses - s.wMiss,
+		LateMisses:          s.lateMisses - s.wLate,
+		Prefetches:          s.prefetches - s.wPf,
+		IMissStallCycles:    s.imissStall - s.wIStall,
+		RedirectStallCycles: s.redirectStall - s.wRStall,
 		ICache:              s.sub.Stats(),
 	}
 }
@@ -535,15 +618,14 @@ func (s *Simulator) fetch() {
 			}
 		}
 
-		// Dispatch into the ROB with a class-based completion time.
+		// Dispatch into the ROB with a class-based completion time. Loads
+		// take their latency from the precomputed data-side timeline (the
+		// data hierarchy was replayed once per workload); stores retire
+		// through the store buffer and do not delay completion, so their
+		// hierarchy effect lives entirely in the precompute.
 		completion := s.cycle + s.cfg.PipelineDepth
-		if d&(descLoad|descStore) != 0 {
-			lat := s.hier.DataAccess(s.prog.MemBlk[s.fetchIdx])
-			if d&descLoad != 0 {
-				// Stores retire through the store buffer: they access the
-				// hierarchy for fills but do not delay completion.
-				completion += lat
-			}
+		if d&descLoad != 0 {
+			completion += int64(s.prog.DataLat[s.fetchIdx])
 		}
 		tail := s.robHead + s.robLen
 		if tail >= len(s.rob) {

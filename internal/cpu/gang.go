@@ -1,0 +1,113 @@
+// Gang simulation: one Program traversal drives every scheme in a row.
+//
+// The evaluation grid re-runs the same workload under many i-cache
+// schemes. Each run used to walk the Program stream — descriptor bytes,
+// collapsed block sequence, data-latency timeline — from cold host cache,
+// once per scheme. A Gang instead advances N independent scheme
+// simulations lock-step through a single traversal: members are visited
+// round-robin over instruction windows, so a window's slice of the shared
+// arrays is faulted into the host cache once and then re-read warm by the
+// other N-1 members. Per-member state is laid out for the same rotation:
+// the Simulator values sit in one contiguous slice (struct-of-gangs), and
+// mem.NewGang carves all members' instruction-side level arrays out of
+// shared backing allocations.
+//
+// Scheduling is the only thing a gang changes. Every member owns its full
+// simulator state (timing, ROB, FDP stream, subsystem, hierarchy), the
+// shared Program is read-only, and Simulator.runTo pauses exactly between
+// the iterations the single-run loop executes — so each member's Result is
+// bit-identical to a serial Simulator.Run at any window size, which
+// TestGangMatchesSerial and the experiments-level differential test pin.
+package cpu
+
+import (
+	"acic/internal/icache"
+	"acic/internal/mem"
+)
+
+// GangMember is one scheme's slot in a gang: its core configuration (all
+// members normally share a prefetch platform, but nothing requires it),
+// i-cache subsystem, and private instruction-side hierarchy.
+type GangMember struct {
+	Cfg  Config
+	Sub  icache.Subsystem
+	Hier *mem.Hierarchy
+}
+
+// DefaultGangWindow is the default traversal window in instructions. It is
+// a locality/overhead trade: small enough that a window's program slice
+// (descriptor bytes, block sequence, data timeline — roughly 26B per
+// instruction) stays resident while every member replays it, large enough
+// that per-member suspend/resume cost vanishes. Results never depend on it.
+const DefaultGangWindow = 8192
+
+// Gang advances N independent scheme simulations through one traversal of
+// a shared Program. Build with NewGang, run with Run.
+type Gang struct {
+	prog   *Program
+	sims   []Simulator // contiguous member state, index-aligned with NewGang's members
+	done   []bool
+	window int
+}
+
+// NewGang assembles a gang over the shared program. window is the
+// traversal window in instructions (<= 0 selects DefaultGangWindow); it
+// affects only host-cache behavior, never results. Members must not share
+// subsystems or hierarchies with each other.
+func NewGang(prog *Program, members []GangMember, window int) *Gang {
+	if window <= 0 {
+		window = DefaultGangWindow
+	}
+	g := &Gang{
+		prog:   prog,
+		sims:   make([]Simulator, len(members)),
+		done:   make([]bool, len(members)),
+		window: window,
+	}
+	for i, m := range members {
+		g.sims[i].init(m.Cfg, prog, m.Sub, m.Hier)
+	}
+	return g
+}
+
+// Members returns the number of simulations in the gang.
+func (g *Gang) Members() int { return len(g.sims) }
+
+// advance runs every unfinished member up to the fetch bound and returns
+// how many are still running. It is the steady-state unit of gang
+// execution and, like Simulator.step, must not allocate.
+func (g *Gang) advance(bound int) int {
+	remaining := 0
+	for i := range g.sims {
+		if g.done[i] {
+			continue
+		}
+		if g.sims[i].runTo(bound) {
+			g.done[i] = true
+		} else {
+			remaining++
+		}
+	}
+	return remaining
+}
+
+// Run executes every member to completion, lock-step over instruction
+// windows, and returns their Results in member order. warmupInstrs applies
+// to each member exactly as in Simulator.Run.
+func (g *Gang) Run(warmupInstrs int64) []Result {
+	for i := range g.sims {
+		g.sims[i].start(warmupInstrs)
+	}
+	n := g.prog.Len()
+	for bound := g.window; bound < n; bound += g.window {
+		g.advance(bound)
+	}
+	// Final pass: members fetch their last window and drain their ROBs at
+	// their own pace; nothing is left to share.
+	g.advance(maxInt)
+	results := make([]Result, len(g.sims))
+	for i := range g.sims {
+		results[i] = g.sims[i].result()
+	}
+	return results
+}

@@ -1,0 +1,153 @@
+package cpu
+
+import (
+	"testing"
+
+	"acic/internal/branch"
+	"acic/internal/bypass"
+	"acic/internal/icache"
+	"acic/internal/mem"
+	"acic/internal/policy"
+	"acic/internal/trace"
+	"acic/internal/workload"
+)
+
+// gangTestSubs builds a representative member set: plain LRU, a RRIP
+// policy, and a filter+bypass complex, each fresh per call.
+func gangTestSubs() []icache.Subsystem {
+	lru := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU()})
+	srrip := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewSRRIP(2)})
+	dsb := icache.MustNew(icache.Config{
+		Sets: 64, Ways: 8, Policy: policy.NewLRU(),
+		FilterSlots: 16, Bypass: bypass.NewDSB(bypass.DefaultDSBConfig(64)),
+	})
+	return []icache.Subsystem{lru, srrip, dsb}
+}
+
+// TestGangMatchesSerial pins the gang's core promise: every member's
+// Result is bit-identical to a serial Simulator.Run, whatever the window.
+func TestGangMatchesSerial(t *testing.T) {
+	prof, ok := workload.ByName("media-streaming")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	tr := workload.Generate(prof, 60_000)
+	ann := branch.NewFrontEnd().Annotate(tr)
+	prog := NewProgram(tr, ann)
+
+	var want []Result
+	for _, sub := range gangTestSubs() {
+		sim := NewSimulator(DefaultConfig(), prog, sub, mem.New(mem.DefaultConfig()))
+		want = append(want, sim.Run(6000))
+	}
+
+	for _, window := range []int{1, 7, 4096, DefaultGangWindow, 1 << 30} {
+		subs := gangTestSubs()
+		hiers := mem.NewGang(mem.DefaultConfig(), len(subs))
+		members := make([]GangMember, len(subs))
+		for i, sub := range subs {
+			members[i] = GangMember{Cfg: DefaultConfig(), Sub: sub, Hier: hiers[i]}
+		}
+		got := NewGang(prog, members, window).Run(6000)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("window %d member %d: gang %+v != serial %+v", window, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGangHeterogeneousConfigs runs members under different core configs
+// (FDP on and off) in one gang; each must match its serial twin.
+func TestGangHeterogeneousConfigs(t *testing.T) {
+	prof, _ := workload.ByName("data-caching")
+	tr := workload.Generate(prof, 50_000)
+	prog := NewProgram(tr, branch.NewFrontEnd().Annotate(tr))
+
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.UseFDP = false
+
+	wantOn := NewSimulator(on, prog, gangTestSubs()[0], mem.New(mem.DefaultConfig())).Run(0)
+	wantOff := NewSimulator(off, prog, gangTestSubs()[0], mem.New(mem.DefaultConfig())).Run(0)
+
+	hiers := mem.NewGang(mem.DefaultConfig(), 2)
+	got := NewGang(prog, []GangMember{
+		{Cfg: on, Sub: gangTestSubs()[0], Hier: hiers[0]},
+		{Cfg: off, Sub: gangTestSubs()[0], Hier: hiers[1]},
+	}, 1024).Run(0)
+	if got[0] != wantOn {
+		t.Errorf("FDP-on member diverged: %+v != %+v", got[0], wantOn)
+	}
+	if got[1] != wantOff {
+		t.Errorf("FDP-off member diverged: %+v != %+v", got[1], wantOff)
+	}
+}
+
+// TestGangEdgeCases covers the degenerate shapes: no members, one member,
+// and an empty trace.
+func TestGangEdgeCases(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	tr := workload.Generate(prof, 10_000)
+	prog := NewProgram(tr, branch.NewFrontEnd().Annotate(tr))
+
+	if res := NewGang(prog, nil, 0).Run(0); len(res) != 0 {
+		t.Errorf("empty gang returned %d results", len(res))
+	}
+
+	sub := gangTestSubs()[0]
+	want := NewSimulator(DefaultConfig(), prog, gangTestSubs()[0], mem.New(mem.DefaultConfig())).Run(0)
+	hiers := mem.NewGang(mem.DefaultConfig(), 1)
+	got := NewGang(prog, []GangMember{{Cfg: DefaultConfig(), Sub: sub, Hier: hiers[0]}}, 0).Run(0)
+	if got[0] != want {
+		t.Errorf("single-member gang %+v != serial %+v", got[0], want)
+	}
+
+	empty := NewProgram(&trace.Trace{}, nil)
+	hiers = mem.NewGang(mem.DefaultConfig(), 1)
+	res := NewGang(empty, []GangMember{{Cfg: DefaultConfig(), Sub: gangTestSubs()[0], Hier: hiers[0]}}, 0).Run(0)
+	if res[0].Instructions != 0 {
+		t.Errorf("empty trace retired %d instructions", res[0].Instructions)
+	}
+}
+
+// TestDataLatenciesMatchReplay pins the timeline precompute against a
+// direct hierarchy replay: the array must equal DataAccess called per
+// memory instruction in order, and be stable across Ensure calls.
+func TestDataLatenciesMatchReplay(t *testing.T) {
+	prof, _ := workload.ByName("wikipedia")
+	tr := workload.Generate(prof, 30_000)
+	prog := NewProgram(tr, branch.NewFrontEnd().Annotate(tr))
+	prog.EnsureDataLatencies(mem.DefaultConfig())
+
+	h := mem.New(mem.DefaultConfig())
+	saved := append([]int16(nil), prog.DataLat...)
+	for i, d := range prog.Desc {
+		want := int16(0)
+		if d&(descLoad|descStore) != 0 {
+			want = int16(h.DataAccess(prog.MemBlk[i]))
+		}
+		if saved[i] != want {
+			t.Fatalf("DataLat[%d] = %d, replay says %d", i, saved[i], want)
+		}
+	}
+
+	// A second same-config Ensure must be a no-op.
+	prog.EnsureDataLatencies(mem.DefaultConfig())
+	for i := range saved {
+		if prog.DataLat[i] != saved[i] {
+			t.Fatalf("EnsureDataLatencies recomputed the timeline at %d", i)
+		}
+	}
+
+	// A different config would silently mis-time every load: it must panic.
+	cfg := mem.DefaultConfig()
+	cfg.L1DSets = 1
+	cfg.L1DWays = 1
+	defer func() {
+		if recover() == nil {
+			t.Error("EnsureDataLatencies with a mismatched config must panic")
+		}
+	}()
+	prog.EnsureDataLatencies(cfg)
+}

@@ -51,6 +51,20 @@ func NewPool(workers int) *Pool {
 // Width returns the pool's concurrency bound.
 func (p *Pool) Width() int { return cap(p.slots) }
 
+// Go starts fn as one pool task, blocking the caller until a slot frees
+// (the same submitter backpressure as Each and Require) and returning as
+// soon as the task is launched. Completion is observed through whatever fn
+// fulfills — batch executors pair Go with Group.TryClaim/Fulfill, whose
+// done channels the eventual Require waits on. Like Each, Go must not be
+// called from inside a pool task.
+func (p *Pool) Go(fn func()) {
+	p.slots <- struct{}{}
+	go func() {
+		defer func() { <-p.slots }()
+		fn()
+	}()
+}
+
 // Each runs fn(0..n-1) with bounded parallelism and waits for all calls,
 // returning the lowest-index error. It must not be called from inside a
 // pool task (a task waiting for its own pool's slots can deadlock);
@@ -215,6 +229,65 @@ func (g *Group[K, V]) Require(keys ...K) error {
 		}
 	}
 	return nil
+}
+
+// TryClaim claims k for external computation: true means the caller now
+// owns the key and must complete it with exactly one TryCache (that hits)
+// or Fulfill call; false means the key is already computed, in flight, or
+// owned elsewhere. Batch executors (gang simulation) use this to take a
+// set of keys out of the per-key compute path and produce them together —
+// a Get or Require arriving for a claimed key simply waits for the owner.
+func (g *Group[K, V]) TryClaim(k K) bool {
+	c, _ := g.claim(k)
+	return c.started.CompareAndSwap(false, true)
+}
+
+// TryCache consults the persistent cache for a key claimed via TryClaim.
+// On a hit the key is completed from the cached value (counting a cache
+// hit and firing OnDone like the internal path) and TryCache returns true:
+// the caller must not Fulfill it. On a miss the caller still owns the key.
+func (g *Group[K, V]) TryCache(k K) bool {
+	if g.Cache == nil {
+		return false
+	}
+	v, ok := g.Cache.Load(k)
+	if !ok {
+		return false
+	}
+	c := g.cellOf(k)
+	c.val = v
+	g.cacheHits.Add(1)
+	if g.OnDone != nil {
+		g.OnDone(k, true, nil)
+	}
+	close(c.done)
+	return true
+}
+
+// Fulfill completes a key claimed via TryClaim with an externally computed
+// value, storing successes to the persistent cache and waking every
+// waiter. Calling it for a key the caller does not own corrupts the group.
+func (g *Group[K, V]) Fulfill(k K, v V, err error) {
+	c := g.cellOf(k)
+	c.val, c.err = v, err
+	g.computed.Add(1)
+	if err == nil && g.Cache != nil {
+		g.Cache.Store(k, v)
+	}
+	if g.OnDone != nil {
+		g.OnDone(k, false, err)
+	}
+	close(c.done)
+}
+
+func (g *Group[K, V]) cellOf(k K) *cell[V] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.cells[k]
+	if !ok {
+		panic("engine: Fulfill/TryCache of an unclaimed key")
+	}
+	return c
 }
 
 // Size returns the number of keys ever demanded (completed or in flight).

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"acic/internal/workload"
+)
+
+// TestRunGangMatchesRunEverywhere is the gang differential: for two apps,
+// every registered scheme under every prefetcher platform must produce a
+// bit-identical cpu.Result through RunGang and through the serial Run
+// path. This is the contract that lets the suite group cells into gangs
+// without auditing downstream renderers.
+func TestRunGangMatchesRunEverywhere(t *testing.T) {
+	schemes := SchemeNames()
+	for _, app := range []string{"media-streaming", "data-caching"} {
+		prof, ok := workload.ByName(app)
+		if !ok {
+			t.Fatalf("unknown workload %q", app)
+		}
+		w := Prepare(prof, 80_000)
+		for _, pf := range Prefetchers() {
+			opts := DefaultOptions()
+			opts.Prefetcher = pf
+			gangRes, gangErrs := RunGang(w, schemes, opts)
+			for i, scheme := range schemes {
+				if gangErrs[i] != nil {
+					t.Fatalf("%s/%s/%s: gang error: %v", app, scheme, pf, gangErrs[i])
+				}
+				serial, err := Run(w, scheme, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: serial error: %v", app, scheme, pf, err)
+				}
+				if gangRes[i] != serial {
+					t.Errorf("%s/%s/%s: gang %+v != serial %+v", app, scheme, pf, gangRes[i], serial)
+				}
+			}
+		}
+	}
+}
+
+// TestRunGangPartialErrors: an unknown scheme errors in its own slot while
+// the valid members still run and match serial.
+func TestRunGangPartialErrors(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	w := Prepare(prof, 40_000)
+	opts := DefaultOptions()
+	res, errs := RunGang(w, []string{"lru", "no-such-scheme", "opt"}, opts)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid members errored: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "no-such-scheme") {
+		t.Fatalf("invalid member error = %v", errs[1])
+	}
+	want, err := Run(w, "opt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[2] != want {
+		t.Errorf("member after failed slot diverges: %+v != %+v", res[2], want)
+	}
+
+	badPf := DefaultOptions()
+	badPf.Prefetcher = "warp-drive"
+	_, errs = RunGang(w, []string{"lru"}, badPf)
+	if errs[0] == nil {
+		t.Error("unknown prefetcher must error every member")
+	}
+}
+
+// gangFigSlice renders a Fig10+Fig11+Fig13 slice under the given gang
+// size (0 = per-cell execution) and returns the exact bytes printed.
+func gangFigSlice(t *testing.T, gangSize int, cacheDir string) string {
+	t.Helper()
+	s := NewSuite(40_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.Workers = 2
+	s.GangSize = gangSize
+	s.CacheDir = cacheDir
+	var out strings.Builder
+	t10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t11, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t13, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(t10.String())
+	out.WriteString(t11.String())
+	out.WriteString(t13.String())
+	return out.String()
+}
+
+// TestSuiteGangOutputIdentical pins the end-to-end promise: rendered
+// figure output is byte-identical with gangs disabled, small, and wider
+// than any group.
+func TestSuiteGangOutputIdentical(t *testing.T) {
+	serial := gangFigSlice(t, 0, "")
+	for _, gangSize := range []int{3, 64} {
+		if got := gangFigSlice(t, gangSize, ""); got != serial {
+			t.Errorf("gangSize=%d output diverges from per-cell execution:\n--- per-cell ---\n%s--- gang ---\n%s",
+				gangSize, serial, got)
+		}
+	}
+}
+
+// TestSuiteGangUsesAndFillsDiskCache: a gang run populates the persistent
+// cache so a per-cell rerun computes nothing, and vice versa — the cache
+// entries are path-independent.
+func TestSuiteGangUsesAndFillsDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	first := gangFigSlice(t, 4, dir)
+
+	// Per-cell rerun over the gang-filled cache.
+	s := NewSuite(40_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.CacheDir = dir
+	t10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, fromCache, _ := s.Stats()
+	if computed != 0 {
+		t.Errorf("per-cell rerun computed %d cells over a gang-filled cache", computed)
+	}
+	if fromCache == 0 {
+		t.Error("per-cell rerun hit nothing in the gang-filled cache")
+	}
+	if !strings.Contains(first, t10.String()) {
+		t.Error("cached per-cell rerun diverges from the gang run's output")
+	}
+
+	// Gang rerun over the same cache: gangs must consult it per member.
+	s2 := NewSuite(40_000)
+	s2.Apps = []string{"media-streaming", "sibench"}
+	s2.GangSize = 4
+	s2.CacheDir = dir
+	if _, err := s2.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	computed, fromCache, _ = s2.Stats()
+	if computed != 0 {
+		t.Errorf("gang rerun computed %d cells over a warm cache", computed)
+	}
+	if fromCache == 0 {
+		t.Error("gang rerun hit nothing in the cache")
+	}
+}
+
+// TestSuiteGangAccounting: gang execution must keep the engine's computed
+// counter per cell (not per gang) and report every cell through Progress.
+func TestSuiteGangAccounting(t *testing.T) {
+	s := NewSuite(30_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.GangSize = 5
+	var progress atomic.Int64
+	s.Progress = func(done, total int, label string) { progress.Add(1) }
+	if _, err := s.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	computed, fromCache, workloads := s.Stats()
+	want := int64(2 * (1 + len(Fig10Schemes)))
+	if computed != want {
+		t.Errorf("computed %d cells, want %d", computed, want)
+	}
+	if fromCache != 0 {
+		t.Errorf("fromCache = %d without a cache dir", fromCache)
+	}
+	if workloads != 2 {
+		t.Errorf("prepared %d workloads, want 2", workloads)
+	}
+	if progress.Load() != computed {
+		t.Errorf("progress reported %d cells, want %d", progress.Load(), computed)
+	}
+}

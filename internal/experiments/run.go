@@ -35,12 +35,14 @@ type Workload struct {
 }
 
 // Prepare generates a workload of n instructions and builds the shared
-// artifacts.
+// artifacts, including the data-side latency timeline every scheme run
+// reads instead of re-simulating the data hierarchy.
 func Prepare(p workload.Profile, n int) *Workload {
 	tr := workload.Generate(p, n)
 	fe := branch.NewFrontEnd()
 	ann := fe.Annotate(tr)
 	prog := cpu.NewProgram(tr, ann)
+	prog.EnsureDataLatencies(mem.DefaultConfig())
 	return &Workload{
 		Profile: p,
 		Prog:    prog,
@@ -97,28 +99,98 @@ func Prefetchers() []string {
 	return names
 }
 
-// RunSubsystem simulates a pre-built subsystem over the workload.
-func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, error) {
+// platformConfig returns the core configuration for a prefetcher platform
+// name ("" = "fdp"), wiring a fresh Extra prefetcher instance when the
+// platform carries one.
+func platformConfig(prefetcher string) (cpu.Config, error) {
 	cfg := cpu.DefaultConfig()
-	pf := opts.Prefetcher
-	if pf == "" {
-		pf = "fdp"
+	if prefetcher == "" {
+		prefetcher = "fdp"
 	}
-	found := false
 	for _, p := range prefetcherPlatforms {
-		if p.name == pf {
+		if p.name == prefetcher {
 			p.apply(&cfg)
-			found = true
-			break
+			return cfg, nil
 		}
 	}
-	if !found {
-		return cpu.Result{}, fmt.Errorf("experiments: unknown prefetcher %q", opts.Prefetcher)
+	return cpu.Config{}, fmt.Errorf("experiments: unknown prefetcher %q", prefetcher)
+}
+
+// warmup returns the warmup instruction count for a workload under opts.
+func warmup(w *Workload, opts Options) int64 {
+	return int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
+}
+
+// RunSubsystem simulates a pre-built subsystem over the workload.
+func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, error) {
+	cfg, err := platformConfig(opts.Prefetcher)
+	if err != nil {
+		return cpu.Result{}, err
 	}
 	hier := mem.New(mem.DefaultConfig())
 	sim := cpu.NewSimulator(cfg, w.Prog, sub, hier)
-	warm := int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
-	return sim.Run(warm), nil
+	return sim.Run(warmup(w, opts)), nil
+}
+
+// RunGang simulates several schemes over one workload in a single gang:
+// one traversal of the shared Program drives every scheme (see cpu.Gang),
+// with the members' instruction-side hierarchies carved out of contiguous
+// backing arrays. Results and errors are indexed like schemes; a scheme
+// that fails to construct (or an unknown prefetcher) reports its error in
+// errs while the remaining members still run. Each member's result is
+// bit-identical to Run(w, scheme, opts).
+func RunGang(w *Workload, schemes []string, opts Options) (results []cpu.Result, errs []error) {
+	results = make([]cpu.Result, len(schemes))
+	errs = make([]error, len(schemes))
+	if _, err := platformConfig(opts.Prefetcher); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+	subs := make([]icache.Subsystem, 0, len(schemes))
+	slot := make([]int, 0, len(schemes))
+	for i, scheme := range schemes {
+		sub, err := NewScheme(scheme, w)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		subs = append(subs, sub)
+		slot = append(slot, i)
+	}
+	gangRes, err := RunGangSubsystems(w, subs, opts)
+	if err != nil {
+		// platformConfig was validated above; treat a late failure as
+		// affecting every member that made it into the gang.
+		for _, i := range slot {
+			errs[i] = err
+		}
+		return results, errs
+	}
+	for j, r := range gangRes {
+		results[slot[j]] = r
+	}
+	return results, errs
+}
+
+// RunGangSubsystems gang-simulates pre-built subsystems over the workload
+// (the building block under RunGang; use it to attach instrumentation to
+// members before the run). Results are indexed like subs.
+func RunGangSubsystems(w *Workload, subs []icache.Subsystem, opts Options) ([]cpu.Result, error) {
+	if _, err := platformConfig(opts.Prefetcher); err != nil {
+		return nil, err
+	}
+	hiers := mem.NewGang(mem.DefaultConfig(), len(subs))
+	members := make([]cpu.GangMember, len(subs))
+	for i, sub := range subs {
+		// Platform configs are built per member: stateful Extra prefetchers
+		// must not be shared across schemes.
+		cfg, _ := platformConfig(opts.Prefetcher)
+		members[i] = cpu.GangMember{Cfg: cfg, Sub: sub, Hier: hiers[i]}
+	}
+	gang := cpu.NewGang(w.Prog, members, 0)
+	return gang.Run(warmup(w, opts)), nil
 }
 
 // Speedup returns base cycles over result cycles.

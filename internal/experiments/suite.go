@@ -62,6 +62,15 @@ type Suite struct {
 	// trace length, scheme, prefetcher, and run options, so reruns of
 	// acic-bench / acic-sim recompute only what changed.
 	CacheDir string
+	// GangSize, when > 1, turns on gang execution: each Require batch
+	// groups its same-(app, prefetcher) cells and runs every group as a
+	// single cpu.Gang simulation — one Program traversal driving all of
+	// the group's schemes — instead of one task per cell. Groups larger
+	// than GangSize are split into chunks of at most GangSize (in batch
+	// order), so a wide grid still fans out across the worker pool.
+	// Results, the per-cell memo, the disk cache, and rendered output are
+	// byte-identical to per-cell execution at any GangSize.
+	GangSize int
 	// Progress, if non-nil, is called after each completed cell with the
 	// running done count, the number of cells planned so far, and a
 	// human-readable label. Called from worker goroutines.
@@ -138,7 +147,11 @@ func (s *Suite) init() {
 // algorithm changes anywhere in the pipeline, or the per-scheme constants
 // hard-coded in NewScheme (filter slots, bypass thresholds, victim-cache
 // sizes). Bump it alongside such changes.
-const cacheSchemaVersion = 1
+//
+// v2: the data-side memory hierarchy was decoupled from the
+// instruction-miss stream into a per-workload precomputed latency
+// timeline (DESIGN.md §8), shifting absolute cycle counts.
+const cacheSchemaVersion = 2
 
 // simConfigHash digests the default simulator configuration (core, memory
 // hierarchy, prefetchers, ACIC) and the shape of cpu.Result (%#v of the
@@ -224,12 +237,76 @@ func (s *Suite) wl(app string) *Workload {
 
 // Require plans and executes the given cells: duplicates (within the batch
 // and against earlier work) are executed once, the rest run in parallel on
-// the worker pool. All cells are attempted; the first error in argument
-// order is returned. Renderers call Require before reading results so
-// their output does not depend on execution order.
+// the worker pool. With GangSize > 1 the batch's new cells are first
+// grouped into gang tasks (same app, same prefetcher — one Program
+// traversal per gang). All cells are attempted; the first error in
+// argument order is returned. Renderers call Require before reading
+// results so their output does not depend on execution order.
 func (s *Suite) Require(cells ...Cell) error {
 	s.init()
+	if s.GangSize > 1 {
+		s.submitGangs(cells)
+	}
 	return s.results.Require(cells...)
+}
+
+// submitGangs claims the batch's not-yet-planned cells, groups them by
+// (app, prefetcher) in first-appearance order, splits each group into
+// chunks of at most GangSize, and submits one pool task per chunk. Cells
+// claimed here are completed by their gang task; the results.Require that
+// follows only waits on them.
+func (s *Suite) submitGangs(cells []Cell) {
+	type group struct{ app, pf string }
+	claimed := make(map[group][]Cell)
+	var order []group
+	for _, c := range cells {
+		if !s.results.TryClaim(c) {
+			continue // computed, in flight, or a duplicate within the batch
+		}
+		g := group{c.App, c.Prefetcher}
+		if _, ok := claimed[g]; !ok {
+			order = append(order, g)
+		}
+		claimed[g] = append(claimed[g], c)
+	}
+	for _, g := range order {
+		batch := claimed[g]
+		for start := 0; start < len(batch); start += s.GangSize {
+			gang := batch[start:min(start+s.GangSize, len(batch))]
+			s.pool.Go(func() { s.runGangTask(gang) })
+		}
+	}
+}
+
+// runGangTask produces one gang's cells: disk-cached members are fulfilled
+// directly, the rest run as a single RunGang over the shared workload.
+func (s *Suite) runGangTask(gang []Cell) {
+	pending := gang[:0:0]
+	for _, c := range gang {
+		if !s.results.TryCache(c) {
+			pending = append(pending, c)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	w, err := s.workloads.Get(pending[0].App)
+	if err != nil {
+		for _, c := range pending {
+			s.results.Fulfill(c, cpu.Result{}, err)
+		}
+		return
+	}
+	opts := DefaultOptions()
+	opts.Prefetcher = pending[0].Prefetcher
+	schemes := make([]string, len(pending))
+	for i, c := range pending {
+		schemes[i] = c.Scheme
+	}
+	results, errs := RunGang(w, schemes, opts)
+	for i, c := range pending {
+		s.results.Fulfill(c, results[i], errs[i])
+	}
 }
 
 // Result returns the simulation result for (app, scheme) under the given

@@ -1,0 +1,58 @@
+package mem
+
+import "testing"
+
+// TestNewGangMatchesNew drives each carved gang member and an independent
+// hierarchy through the same interleaved instruction/data stream: the
+// shared-backing layout must be behaviorally invisible.
+func TestNewGangMatchesNew(t *testing.T) {
+	cfg := DefaultConfig()
+	const members = 3
+	gang := NewGang(cfg, members)
+	for m := 0; m < members; m++ {
+		solo := New(cfg)
+		// Distinct per-member streams so cross-member state leakage (an
+		// off-by-one in the carve) cannot cancel out.
+		x := uint64(12345 + m)
+		for i := 0; i < 20000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			block := (x >> 33) % 6000
+			if i%3 == 0 {
+				gi := gang[m].InstrMiss(block)
+				si := solo.InstrMiss(block)
+				if gi != si {
+					t.Fatalf("member %d step %d: InstrMiss %d != %d", m, i, gi, si)
+				}
+			} else {
+				gd := gang[m].DataAccess(block)
+				sd := solo.DataAccess(block)
+				if gd != sd {
+					t.Fatalf("member %d step %d: DataAccess %d != %d", m, i, gd, sd)
+				}
+			}
+		}
+		if gang[m].L2InstrHits != solo.L2InstrHits || gang[m].DRAMData != solo.DRAMData {
+			t.Fatalf("member %d counters diverge: %+v vs %+v", m, gang[m], solo)
+		}
+	}
+}
+
+// TestNewGangZero allows an empty gang.
+func TestNewGangZero(t *testing.T) {
+	if got := NewGang(DefaultConfig(), 0); len(got) != 0 {
+		t.Errorf("NewGang(0) returned %d members", len(got))
+	}
+}
+
+// TestHierarchyConfig pins the Config accessor the cpu layer uses to key
+// the data-latency precompute.
+func TestHierarchyConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Sets = 256
+	if got := New(cfg).Config(); got != cfg {
+		t.Errorf("Config() = %+v, want %+v", got, cfg)
+	}
+	if got := NewGang(cfg, 1)[0].Config(); got != cfg {
+		t.Errorf("gang Config() = %+v, want %+v", got, cfg)
+	}
+}

@@ -1,19 +1,26 @@
 // Package mem models the memory hierarchy below the L1 instruction cache
-// per Table II: a 48KB 8-way L1 data cache (5-cycle), a 512KB 8-way unified
-// L2 (15-cycle), a 2MB 16-way unified L3 (35-cycle), and DRAM (one 3200MT/s
-// channel, modeled as a fixed access latency at the 4GHz core clock).
-// Instruction and data streams share L2 and L3. MSHR counts bound the
-// overlap the timing model allows, matching Table II's 16/16/32/64.
+// per Table II: a 48KB 8-way L1 data cache (5-cycle), a 512KB 8-way L2
+// (15-cycle), a 2MB 16-way L3 (35-cycle), and DRAM (one 3200MT/s channel,
+// modeled as a fixed access latency at the 4GHz core clock). MSHR counts
+// bound the overlap the timing model allows, matching Table II's
+// 16/16/32/64.
+//
+// The data and instruction streams run through separate L2/L3 state. That
+// is the one deliberate departure from Table II's unified L2/L3 (DESIGN.md
+// §8 quantifies it): the data-access sequence of a trace is fixed by
+// instruction order and therefore identical for every i-cache scheme, so
+// decoupling it from the scheme-dependent instruction-miss stream makes
+// every load/store latency a pure function of the workload. The cpu layer
+// exploits exactly that — it replays DataAccess once per workload into a
+// latency timeline (cpu.Program.EnsureDataLatencies) and every scheme's
+// simulation reads the shared array instead of re-simulating the data side.
 //
 // The level caches are plain LRU and nothing consumes their per-line
 // metadata, so they use a specialized flat implementation instead of the
 // generic policy-pluggable cache.Cache: per-level key/stamp arrays with an
-// MRU way probe. Every load and store in the simulated program passes
-// through DataAccess, making this the single hottest call in the
-// simulator; the flat form performs it with no interface dispatch, no
-// access-context traffic, and no allocation. Semantics are identical to
-// cache.Cache with policy.LRU (same clock, same first-way tie-breaks),
-// which the differential test in mem_test.go pins.
+// MRU way probe. Semantics are identical to cache.Cache with policy.LRU
+// (same clock, same first-way tie-breaks), which the differential test in
+// mem_test.go pins.
 package mem
 
 // Latencies are the load-to-use latencies of each level, in core cycles.
@@ -74,18 +81,27 @@ type level struct {
 }
 
 func newLevel(sets, ways int) *level {
+	return newLevelInto(sets, ways, make([]memLine, sets*ways), make([]int32, sets))
+}
+
+// newLevelInto builds a level over caller-provided backing arrays (of
+// exactly sets*ways and sets entries), letting NewGang carve many members'
+// levels out of one contiguous allocation.
+func newLevelInto(sets, ways int, lines []memLine, mru []int32) *level {
 	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
 		panic("mem: bad level geometry")
 	}
-	lines := make([]memLine, sets*ways)
 	for i := range lines {
-		lines[i].block = invalidKey
+		lines[i] = memLine{block: invalidKey}
+	}
+	for i := range mru {
+		mru[i] = 0
 	}
 	return &level{
 		mask:  uint64(sets - 1),
 		ways:  ways,
 		lines: lines,
-		mru:   make([]int32, sets),
+		mru:   mru,
 	}
 }
 
@@ -141,8 +157,9 @@ func (l *level) insert(block uint64) {
 	l.mru[set] = int32(w)
 }
 
-// Hierarchy is the shared L1d/L2/L3/DRAM model.
+// Hierarchy is the L1d/L2/L3/DRAM model.
 type Hierarchy struct {
+	cfg Config
 	l1d *level
 	l2  *level
 	l3  *level
@@ -162,12 +179,54 @@ type Hierarchy struct {
 // New builds the hierarchy.
 func New(cfg Config) *Hierarchy {
 	return &Hierarchy{
+		cfg: cfg,
 		l1d: newLevel(cfg.L1DSets, cfg.L1DWays),
 		l2:  newLevel(cfg.L2Sets, cfg.L2Ways),
 		l3:  newLevel(cfg.L3Sets, cfg.L3Ways),
 		lat: cfg.Lat,
 	}
 }
+
+// NewGang builds n identically configured hierarchies whose level arrays
+// are carved out of per-level contiguous backing allocations
+// (struct-of-gangs layout): member i's L2 lines sit directly after member
+// i-1's, and likewise for L1d, L3, and the MRU hint arrays. A gang
+// simulation rotating through its members then walks adjacent memory
+// instead of n scattered heap objects, which keeps the combined
+// instruction-side state dense in the host cache. Each returned Hierarchy
+// is behaviorally identical to New(cfg).
+func NewGang(cfg Config, n int) []*Hierarchy {
+	if n < 0 {
+		panic("mem: negative gang size")
+	}
+	var (
+		l1dLines = make([]memLine, n*cfg.L1DSets*cfg.L1DWays)
+		l2Lines  = make([]memLine, n*cfg.L2Sets*cfg.L2Ways)
+		l3Lines  = make([]memLine, n*cfg.L3Sets*cfg.L3Ways)
+		l1dMRU   = make([]int32, n*cfg.L1DSets)
+		l2MRU    = make([]int32, n*cfg.L2Sets)
+		l3MRU    = make([]int32, n*cfg.L3Sets)
+	)
+	carve := func(lines []memLine, mru []int32, i, sets, ways int) *level {
+		return newLevelInto(sets, ways,
+			lines[i*sets*ways:(i+1)*sets*ways:(i+1)*sets*ways],
+			mru[i*sets:(i+1)*sets:(i+1)*sets])
+	}
+	hiers := make([]*Hierarchy, n)
+	for i := range hiers {
+		hiers[i] = &Hierarchy{
+			cfg: cfg,
+			l1d: carve(l1dLines, l1dMRU, i, cfg.L1DSets, cfg.L1DWays),
+			l2:  carve(l2Lines, l2MRU, i, cfg.L2Sets, cfg.L2Ways),
+			l3:  carve(l3Lines, l3MRU, i, cfg.L3Sets, cfg.L3Ways),
+			lat: cfg.Lat,
+		}
+	}
+	return hiers
+}
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Latencies returns the configured level latencies.
 func (h *Hierarchy) Latencies() Latencies { return h.lat }
@@ -191,7 +250,11 @@ func (h *Hierarchy) InstrMiss(block uint64) int64 {
 }
 
 // DataAccess services a load/store to a data block through L1d/L2/L3/DRAM
-// and returns its load-to-use latency in cycles.
+// and returns its load-to-use latency in cycles. The data-side levels are
+// touched only by this method, so the latency sequence over a fixed access
+// stream is deterministic — cpu.Program.EnsureDataLatencies replays a
+// workload's loads and stores through a fresh hierarchy exactly once and
+// shares the resulting timeline across every scheme's simulation.
 func (h *Hierarchy) DataAccess(block uint64) int64 {
 	h.DataAccesses++
 	if h.l1d.access(block) {

@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"fmt"
+
+	"acic/internal/stats"
+)
+
+// Delta is one cell's throughput change between two reports. Pct is the
+// ns/access change relative to the old report: negative is faster, +25
+// means the new tree takes 25% longer per access.
+type Delta struct {
+	App        string
+	Scheme     string
+	Prefetcher string
+	OldNs      float64
+	NewNs      float64
+	Pct        float64
+}
+
+// Comparison is the cell-by-cell diff of two reports (old baseline vs new
+// measurement), the basis of `acic-bench -compare`.
+type Comparison struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list cells present in exactly one report (labelled
+	// app/scheme/prefetcher); they are excluded from the aggregates.
+	OnlyOld []string
+	OnlyNew []string
+	// OldWallNs / NewWallNs aggregate ns_per_access × accesses over the
+	// matched cells: the wall-clock a serial sweep of that grid costs in
+	// each tree, so OldWallNs/NewWallNs is the suite-level speedup.
+	OldWallNs float64
+	NewWallNs float64
+}
+
+// Compare diffs two reports cell by cell, in the old report's order.
+func Compare(oldRep, newRep *Report) *Comparison {
+	c := &Comparison{}
+	key := func(cell Cell) string {
+		return cell.App + "/" + cell.Scheme + "/" + cell.Prefetcher
+	}
+	matched := make(map[string]bool)
+	for _, o := range oldRep.Cells {
+		n, ok := findCell(newRep, o)
+		if !ok {
+			c.OnlyOld = append(c.OnlyOld, key(o))
+			continue
+		}
+		matched[key(o)] = true
+		c.Deltas = append(c.Deltas, Delta{
+			App:        o.App,
+			Scheme:     o.Scheme,
+			Prefetcher: o.Prefetcher,
+			OldNs:      o.NsPerAccess,
+			NewNs:      n.NsPerAccess,
+			Pct:        100 * (n.NsPerAccess - o.NsPerAccess) / o.NsPerAccess,
+		})
+		c.OldWallNs += o.NsPerAccess * float64(o.Accesses)
+		c.NewWallNs += n.NsPerAccess * float64(n.Accesses)
+	}
+	for _, n := range newRep.Cells {
+		if !matched[key(n)] {
+			c.OnlyNew = append(c.OnlyNew, key(n))
+		}
+	}
+	return c
+}
+
+func findCell(r *Report, want Cell) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.App == want.App && c.Scheme == want.Scheme && c.Prefetcher == want.Prefetcher {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Speedup returns the aggregate old/new wall-clock ratio over matched
+// cells (> 1 means the new tree is faster), or 0 with nothing matched.
+func (c *Comparison) Speedup() float64 {
+	if c.NewWallNs == 0 {
+		return 0
+	}
+	return c.OldWallNs / c.NewWallNs
+}
+
+// WorstPct returns the largest per-cell regression percentage (the most
+// positive Pct), or 0 with no deltas; a fully-improved comparison reports
+// a negative value.
+func (c *Comparison) WorstPct() float64 {
+	worst := 0.0
+	for i, d := range c.Deltas {
+		if i == 0 || d.Pct > worst {
+			worst = d.Pct
+		}
+	}
+	return worst
+}
+
+// Table renders the per-cell delta table.
+func (c *Comparison) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"app", "scheme", "prefetcher", "old ns/access", "new ns/access", "delta"}}
+	for _, d := range c.Deltas {
+		t.AddRow(d.App, d.Scheme, d.Prefetcher,
+			fmt.Sprintf("%.1f", d.OldNs), fmt.Sprintf("%.1f", d.NewNs),
+			fmt.Sprintf("%+.1f%%", d.Pct))
+	}
+	return t
+}
+
+// Summary is the one-line aggregate for logs and CI job summaries.
+func (c *Comparison) Summary() string {
+	return fmt.Sprintf("matched %d cells: aggregate speedup %.2fx (old %.1fms -> new %.1fms), worst cell %+.1f%%",
+		len(c.Deltas), c.Speedup(), c.OldWallNs/1e6, c.NewWallNs/1e6, c.WorstPct())
+}

@@ -1,9 +1,12 @@
 // Package perf measures raw simulator throughput — nanoseconds per block
 // access and accesses per second — for a grid of (scheme × prefetcher)
-// cells over one workload. The measurements serialize to JSON
-// (BENCH_PR2.json at the repo root is the tracked trajectory file) so that
-// future PRs can regress hot-path changes against a committed baseline
-// instead of folklore.
+// cells over one workload, plus suite-level sweep wall-clocks that compare
+// the per-scheme path against gang execution (one Program traversal
+// driving a whole scheme row, experiments.RunGang). The measurements
+// serialize to JSON (BENCH_PR3.json at the repo root is the tracked
+// trajectory file; BENCH_PR2.json is its predecessor) so that future PRs
+// can regress hot-path changes against a committed baseline instead of
+// folklore; Compare diffs two such files cell by cell.
 //
 // Throughput here is *simulator* speed, not simulated-machine speed: the
 // denominator is the number of instruction-block accesses the front end
@@ -19,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"acic/internal/cpu"
 	"acic/internal/experiments"
 	"acic/internal/stats"
 )
@@ -35,13 +39,33 @@ type Cell struct {
 	AccessesPerSec float64 `json:"accesses_per_sec"` // 1e9 / NsPerAccess
 }
 
+// Sweep is one suite-level wall-clock measurement: a full scheme row under
+// one prefetcher, timed end to end (subsystem construction included, as a
+// suite pays it) through the per-scheme path and through gangs. The
+// per-member results of both paths are verified identical before the
+// timing is reported.
+type Sweep struct {
+	App               string   `json:"app"`
+	Prefetcher        string   `json:"prefetcher"`
+	Schemes           []string `json:"schemes"`
+	GangSize          int      `json:"gang_size"`
+	Runs              int      `json:"runs"` // repetitions per path; best kept
+	Accesses          int64    `json:"accesses_per_scheme"`
+	SerialWallNs      int64    `json:"serial_wall_ns"`
+	GangWallNs        int64    `json:"gang_wall_ns"`
+	GangSpeedup       float64  `json:"gang_speedup"`         // serial wall / gang wall
+	SerialNsPerAccess float64  `json:"serial_ns_per_access"` // aggregate over all members
+	GangNsPerAccess   float64  `json:"gang_ns_per_access"`
+}
+
 // Report is the serialized benchmark trajectory for one tree state.
 type Report struct {
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	N         int    `json:"trace_instructions"`
-	Cells     []Cell `json:"cells"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	N         int     `json:"trace_instructions"`
+	Cells     []Cell  `json:"cells"`
+	Sweeps    []Sweep `json:"gang_sweeps,omitempty"`
 }
 
 // Config selects the measurement grid.
@@ -51,6 +75,7 @@ type Config struct {
 	Schemes     []string // scheme names (default DefaultSchemes)
 	Prefetchers []string // prefetcher platforms (default {"none", "fdp"})
 	Repeats     int      // timed repetitions per cell, best kept (default 3)
+	GangSize    int      // schemes per gang in the sweep (0 = all; < 0 skips sweeps)
 }
 
 // DefaultSchemes is the tracked scheme set: the baseline, the learned and
@@ -108,7 +133,93 @@ func Measure(cfg Config) (*Report, error) {
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}
+	if cfg.GangSize >= 0 {
+		for _, pf := range cfg.Prefetchers {
+			sweep, err := measureSweep(w, cfg, pf)
+			if err != nil {
+				return nil, fmt.Errorf("perf: sweep %s: %w", pf, err)
+			}
+			rep.Sweeps = append(rep.Sweeps, sweep)
+		}
+	}
 	return rep, nil
+}
+
+// measureSweep times one full scheme row two ways — the per-scheme path
+// (construct + simulate each cell independently, as the PR 2 engine did)
+// and the gang path (experiments.RunGang over GangSize-chunks) — keeping
+// the best wall-clock of Repeats runs for each, and verifies the two paths
+// produced identical results.
+func measureSweep(w *experiments.Workload, cfg Config, pf string) (Sweep, error) {
+	opts := experiments.DefaultOptions()
+	opts.Prefetcher = pf
+	gangSize := cfg.GangSize
+	if gangSize == 0 || gangSize > len(cfg.Schemes) {
+		gangSize = len(cfg.Schemes)
+	}
+
+	var serialRes []cpu.Result
+	var serialBest time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		res := make([]cpu.Result, len(cfg.Schemes))
+		start := time.Now()
+		for i, scheme := range cfg.Schemes {
+			sub, err := experiments.NewScheme(scheme, w)
+			if err != nil {
+				return Sweep{}, err
+			}
+			if res[i], err = experiments.RunSubsystem(w, sub, opts); err != nil {
+				return Sweep{}, err
+			}
+		}
+		if elapsed := time.Since(start); serialBest == 0 || elapsed < serialBest {
+			serialBest = elapsed
+			serialRes = res
+		}
+	}
+
+	var gangRes []cpu.Result
+	var gangBest time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		res := make([]cpu.Result, 0, len(cfg.Schemes))
+		start := time.Now()
+		for at := 0; at < len(cfg.Schemes); at += gangSize {
+			chunk := cfg.Schemes[at:min(at+gangSize, len(cfg.Schemes))]
+			results, errs := experiments.RunGang(w, chunk, opts)
+			for _, err := range errs {
+				if err != nil {
+					return Sweep{}, err
+				}
+			}
+			res = append(res, results...)
+		}
+		if elapsed := time.Since(start); gangBest == 0 || elapsed < gangBest {
+			gangBest = elapsed
+			gangRes = res
+		}
+	}
+
+	for i := range serialRes {
+		if serialRes[i] != gangRes[i] {
+			return Sweep{}, fmt.Errorf("gang result diverges from serial for %s: %+v != %+v",
+				cfg.Schemes[i], gangRes[i], serialRes[i])
+		}
+	}
+	accesses := int64(serialRes[0].ICache.Accesses)
+	total := float64(accesses) * float64(len(cfg.Schemes))
+	return Sweep{
+		App:               cfg.App,
+		Prefetcher:        pf,
+		Schemes:           cfg.Schemes,
+		GangSize:          gangSize,
+		Runs:              cfg.Repeats,
+		Accesses:          accesses,
+		SerialWallNs:      serialBest.Nanoseconds(),
+		GangWallNs:        gangBest.Nanoseconds(),
+		GangSpeedup:       float64(serialBest.Nanoseconds()) / float64(gangBest.Nanoseconds()),
+		SerialNsPerAccess: float64(serialBest.Nanoseconds()) / total,
+		GangNsPerAccess:   float64(gangBest.Nanoseconds()) / total,
+	}, nil
 }
 
 func measureCell(w *experiments.Workload, app, scheme, pf string, repeats int) (Cell, error) {
@@ -179,6 +290,22 @@ func (r *Report) Table() *stats.Table {
 	for _, c := range r.Cells {
 		t.AddRow(c.Scheme, c.Prefetcher, fmt.Sprintf("%.1f", c.NsPerAccess),
 			fmt.Sprintf("%.3fM", c.AccessesPerSec/1e6))
+	}
+	return t
+}
+
+// SweepTable renders the gang-sweep measurements (nil when none were run).
+func (r *Report) SweepTable() *stats.Table {
+	if len(r.Sweeps) == 0 {
+		return nil
+	}
+	t := &stats.Table{Header: []string{
+		"prefetcher", "schemes", "gang-size", "serial-ms", "gang-ms", "gang-speedup"}}
+	for _, s := range r.Sweeps {
+		t.AddRow(s.Prefetcher, len(s.Schemes), s.GangSize,
+			fmt.Sprintf("%.1f", float64(s.SerialWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.GangWallNs)/1e6),
+			fmt.Sprintf("%.2fx", s.GangSpeedup))
 	}
 	return t
 }

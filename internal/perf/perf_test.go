@@ -1,0 +1,167 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		N:         400000,
+		Cells: []Cell{
+			{App: "a", Scheme: "lru", Prefetcher: "none", Accesses: 1000, Instructions: 400000,
+				Runs: 3, NsPerAccess: 100, AccessesPerSec: 1e7},
+			{App: "a", Scheme: "opt", Prefetcher: "fdp", Accesses: 1000, Instructions: 400000,
+				Runs: 3, NsPerAccess: 250, AccessesPerSec: 4e6},
+		},
+		Sweeps: []Sweep{{
+			App: "a", Prefetcher: "fdp", Schemes: []string{"lru", "opt"}, GangSize: 2,
+			Runs: 3, Accesses: 1000, SerialWallNs: 2_000_000, GangWallNs: 1_000_000,
+			GangSpeedup: 2, SerialNsPerAccess: 1000, GangNsPerAccess: 500,
+		}},
+	}
+}
+
+// TestReportRoundTrip pins the JSON encode/decode cycle the trajectory
+// files (BENCH_PR2.json, BENCH_PR3.json) and CI comparisons rely on.
+func TestReportRoundTrip(t *testing.T) {
+	want := sampleReport()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := want.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(bad); err == nil {
+		t.Error("corrupt file must error")
+	}
+}
+
+// TestCellLookupAndTables covers the report accessors the CLI renders.
+func TestCellLookupAndTables(t *testing.T) {
+	r := sampleReport()
+	if c, ok := r.Cell("opt", "fdp"); !ok || c.NsPerAccess != 250 {
+		t.Errorf("Cell lookup = %+v, %v", c, ok)
+	}
+	if _, ok := r.Cell("opt", "none"); ok {
+		t.Error("absent cell must not be found")
+	}
+	if tbl := r.Table().String(); !strings.Contains(tbl, "lru") {
+		t.Errorf("table missing rows:\n%s", tbl)
+	}
+	if st := r.SweepTable(); st == nil || !strings.Contains(st.String(), "2.00x") {
+		t.Errorf("sweep table = %v", st)
+	}
+	if st := (&Report{}).SweepTable(); st != nil {
+		t.Error("empty report must have no sweep table")
+	}
+}
+
+// TestCompare pins the per-cell delta math, the aggregate wall-clock
+// speedup, and the regression detector.
+func TestCompare(t *testing.T) {
+	oldRep := sampleReport()
+	newRep := &Report{Cells: []Cell{
+		{App: "a", Scheme: "lru", Prefetcher: "none", Accesses: 1000, NsPerAccess: 50}, // 2x faster
+		{App: "a", Scheme: "opt", Prefetcher: "fdp", Accesses: 1000, NsPerAccess: 300}, // 20% slower
+		{App: "a", Scheme: "ship", Prefetcher: "fdp", Accesses: 1000, NsPerAccess: 10}, // new cell
+	}}
+	c := Compare(oldRep, newRep)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("matched %d cells, want 2", len(c.Deltas))
+	}
+	if c.Deltas[0].Pct != -50 {
+		t.Errorf("lru delta = %+.1f%%, want -50%%", c.Deltas[0].Pct)
+	}
+	if got := c.Deltas[1].Pct; got < 19.9 || got > 20.1 {
+		t.Errorf("opt delta = %+.1f%%, want +20%%", got)
+	}
+	if got := c.WorstPct(); got < 19.9 || got > 20.1 {
+		t.Errorf("WorstPct = %+.1f, want +20", got)
+	}
+	// Aggregate: old 100k+250k ns vs new 50k+300k ns.
+	if got := c.Speedup(); got < 0.99 || got > 1.01 {
+		t.Errorf("Speedup = %.3f, want 1.0", got)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "a/ship/fdp" {
+		t.Errorf("OnlyNew = %v", c.OnlyNew)
+	}
+	if !strings.Contains(c.Summary(), "matched 2 cells") {
+		t.Errorf("Summary = %q", c.Summary())
+	}
+	if tbl := c.Table().String(); !strings.Contains(tbl, "-50.0%") {
+		t.Errorf("delta table:\n%s", tbl)
+	}
+}
+
+// TestMeasureTiny runs a minimal grid end to end: one scheme, one
+// prefetcher, and a two-member gang sweep whose identical-results check is
+// live. Small n keeps this fast; it exercises the real simulator.
+func TestMeasureTiny(t *testing.T) {
+	rep, err := Measure(Config{
+		App:         "media-streaming",
+		N:           20_000,
+		Schemes:     []string{"lru", "opt"},
+		Prefetchers: []string{"none"},
+		Repeats:     1,
+		GangSize:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("measured %d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.NsPerAccess <= 0 || c.Accesses <= 0 {
+			t.Errorf("implausible cell: %+v", c)
+		}
+	}
+	if len(rep.Sweeps) != 1 {
+		t.Fatalf("measured %d sweeps, want 1", len(rep.Sweeps))
+	}
+	s := rep.Sweeps[0]
+	if s.SerialWallNs <= 0 || s.GangWallNs <= 0 || s.GangSpeedup <= 0 || s.Accesses <= 0 {
+		t.Errorf("implausible sweep: %+v", s)
+	}
+}
+
+// TestMeasureSkipsSweeps: a negative GangSize disables the sweep section.
+func TestMeasureSkipsSweeps(t *testing.T) {
+	rep, err := Measure(Config{
+		App: "media-streaming", N: 20_000,
+		Schemes: []string{"lru"}, Prefetchers: []string{"none"},
+		Repeats: 1, GangSize: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweeps) != 0 {
+		t.Errorf("sweeps measured despite GangSize=-1: %+v", rep.Sweeps)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
