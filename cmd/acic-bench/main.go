@@ -10,14 +10,19 @@
 // for the shared traversal to pay (-gang on|off|auto and -gang-size;
 // output is byte-identical in every mode). With -cache-dir (or
 // ACIC_CACHE_DIR) results persist on disk keyed by workload/trace-length/
-// scheme/prefetcher, making reruns incremental.
+// scheme/prefetcher, making reruns incremental; with -artifact-dir (or
+// ACIC_ARTIFACT_DIR) the prepared workloads themselves — trace, annotated
+// program, successor array, data-latency timeline — persist as
+// content-addressed artifacts, so warm reruns skip the prepare phase and
+// go straight to simulation (`acic-trace warm` fills the store up front).
 //
 // The -bench-json mode instead times raw simulator throughput (ns per
 // block access) per (scheme x prefetcher) cell, plus gang-vs-serial sweep
-// wall-clocks, and writes the measurements as JSON — the tracked
-// trajectory file BENCH_PR3.json at the repo root is produced this way.
-// -compare diffs two such files per cell (exiting non-zero past
-// -regress-pct). -cpuprofile/-memprofile write pprof data for any mode.
+// wall-clocks and the prepare-phase wall-clock — the tracked trajectory
+// files under bench/trajectory/ are produced this way (see its
+// index.json). -compare diffs two such files per cell (exiting non-zero
+// past -regress-pct). -cpuprofile/-memprofile write pprof data for any
+// mode.
 //
 // Usage:
 //
@@ -25,10 +30,11 @@
 //	acic-bench -exp fig10,fig11    # the headline comparison
 //	acic-bench -exp table3 -n 1000000
 //	acic-bench -exp all -workers 4 -cache-dir ~/.cache/acic -progress
+//	acic-bench -exp all -artifact-dir ~/.cache/acic-artifacts # warm prepare reuse
 //	acic-bench -exp all -n 2000000 -gang on # gang a long-trace sweep
 //	acic-bench -bench-json bench.json -bench-repeats 5
-//	acic-bench -compare BENCH_PR2.json -compare-to bench.json
-//	acic-bench -bench-json bench.json -compare BENCH_PR2.json
+//	acic-bench -compare bench/trajectory/BENCH_PR3.json -compare-to bench.json
+//	acic-bench -bench-json bench.json -compare bench/trajectory/BENCH_PR4.json
 //	acic-bench -exp fig10 -cpuprofile cpu.prof
 //	acic-bench -list
 package main
@@ -43,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"acic/cmd/internal/cliutil"
 	"acic/internal/experiments"
 	"acic/internal/perf"
 	"acic/internal/stats"
@@ -130,34 +137,13 @@ func runFig6(s *experiments.Suite) (string, error) {
 	return t.String(), nil
 }
 
-// gangAutoThreshold is the trace length from which the gang's shared
-// traversal measurably beats per-cell execution (BENCH_PR3.json gang
-// sweeps / DESIGN.md §8: neutral at 400k on large-LLC hosts, ~1.15x at
-// multi-million-instruction traces).
-const gangAutoThreshold = 1_000_000
-
-// gangEnabled resolves the three-state -gang flag against the resolved
-// trace length.
-func gangEnabled(mode string, n int) bool {
-	switch mode {
-	case "on":
-		return true
-	case "off":
-		return false
-	default:
-		return n >= gangAutoThreshold
-	}
-}
-
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		n        = flag.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000)")
 		apps     = flag.String("apps", "", "restrict datacenter apps (comma-separated)")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
-		gang     = flag.String("gang", "auto", "group same-(app, prefetcher) cells into gang simulations — one Program traversal per group: on, off, or auto (gang from 1M instructions, where the shared traversal measurably pays; output is byte-identical either way)")
-		gangSize = flag.Int("gang-size", 10, "max schemes per gang task (with -gang)")
-		cacheDir = flag.String("cache-dir", os.Getenv("ACIC_CACHE_DIR"), "persistent result cache directory (empty = disabled)")
+		sim      = cliutil.RegisterSim(flag.CommandLine)
+		cacheDir = cliutil.RegisterCacheDir(flag.CommandLine)
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		list     = flag.Bool("list", false, "list experiments and exit")
 
@@ -177,8 +163,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *gang != "on" && *gang != "off" && *gang != "auto" {
-		fmt.Fprintf(os.Stderr, "acic-bench: -gang must be on, off, or auto (got %q)\n", *gang)
+	if err := sim.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -248,14 +234,14 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats}
+		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats, ArtifactDir: sim.ArtifactDir}
 		if *benchSchemes != "" {
 			cfg.Schemes = strings.Split(*benchSchemes, ",")
 		}
 		if *benchPfs != "" {
 			cfg.Prefetchers = strings.Split(*benchPfs, ",")
 		}
-		cfg.GangSize = *gangSize
+		cfg.GangSize = sim.GangSize
 		if !*benchSweeps {
 			cfg.GangSize = -1
 		}
@@ -269,6 +255,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== throughput microbenchmark: %s, n=%d (best of %d)\n%s", *benchApp, rep.N, *benchRepeats, rep.Table())
+		fmt.Println(rep.PrepareSummary())
 		if st := rep.SweepTable(); st != nil {
 			fmt.Printf("=== gang sweeps: wall-clock per full scheme row (best of %d)\n%s", *benchRepeats, st)
 		}
@@ -320,11 +307,10 @@ func main() {
 	}
 
 	suite := experiments.NewSuite(*n)
-	suite.Workers = *workers
-	if gangEnabled(*gang, suite.N) && *gangSize > 1 {
-		suite.GangSize = *gangSize
-	}
+	suite.Workers = sim.Workers
+	suite.GangSize = sim.SuiteGangSize(suite.N)
 	suite.CacheDir = *cacheDir
+	suite.ArtifactDir = sim.ArtifactDir
 	if *apps != "" {
 		suite.Apps = strings.Split(*apps, ",")
 	}
@@ -354,6 +340,10 @@ func main() {
 		computed, fromCache, workloads := suite.Stats()
 		fmt.Fprintf(os.Stderr, "computed %d cells, %d from cache, %d workloads prepared\n",
 			computed, fromCache, workloads)
+		for _, st := range suite.PrepareStats() {
+			fmt.Fprintf(os.Stderr, "prepare %-8s %d regenerated, %d from artifact store\n",
+				st.Stage, st.Computed, st.FromStore)
+		}
 	}
 	stopCPUProfile()
 	writeMemProfile()

@@ -8,11 +8,18 @@
 // a worker pool. -gang on|off overrides; results are identical in every
 // mode. Rows are always printed in the order the schemes were listed.
 //
+// With -artifact-dir (or ACIC_ARTIFACT_DIR) the prepared workload — trace,
+// annotated program, successor array, data-latency timeline — is loaded
+// from (and written to) the persistent artifact store shared with
+// acic-bench and `acic-trace warm`, so repeated probes of one workload
+// skip the prepare phase.
+//
 // Usage:
 //
 //	acic-sim -workload media-streaming -scheme acic -n 1000000
 //	acic-sim -workload web-search -schemes lru,acic,opt -n 500000
 //	acic-sim -workload web-search -schemes lru,acic -gang off
+//	acic-sim -workload tpcc -schemes lru,acic -artifact-dir ~/.cache/acic-artifacts
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"acic/cmd/internal/cliutil"
 	"acic/internal/analysis"
 	"acic/internal/core"
 	"acic/internal/cpu"
@@ -34,25 +42,6 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "acic-sim: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-// gangAutoThreshold is the trace length from which the gang's shared
-// traversal measurably beats independent runs (DESIGN.md §8).
-const gangAutoThreshold = 1_000_000
-
-// gangEnabled resolves the three-state -gang flag against the trace length.
-func gangEnabled(mode string, n int) bool {
-	switch mode {
-	case "on":
-		return true
-	case "off":
-		return false
-	case "auto":
-		return n >= gangAutoThreshold
-	default:
-		fail("-gang must be on, off, or auto (got %q)", mode)
-		return false
-	}
 }
 
 // schemeRun is one scheme's simulation output: the timing result plus the
@@ -69,18 +58,29 @@ func main() {
 		n        = flag.Int("n", 1_000_000, "trace length in instructions")
 		pf       = flag.String("prefetcher", "fdp", "prefetcher: "+strings.Join(experiments.Prefetchers(), ", "))
 		warmup   = flag.Float64("warmup", 0.1, "warmup fraction")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
-		gang     = flag.String("gang", "auto", "simulate the scheme list as gangs (one trace traversal per gang) instead of independent runs: on, off, or auto (gang from 1M instructions; results identical either way)")
-		gangSize = flag.Int("gang-size", 10, "max schemes per gang (with -gang)")
+		sim      = cliutil.RegisterSim(flag.CommandLine)
 		showDist = flag.Bool("reuse", false, "also print the reuse-distance distribution")
 	)
 	flag.Parse()
 
+	if err := sim.Validate(); err != nil {
+		fail("%v", err)
+	}
 	prof, ok := workload.ByName(*name)
 	if !ok {
 		fail("unknown workload %q", *name)
 	}
-	w := experiments.Prepare(prof, *n)
+	pool := engine.NewPool(sim.Workers)
+	pipeline, err := experiments.NewPipeline(experiments.PipelineConfig{
+		N: *n, Dir: sim.ArtifactDir, Pool: pool,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	w, err := pipeline.Workload(*name)
+	if err != nil {
+		fail("%v", err)
+	}
 	fmt.Printf("workload %s: %d instructions, %d block accesses, footprint %d blocks\n",
 		prof.Name, len(w.Trace.Insts), len(w.Blocks), w.Trace.Footprint())
 
@@ -105,11 +105,11 @@ func main() {
 	// runs as gang simulations (one trace traversal per gang of up to
 	// -gang-size schemes); otherwise cells run in parallel on the pool.
 	// Either way each scheme's result is identical.
-	runs := engine.NewGroup(engine.NewPool(*workers), func(scheme string) (schemeRun, error) {
+	runs := engine.NewGroup(pool, func(scheme string) (schemeRun, error) {
 		return runScheme(w, scheme, opts)
 	})
-	if gangEnabled(*gang, *n) && *gangSize > 1 {
-		if err := runGangs(w, order, opts, *gangSize, runs); err != nil {
+	if sim.GangEnabled(*n) && sim.GangSize > 1 {
+		if err := runGangs(w, order, opts, sim.GangSize, runs); err != nil {
 			fail("%v", err)
 		}
 	}

@@ -1,5 +1,6 @@
 // Command acic-trace generates, saves, loads, and characterizes synthetic
-// instruction traces.
+// instruction traces, and manages the persistent workload artifact store
+// that acic-bench and acic-sim prepare through.
 //
 // Usage:
 //
@@ -7,20 +8,49 @@
 //	acic-trace -workload tpcc -n 500000 -o tpcc.actr  # generate & save
 //	acic-trace -i tpcc.actr -stats                    # load & characterize
 //	acic-trace -workload web-search -stats            # generate & characterize
+//
+// Subcommands:
+//
+//	acic-trace warm -artifact-dir DIR [-n N] [-workloads a,b] [-workers W]
+//	    materialize every prepare-stage artifact (trace, annotated
+//	    program, successor array, data-latency timeline) for the named
+//	    workloads (default: all datacenter + SPEC profiles), so later
+//	    acic-bench / acic-sim runs skip the prepare phase entirely
+//	acic-trace inspect PATH...
+//	    describe trace/artifact container files (a directory inspects
+//	    every .actr file in it): codec version, name, sections, sizes
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
+	"acic/cmd/internal/cliutil"
 	"acic/internal/analysis"
+	"acic/internal/experiments"
+	"acic/internal/experiments/engine"
 	"acic/internal/stats"
 	"acic/internal/trace"
 	"acic/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "warm":
+			runWarm(os.Args[2:])
+			return
+		case "inspect":
+			runInspect(os.Args[2:])
+			return
+		}
+	}
 	var (
 		name    = flag.String("workload", "", "profile to generate")
 		n       = flag.Int("n", 500_000, "instructions to generate")
@@ -89,6 +119,134 @@ func main() {
 	if *doStats || *out == "" {
 		characterize(tr)
 	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "acic-trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runWarm materializes every prepare-stage artifact for the requested
+// workloads into the store, so later simulation runs start warm.
+func runWarm(args []string) {
+	fs := flag.NewFlagSet("acic-trace warm", flag.ExitOnError)
+	var artifactDir string
+	cliutil.RegisterArtifactDir(fs, &artifactDir)
+	n := fs.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000; must match the simulation runs to be reused)")
+	names := fs.String("workloads", "", "comma-separated profile names (empty = all datacenter + SPEC profiles)")
+	workers := fs.Int("workers", 0, "preparation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+	fs.Parse(args)
+	if artifactDir == "" {
+		fail("warm needs -artifact-dir (or ACIC_ARTIFACT_DIR)")
+	}
+
+	var apps []string
+	if *names != "" {
+		apps = strings.Split(*names, ",")
+	} else {
+		for _, p := range workload.Datacenter() {
+			apps = append(apps, p.Name)
+		}
+		for _, p := range workload.SPEC() {
+			apps = append(apps, p.Name)
+		}
+	}
+
+	pl, err := experiments.NewPipeline(experiments.PipelineConfig{
+		N: *n, Dir: artifactDir, Pool: engine.NewPool(*workers),
+	})
+	if err != nil {
+		// Warming exists only to fill the store; a store that cannot be
+		// opened is fatal here, unlike in the simulation tools.
+		fail("%v", err)
+	}
+	start := time.Now()
+	if err := pl.Warm(apps...); err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	t := &stats.Table{Header: []string{"stage", "regenerated", "from store"}}
+	for _, st := range pl.Stats() {
+		t.AddRow(st.Stage, st.Computed, st.FromStore)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("warmed %d workloads in %.1fs (store: %s)\n", len(apps), elapsed.Seconds(), artifactDir)
+}
+
+// runInspect describes trace/artifact container files.
+func runInspect(args []string) {
+	if len(args) == 0 {
+		fail("inspect needs file or directory arguments")
+	}
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.actr"))
+		if err != nil {
+			fail("%v", err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		fail("no .actr files to inspect")
+	}
+	// A store with one corrupt entry is exactly what inspect exists to
+	// diagnose: report per-file errors and keep going, failing at the end.
+	bad := 0
+	for _, f := range files {
+		if err := describeFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "acic-trace: %s: %v\n", f, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fail("%d of %d files unreadable", bad, len(files))
+	}
+}
+
+// describeFile prints one container's layout: name, sections, sizes, and
+// element counts where the payload encoding carries one. Legacy v1 trace
+// files are decoded through trace.Read and described as such.
+func describeFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name, secs, err := trace.ReadContainer(bytes.NewReader(data))
+	if err != nil {
+		tr, v1err := trace.Read(bytes.NewReader(data))
+		if v1err != nil {
+			return err
+		}
+		fmt.Printf("%s: legacy v1 trace %q, %d instructions, %d bytes\n", path, tr.Name, tr.Len(), len(data))
+		return nil
+	}
+	fmt.Printf("%s: v2 container %q, %d sections, %d bytes\n", path, name, len(secs), len(data))
+	for _, s := range secs {
+		fmt.Printf("  %s  %8d bytes%s\n", s.Tag, len(s.Data), sectionDetail(s))
+	}
+	return nil
+}
+
+// sectionDetail decodes the element count of the known section encodings.
+func sectionDetail(s trace.Section) string {
+	switch s.Tag {
+	case trace.SecInsts, trace.SecBlocks, trace.SecNextAt, trace.SecDataLat:
+		if count, n := binary.Uvarint(s.Data); n > 0 {
+			return fmt.Sprintf("  %d entries", count)
+		}
+	case trace.SecAnnot, trace.SecDesc:
+		return fmt.Sprintf("  %d entries", len(s.Data))
+	}
+	return ""
 }
 
 func characterize(tr *trace.Trace) {

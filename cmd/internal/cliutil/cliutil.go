@@ -1,0 +1,82 @@
+// Package cliutil deduplicates the engine/storage flag plumbing shared by
+// the simulation CLIs (acic-bench, acic-sim, acic-trace warm): the worker
+// pool width, the gang-execution mode, and the two persistent stores.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// GangAutoThreshold is the trace length from which the gang's shared
+// traversal measurably beats per-cell execution (bench/trajectory gang
+// sweeps / DESIGN.md §8: neutral at 400k on large-LLC hosts, ~1.15x at
+// multi-million-instruction traces).
+const GangAutoThreshold = 1_000_000
+
+// SimFlags are the shared engine/storage knobs after parsing.
+type SimFlags struct {
+	Workers     int
+	Gang        string
+	GangSize    int
+	ArtifactDir string
+}
+
+// RegisterSim declares the shared simulation flags on fs (usually
+// flag.CommandLine) and returns the destination struct, valid after
+// fs.Parse.
+func RegisterSim(fs *flag.FlagSet) *SimFlags {
+	f := &SimFlags{}
+	fs.IntVar(&f.Workers, "workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+	fs.StringVar(&f.Gang, "gang", "auto", "group cells that share a workload into gang simulations — one Program traversal per gang: on, off, or auto (gang from 1M instructions, where the shared traversal measurably pays; output is byte-identical either way)")
+	fs.IntVar(&f.GangSize, "gang-size", 10, "max schemes per gang task (with -gang)")
+	RegisterArtifactDir(fs, &f.ArtifactDir)
+	return f
+}
+
+// RegisterCacheDir declares -cache-dir on fs. It is separate from
+// RegisterSim because only tools whose cells are plain (uninstrumented)
+// results can reuse cached entries — acic-bench can, acic-sim's
+// decision-diagnostic runs cannot.
+func RegisterCacheDir(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", os.Getenv("ACIC_CACHE_DIR"), "persistent result cache directory (empty = disabled)")
+}
+
+// RegisterArtifactDir declares -artifact-dir on fs (shared with the
+// acic-trace subcommands, which take none of the other simulation flags).
+func RegisterArtifactDir(fs *flag.FlagSet, dst *string) {
+	fs.StringVar(dst, "artifact-dir", os.Getenv("ACIC_ARTIFACT_DIR"),
+		"persistent workload artifact store: prepared traces, annotated programs, successor arrays, and data-latency timelines are written once and reused by every later run (empty = disabled)")
+}
+
+// Validate checks the parsed flag values.
+func (f *SimFlags) Validate() error {
+	switch f.Gang {
+	case "on", "off", "auto":
+		return nil
+	}
+	return fmt.Errorf("-gang must be on, off, or auto (got %q)", f.Gang)
+}
+
+// GangEnabled resolves the three-state -gang flag against the trace
+// length.
+func (f *SimFlags) GangEnabled(n int) bool {
+	switch f.Gang {
+	case "on":
+		return true
+	case "off":
+		return false
+	default:
+		return n >= GangAutoThreshold
+	}
+}
+
+// SuiteGangSize returns the experiments.Suite.GangSize to configure: the
+// flag value when gang execution is enabled for trace length n, else 0.
+func (f *SimFlags) SuiteGangSize(n int) int {
+	if f.GangEnabled(n) && f.GangSize > 1 {
+		return f.GangSize
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"fmt"
+
+	"acic/internal/branch"
+	"acic/internal/mem"
+	"acic/internal/trace"
+)
+
+// NewProgramFromParts reassembles a Program from persisted artifacts: the
+// trace plus the annotation, descriptor, and collapsed-block arrays that
+// NewProgram derives (trace codec v2 sections ANNO/DESC/BLKS). Only the
+// cheap purely-local state — the per-instruction data-block array and the
+// run-ahead event bitmap — is recomputed; the expensive branch-predictor
+// replay behind ann and the descriptor pass are skipped. The parts are
+// validated against the trace (lengths, block count, event bits) so a
+// mismatched or stale artifact fails here and the caller regenerates
+// instead of simulating garbage.
+func NewProgramFromParts(tr *trace.Trace, ann []branch.Annotation, desc []uint8, blocks []uint64) (*Program, error) {
+	if len(ann) != len(tr.Insts) {
+		return nil, fmt.Errorf("cpu: annotation length %d != trace length %d", len(ann), len(tr.Insts))
+	}
+	if len(desc) != len(tr.Insts) {
+		return nil, fmt.Errorf("cpu: descriptor length %d != trace length %d", len(desc), len(tr.Insts))
+	}
+	p := &Program{
+		Trace:     tr,
+		Ann:       ann,
+		Desc:      desc,
+		Blocks:    blocks,
+		MemBlk:    make([]uint64, len(tr.Insts)),
+		runEvents: make([]uint64, (len(tr.Insts)+63)/64+1),
+	}
+	nblocks := 0
+	for i := range tr.Insts {
+		d := desc[i]
+		if tr.Insts[i].Class.IsMem() {
+			p.MemBlk[i] = trace.Block(tr.Insts[i].MemAddr)
+		}
+		if d&descNewBlock != 0 {
+			nblocks++
+		}
+		if d&descRunEvent != 0 {
+			p.runEvents[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	if nblocks != len(blocks) {
+		return nil, fmt.Errorf("cpu: descriptor stream opens %d blocks, artifact carries %d", nblocks, len(blocks))
+	}
+	return p, nil
+}
+
+// AnnotationBytes flattens the per-instruction branch annotations to one
+// redirect byte each (the trace codec's ANNO section payload).
+func (p *Program) AnnotationBytes() []byte {
+	out := make([]byte, len(p.Ann))
+	for i, a := range p.Ann {
+		out[i] = byte(a.Redirect)
+	}
+	return out
+}
+
+// AnnotationsFromBytes rebuilds the annotation array from an ANNO payload.
+func AnnotationsFromBytes(data []byte) ([]branch.Annotation, error) {
+	out := make([]branch.Annotation, len(data))
+	for i, b := range data {
+		r := branch.Redirect(b)
+		if r > branch.RedirectMispredict {
+			return nil, fmt.Errorf("cpu: annotation %d: bad redirect %d", i, b)
+		}
+		out[i].Redirect = r
+	}
+	return out, nil
+}
+
+// AdoptDataLatencies installs a precomputed data-side latency timeline
+// (from the workload artifact store) instead of replaying the data
+// hierarchy. Adopting after the timeline was already computed (or adopted)
+// under the same config is a no-op; a different config panics exactly like
+// EnsureDataLatencies, and a timeline of the wrong length is rejected
+// before installation so a stale artifact cannot poison the Program.
+func (p *Program) AdoptDataLatencies(lat []int16, cfg mem.Config) error {
+	if len(lat) != len(p.Desc) {
+		return fmt.Errorf("cpu: data-latency timeline length %d != program length %d", len(lat), len(p.Desc))
+	}
+	p.dataLatOnce.Do(func() {
+		p.DataLat = lat
+		p.dataLatCfg = cfg
+	})
+	if p.dataLatCfg != cfg {
+		panic("cpu: data-latency timeline was computed under a different mem.Config; use one Program per hierarchy configuration")
+	}
+	return nil
+}

@@ -16,41 +16,65 @@ type Cache[K comparable, V any] interface {
 	Store(k K, v V)
 }
 
-// DiskCache persists JSON-encoded values under a directory, one file per
-// key. The caller supplies a canonical key function; its output is hashed
+// DiskCache persists encoded values under a directory, one file per key.
+// The caller supplies a canonical key function; its output is hashed
 // (SHA-256) into the filename, so keys may be arbitrarily long and should
 // include everything the value depends on (for simulation results: the
 // workload profile hash, trace length, scheme, prefetcher, options, and a
-// schema version). Load and Store are best-effort: unreadable or corrupt
-// entries are misses, and write failures are ignored — the cache can only
-// make reruns faster, never wrong results.
+// schema version). Values are JSON by default (NewDiskCache); a custom
+// byte codec (NewCodecDiskCache) lets the same store hold binary artifacts
+// such as trace-codec containers. Load and Store are best-effort:
+// unreadable, truncated, or corrupt entries are misses (the value is
+// regenerated and rewritten), and write failures are ignored — the cache
+// can only make reruns faster, never wrong results.
 type DiskCache[K comparable, V any] struct {
 	dir string
+	ext string
 	key func(K) string
+	enc func(V) ([]byte, error)
+	dec func(K, []byte) (V, error)
 }
 
-// NewDiskCache creates (if needed) dir and returns a cache over it.
+// NewDiskCache creates (if needed) dir and returns a JSON-encoded cache
+// over it.
 func NewDiskCache[K comparable, V any](dir string, key func(K) string) (*DiskCache[K, V], error) {
+	return NewCodecDiskCache(dir, ".json", key,
+		func(v V) ([]byte, error) { return json.Marshal(v) },
+		func(_ K, data []byte) (V, error) {
+			var v V
+			err := json.Unmarshal(data, &v)
+			return v, err
+		})
+}
+
+// NewCodecDiskCache creates (if needed) dir and returns a cache over it
+// whose values are encoded by enc and decoded by dec. dec receives the key
+// alongside the bytes so decoders can rebuild derived state from sibling
+// artifacts (a persisted Program is reconstructed against its trace); any
+// dec error is treated as a miss.
+func NewCodecDiskCache[K comparable, V any](dir, ext string, key func(K) string,
+	enc func(V) ([]byte, error), dec func(K, []byte) (V, error)) (*DiskCache[K, V], error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: create cache dir: %w", err)
 	}
-	return &DiskCache[K, V]{dir: dir, key: key}, nil
+	return &DiskCache[K, V]{dir: dir, ext: ext, key: key, enc: enc, dec: dec}, nil
 }
 
 func (d *DiskCache[K, V]) path(k K) string {
 	sum := sha256.Sum256([]byte(d.key(k)))
-	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+".json")
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+d.ext)
 }
 
 // Load implements Cache.
 func (d *DiskCache[K, V]) Load(k K) (V, bool) {
-	var v V
+	var zero V
 	data, err := os.ReadFile(d.path(k))
 	if err != nil {
-		return v, false
+		return zero, false
 	}
-	if err := json.Unmarshal(data, &v); err != nil {
-		return v, false
+	v, err := d.dec(k, data)
+	if err != nil {
+		return zero, false
 	}
 	return v, true
 }
@@ -58,7 +82,7 @@ func (d *DiskCache[K, V]) Load(k K) (V, bool) {
 // Store implements Cache. The value is written to a temp file and renamed
 // so concurrent readers never observe a partial entry.
 func (d *DiskCache[K, V]) Store(k K, v V) {
-	data, err := json.Marshal(v)
+	data, err := d.enc(v)
 	if err != nil {
 		return
 	}

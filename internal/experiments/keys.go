@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"acic/internal/core"
+	"acic/internal/cpu"
+	"acic/internal/mem"
+	"acic/internal/prefetch"
+	"acic/internal/workload"
+)
+
+// Key derivation for both persistent stores — the result cache (Suite's
+// simulation cells) and the workload artifact store (Pipeline's prepare
+// stages) — lives here, on one shared prefix of schema version, simulator
+// config digest, workload profile digest, and trace length. A config
+// change or schema bump therefore invalidates cells and artifacts
+// together: stale prepared inputs can never be paired with fresh results
+// or vice versa, and there is exactly one bump site (DESIGN.md §9).
+
+// cacheSchemaVersion invalidates every persistent entry — simulation
+// results and prepared-workload artifacts alike — when behavior changes in
+// a way the hashed default configs don't capture: algorithm changes
+// anywhere in the pipeline (workload generation, branch annotation,
+// descriptor derivation, the simulators), the artifact encodings, or the
+// per-scheme constants hard-coded in NewScheme (filter slots, bypass
+// thresholds, victim-cache sizes). Bump it alongside such changes; this is
+// the single bump site for both stores.
+//
+// v2: the data-side memory hierarchy was decoupled from the
+// instruction-miss stream into a per-workload precomputed latency
+// timeline (DESIGN.md §8), shifting absolute cycle counts.
+const cacheSchemaVersion = 2
+
+// simConfigHash digests the default simulator configuration (core, memory
+// hierarchy, prefetchers, ACIC) and the shape of cpu.Result (%#v of the
+// zero value spells out its field names), so editing a config parameter
+// or reshaping the result struct invalidates the persistent stores
+// mechanically. It does NOT cover scheme-local constants or algorithm
+// changes — those need a cacheSchemaVersion bump. All hashed structs are
+// value-only, so %#v is stable.
+var simConfigHash = sync.OnceValue(func() string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%#v|%#v|%#v|%#v|%#v|%#v",
+		cpu.DefaultConfig(), mem.DefaultConfig(), core.DefaultConfig(),
+		prefetch.DefaultEntanglingConfig(), prefetch.DefaultStreamConfig(),
+		cpu.Result{}))
+	return hex.EncodeToString(sum[:16])
+})
+
+// profileDigest canonicalizes the workload identity behind an app name:
+// the SHA-256 of the profile's %#v when registered (so editing a profile
+// parameter invalidates its entries), or a sentinel for unknown names.
+func profileDigest(p workload.Profile, ok bool, app string) string {
+	if !ok {
+		return "unknown:" + app
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(sum[:])
+}
+
+// storeKeyPrefix is the shared prefix of every persistent key:
+// "v<schema>|cfg:<config digest>|profile:<profile digest>|n:<trace len>".
+// Result-cache keys append |scheme|pf|warmup; artifact keys append |stage.
+func storeKeyPrefix(profile string, n int) string {
+	return fmt.Sprintf("v%d|cfg:%s|profile:%s|n:%d", cacheSchemaVersion, simConfigHash(), profile, n)
+}

@@ -36,22 +36,23 @@ type Workload struct {
 
 // Prepare generates a workload of n instructions and builds the shared
 // artifacts, including the data-side latency timeline every scheme run
-// reads instead of re-simulating the data hierarchy.
+// reads instead of re-simulating the data hierarchy. It runs the staged
+// pipeline (trace → program → successor array → latency timeline) without
+// a persistent store; hand PipelineConfig a Dir to make these stages
+// reusable artifacts across processes.
 func Prepare(p workload.Profile, n int) *Workload {
-	tr := workload.Generate(p, n)
-	fe := branch.NewFrontEnd()
-	ann := fe.Annotate(tr)
-	prog := cpu.NewProgram(tr, ann)
-	prog.EnsureDataLatencies(mem.DefaultConfig())
-	return &Workload{
-		Profile: p,
-		Prog:    prog,
-		Trace:   tr,
-		Ann:     ann,
-		Blocks:  prog.Blocks,
-		Oracle:  analysis.NewNextUseOracle(prog.Blocks),
-		NextAt:  analysis.NextUseArray(prog.Blocks),
+	pl, err := NewPipeline(PipelineConfig{
+		N:      n,
+		Lookup: func(name string) (workload.Profile, bool) { return p, name == p.Name },
+	})
+	if err != nil {
+		panic(err) // unreachable: no store directory was configured
 	}
+	w, err := pl.Workload(p.Name)
+	if err != nil {
+		panic(err) // unreachable: the profile is registered in the lookup
+	}
+	return w
 }
 
 // Options configure a simulation run.

@@ -1,19 +1,15 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
-	"acic/internal/core"
 	"acic/internal/cpu"
 	"acic/internal/experiments/engine"
-	"acic/internal/mem"
-	"acic/internal/prefetch"
 	"acic/internal/workload"
 )
 
@@ -62,6 +58,14 @@ type Suite struct {
 	// trace length, scheme, prefetcher, and run options, so reruns of
 	// acic-bench / acic-sim recompute only what changed.
 	CacheDir string
+	// ArtifactDir enables the persistent workload artifact store ("" =
+	// in-memory only): each prepare stage (trace, annotated program,
+	// successor array, data-latency timeline) persists as a
+	// content-addressed artifact keyed like the result cache, so warm
+	// reruns skip straight to simulation (see Pipeline). CacheDir and
+	// ArtifactDir may point at the same directory — result entries are
+	// .json, artifacts .actr.
+	ArtifactDir string
 	// GangSize, when > 1, turns on gang execution: each Require batch
 	// groups its same-(app, prefetcher) cells and runs every group as a
 	// single cpu.Gang simulation — one Program traversal driving all of
@@ -76,12 +80,12 @@ type Suite struct {
 	// human-readable label. Called from worker goroutines.
 	Progress func(done, total int, label string)
 
-	once      sync.Once
-	pool      *engine.Pool
-	workloads *engine.Group[string, *Workload]
-	results   *engine.Group[Cell, cpu.Result]
-	done      atomic.Int64
-	cacheErr  error
+	once     sync.Once
+	pool     *engine.Pool
+	pipeline *Pipeline
+	results  *engine.Group[Cell, cpu.Result]
+	done     atomic.Int64
+	cacheErr error
 }
 
 // DefaultTraceLen is the default per-workload instruction count, overridable
@@ -110,13 +114,8 @@ func NewSuite(n int) *Suite {
 func (s *Suite) init() {
 	s.once.Do(func() {
 		s.pool = engine.NewPool(s.Workers)
-		s.workloads = engine.NewGroup(s.pool, func(app string) (*Workload, error) {
-			prof, ok := workload.ByName(app)
-			if !ok {
-				return nil, fmt.Errorf("experiments: unknown workload %q", app)
-			}
-			return Prepare(prof, s.N), nil
-		})
+		var plErr error
+		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool})
 		s.results = engine.NewGroup(s.pool, s.computeCell)
 		if s.CacheDir != "" {
 			cache, err := engine.NewDiskCache[Cell, cpu.Result](s.CacheDir, s.cacheKey)
@@ -126,6 +125,7 @@ func (s *Suite) init() {
 				s.results.Cache = cache
 			}
 		}
+		s.cacheErr = errors.Join(s.cacheErr, plErr)
 		s.results.OnDone = func(c Cell, fromCache bool, err error) {
 			if s.Progress == nil {
 				return
@@ -142,47 +142,19 @@ func (s *Suite) init() {
 	})
 }
 
-// cacheSchemaVersion invalidates persistent cache entries when simulator
-// behavior changes in a way the hashed default configs don't capture —
-// algorithm changes anywhere in the pipeline, or the per-scheme constants
-// hard-coded in NewScheme (filter slots, bypass thresholds, victim-cache
-// sizes). Bump it alongside such changes.
-//
-// v2: the data-side memory hierarchy was decoupled from the
-// instruction-miss stream into a per-workload precomputed latency
-// timeline (DESIGN.md §8), shifting absolute cycle counts.
-const cacheSchemaVersion = 2
-
-// simConfigHash digests the default simulator configuration (core, memory
-// hierarchy, prefetchers, ACIC) and the shape of cpu.Result (%#v of the
-// zero value spells out its field names), so editing a config parameter
-// or reshaping the result struct invalidates the persistent cache
-// mechanically. It does NOT cover scheme-local constants or algorithm
-// changes — those need a cacheSchemaVersion bump. All hashed structs are
-// value-only, so %#v is stable.
-var simConfigHash = sync.OnceValue(func() string {
-	sum := sha256.Sum256(fmt.Appendf(nil, "%#v|%#v|%#v|%#v|%#v|%#v",
-		cpu.DefaultConfig(), mem.DefaultConfig(), core.DefaultConfig(),
-		prefetch.DefaultEntanglingConfig(), prefetch.DefaultStreamConfig(),
-		cpu.Result{}))
-	return hex.EncodeToString(sum[:16])
-})
-
-// cacheKey canonicalizes everything a cell's result depends on.
+// cacheKey canonicalizes everything a cell's result depends on. Its
+// prefix is shared with the artifact store (keys.go), so one
+// cacheSchemaVersion bump or config edit invalidates both together.
 func (s *Suite) cacheKey(c Cell) string {
-	prof := "unknown:" + c.App
-	if p, ok := workload.ByName(c.App); ok {
-		sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
-		prof = hex.EncodeToString(sum[:])
-	}
+	p, ok := workload.ByName(c.App)
 	opts := DefaultOptions()
-	return fmt.Sprintf("v%d|cfg:%s|profile:%s|n:%d|scheme:%s|pf:%s|warmup:%g",
-		cacheSchemaVersion, simConfigHash(), prof, s.N, c.Scheme, c.Prefetcher, opts.WarmupFrac)
+	return fmt.Sprintf("%s|scheme:%s|pf:%s|warmup:%g",
+		storeKeyPrefix(profileDigest(p, ok, c.App), s.N), c.Scheme, c.Prefetcher, opts.WarmupFrac)
 }
 
 // computeCell runs one simulation cell.
 func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
-	w, err := s.workloads.Get(c.App)
+	w, err := s.pipeline.Workload(c.App)
 	if err != nil {
 		return cpu.Result{}, err
 	}
@@ -212,17 +184,19 @@ func (s *Suite) SPECNames() []string {
 	return names
 }
 
-// PrepareAll generates and annotates the named workloads in parallel
-// (trace generation, branch annotation, next-use oracle), memoizing each.
+// PrepareAll prepares the named workloads in parallel through the staged
+// artifact pipeline (trace generation, branch annotation, successor
+// array, data-latency timeline), memoizing each and loading any stage the
+// artifact store already holds.
 func (s *Suite) PrepareAll(apps ...string) error {
 	s.init()
-	return s.workloads.Require(apps...)
+	return s.pipeline.Require(apps...)
 }
 
 // Workload returns the prepared workload for an app, generating on demand.
 func (s *Suite) Workload(app string) (*Workload, error) {
 	s.init()
-	return s.workloads.Get(app)
+	return s.pipeline.Workload(app)
 }
 
 // wl returns an already-validated workload; renderers call it after a
@@ -290,7 +264,7 @@ func (s *Suite) runGangTask(gang []Cell) {
 	if len(pending) == 0 {
 		return
 	}
-	w, err := s.workloads.Get(pending[0].App)
+	w, err := s.pipeline.Workload(pending[0].App)
 	if err != nil {
 		for _, c := range pending {
 			s.results.Fulfill(c, cpu.Result{}, err)
@@ -366,9 +340,9 @@ func (s *Suite) eachCell(rows, cols int, fn func(row, col int) error) error {
 	return s.each(rows*cols, func(i int) error { return fn(i/cols, i%cols) })
 }
 
-// CacheError reports whether the persistent cache requested via CacheDir
-// could not be opened (the suite still runs, uncached). Callers that want
-// caching to be load-bearing should fail on it.
+// CacheError reports whether a persistent store requested via CacheDir or
+// ArtifactDir could not be opened (the suite still runs, unpersisted).
+// Callers that want persistence to be load-bearing should fail on it.
 func (s *Suite) CacheError() error {
 	s.init()
 	return s.cacheErr
@@ -378,5 +352,13 @@ func (s *Suite) CacheError() error {
 // results served from the persistent cache, and workloads prepared.
 func (s *Suite) Stats() (computed, fromCache, workloads int64) {
 	s.init()
-	return s.results.Computed(), s.results.CacheHits(), s.workloads.Computed()
+	return s.results.Computed(), s.results.CacheHits(), s.pipeline.WorkloadsPrepared()
+}
+
+// PrepareStats reports the artifact pipeline's per-stage counters (see
+// Pipeline.Stats): artifacts regenerated this process vs. loaded from the
+// store. On a warm store every stage shows zero regenerations.
+func (s *Suite) PrepareStats() []StageStats {
+	s.init()
+	return s.pipeline.Stats()
 }

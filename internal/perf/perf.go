@@ -2,11 +2,12 @@
 // access and accesses per second — for a grid of (scheme × prefetcher)
 // cells over one workload, plus suite-level sweep wall-clocks that compare
 // the per-scheme path against gang execution (one Program traversal
-// driving a whole scheme row, experiments.RunGang). The measurements
-// serialize to JSON (BENCH_PR3.json at the repo root is the tracked
-// trajectory file; BENCH_PR2.json is its predecessor) so that future PRs
-// can regress hot-path changes against a committed baseline instead of
-// folklore; Compare diffs two such files cell by cell.
+// driving a whole scheme row, experiments.RunGang) and the prepare-phase
+// wall-clock over the staged workload artifact pipeline. The measurements
+// serialize to JSON (the files under bench/trajectory/ are the tracked
+// trajectory, one per hot-path PR — see its index.json) so that future
+// PRs can regress hot-path changes against a committed baseline instead
+// of folklore; Compare diffs two such files cell by cell.
 //
 // Throughput here is *simulator* speed, not simulated-machine speed: the
 // denominator is the number of instruction-block accesses the front end
@@ -60,12 +61,19 @@ type Sweep struct {
 
 // Report is the serialized benchmark trajectory for one tree state.
 type Report struct {
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	N         int     `json:"trace_instructions"`
-	Cells     []Cell  `json:"cells"`
-	Sweeps    []Sweep `json:"gang_sweeps,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	N         int    `json:"trace_instructions"`
+	// PrepareWallNs is the wall-clock of the workload prepare phase (all
+	// four pipeline stages plus assembly) before the first simulation.
+	// With a warm artifact store it collapses to the time needed to load
+	// and reassemble the artifacts — the "prepare ~0" the staged pipeline
+	// targets; PrepareStages records where the time went.
+	PrepareWallNs int64                    `json:"prepare_wall_ns"`
+	PrepareStages []experiments.StageStats `json:"prepare_stages,omitempty"`
+	Cells         []Cell                   `json:"cells"`
+	Sweeps        []Sweep                  `json:"gang_sweeps,omitempty"`
 }
 
 // Config selects the measurement grid.
@@ -76,6 +84,7 @@ type Config struct {
 	Prefetchers []string // prefetcher platforms (default {"none", "fdp"})
 	Repeats     int      // timed repetitions per cell, best kept (default 3)
 	GangSize    int      // schemes per gang in the sweep (0 = all; < 0 skips sweeps)
+	ArtifactDir string   // persistent workload artifact store ("" = prepare in memory)
 }
 
 // DefaultSchemes is the tracked scheme set: the baseline, the learned and
@@ -108,21 +117,33 @@ func (c *Config) defaults() {
 
 // Measure runs the configured grid and returns the throughput report.
 // Workload preparation (trace generation, branch annotation, oracle
-// construction) happens once and is excluded from the timings; subsystem
-// construction is re-done per run but timed separately and excluded too,
-// so the numbers isolate the simulation loop.
+// construction) happens once, is timed as the report's prepare phase, and
+// is excluded from the per-cell timings; subsystem construction is re-done
+// per run but timed separately and excluded too, so the numbers isolate
+// the simulation loop. With a Config.ArtifactDir the prepare phase runs
+// over the persistent store — a warm store drops it to artifact loading.
 func Measure(cfg Config) (*Report, error) {
 	cfg.defaults()
 	s := experiments.NewSuite(cfg.N)
+	s.ArtifactDir = cfg.ArtifactDir
+	// An unusable artifact store would silently measure a cold prepare
+	// phase; fail like the -exp path does instead of benchmarking a lie.
+	if err := s.CacheError(); err != nil {
+		return nil, err
+	}
+	prepStart := time.Now()
 	w, err := s.Workload(cfg.App)
 	if err != nil {
 		return nil, err
 	}
+	prepare := time.Since(prepStart)
 	rep := &Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		N:         cfg.N,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		N:             cfg.N,
+		PrepareWallNs: prepare.Nanoseconds(),
+		PrepareStages: s.PrepareStats(),
 	}
 	for _, pf := range cfg.Prefetchers {
 		for _, scheme := range cfg.Schemes {
@@ -292,6 +313,19 @@ func (r *Report) Table() *stats.Table {
 			fmt.Sprintf("%.3fM", c.AccessesPerSec/1e6))
 	}
 	return t
+}
+
+// PrepareSummary renders the prepare-phase measurement as one line: the
+// wall-clock plus how many stage artifacts were regenerated vs. loaded
+// from the store.
+func (r *Report) PrepareSummary() string {
+	var computed, loaded int64
+	for _, st := range r.PrepareStages {
+		computed += st.Computed
+		loaded += st.FromStore
+	}
+	return fmt.Sprintf("prepare phase: %.1fms (%d stage artifacts regenerated, %d from store)",
+		float64(r.PrepareWallNs)/1e6, computed, loaded)
 }
 
 // SweepTable renders the gang-sweep measurements (nil when none were run).

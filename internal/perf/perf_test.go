@@ -6,14 +6,21 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"acic/internal/experiments"
 )
 
 func sampleReport() *Report {
 	return &Report{
-		GoVersion: "go1.24.0",
-		GOOS:      "linux",
-		GOARCH:    "amd64",
-		N:         400000,
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		N:             400000,
+		PrepareWallNs: 50_000_000,
+		PrepareStages: []experiments.StageStats{
+			{Stage: "trace", Computed: 1}, {Stage: "program", Computed: 1},
+			{Stage: "nextat", Computed: 1}, {Stage: "datalat", Computed: 1},
+		},
 		Cells: []Cell{
 			{App: "a", Scheme: "lru", Prefetcher: "none", Accesses: 1000, Instructions: 400000,
 				Runs: 3, NsPerAccess: 100, AccessesPerSec: 1e7},
@@ -29,7 +36,7 @@ func sampleReport() *Report {
 }
 
 // TestReportRoundTrip pins the JSON encode/decode cycle the trajectory
-// files (BENCH_PR2.json, BENCH_PR3.json) and CI comparisons rely on.
+// files (bench/trajectory/BENCH_PR*.json) and CI comparisons rely on.
 func TestReportRoundTrip(t *testing.T) {
 	want := sampleReport()
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -144,6 +151,46 @@ func TestMeasureTiny(t *testing.T) {
 	s := rep.Sweeps[0]
 	if s.SerialWallNs <= 0 || s.GangWallNs <= 0 || s.GangSpeedup <= 0 || s.Accesses <= 0 {
 		t.Errorf("implausible sweep: %+v", s)
+	}
+}
+
+// TestMeasurePrepareStats: the report carries the prepare phase — cold it
+// regenerates all four stage artifacts, and over a warm artifact store it
+// regenerates none.
+func TestMeasurePrepareStats(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		App: "media-streaming", N: 20_000,
+		Schemes: []string{"lru"}, Prefetchers: []string{"none"},
+		Repeats: 1, GangSize: -1, ArtifactDir: dir,
+	}
+	cold, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PrepareWallNs <= 0 || len(cold.PrepareStages) != 4 {
+		t.Fatalf("implausible cold prepare: %dns, %d stages", cold.PrepareWallNs, len(cold.PrepareStages))
+	}
+	for _, st := range cold.PrepareStages {
+		if st.Computed != 1 || st.FromStore != 0 {
+			t.Errorf("cold stage %s: %+v, want computed=1", st.Stage, st)
+		}
+	}
+	warm, err := Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range warm.PrepareStages {
+		if st.Computed != 0 || st.FromStore != 1 {
+			t.Errorf("warm stage %s: %+v, want fromStore=1", st.Stage, st)
+		}
+	}
+	if warm.Cells[0].Accesses != cold.Cells[0].Accesses {
+		t.Errorf("warm store changed the measured workload: %d vs %d accesses",
+			warm.Cells[0].Accesses, cold.Cells[0].Accesses)
+	}
+	if s := warm.PrepareSummary(); !strings.Contains(s, "4 from store") {
+		t.Errorf("prepare summary: %q", s)
 	}
 }
 

@@ -2,53 +2,209 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Binary trace format:
+// Binary container format, version 2:
 //
-//	magic   [4]byte  "ACTR"
-//	version uint32   1
-//	nameLen uint32, name bytes
-//	count   uint64
-//	records: varint-delta encoded Inst stream
+//	magic    [4]byte  "ACTR"
+//	version  uint32   2
+//	nameLen  uint32
+//	nsec     uint32
+//	name     bytes (nameLen of them)
+//	sections, each:
+//	  tag    [4]byte
+//	  length uint64   payload bytes
+//	  crc    uint32   IEEE CRC-32 of the payload
+//	  payload
 //
-// PCs are delta-encoded (zigzag) against the previous PC because the stream
-// is dominated by sequential fetch; this keeps large traces compact.
+// A version-1 file was a bare instruction stream (the payload now carried in
+// the "INST" section, preceded by its count); Read still accepts it. Version
+// 2 generalizes the file into a container of tagged sections so the prepared
+// workload artifacts — branch annotations, cpu.Program descriptor arrays,
+// the data-latency timeline, and the next-use successor array — persist
+// through the same codec as the trace itself (DESIGN.md §9). Unknown tags
+// are preserved by ReadContainer, so older readers skip sections newer
+// writers add.
+//
+// PCs in the instruction payload are delta-encoded (zigzag) against the
+// previous PC because the stream is dominated by sequential fetch; this
+// keeps large traces compact. The remaining payload encodings (delta
+// varints for sorted-ish uint64 arrays, zigzag varints for int64 arrays,
+// fixed 2-byte little-endian for int16 arrays) are exposed as helpers so
+// the layers that own the typed arrays (cpu, analysis, experiments) encode
+// them without duplicating varint plumbing.
 
 var magic = [4]byte{'A', 'C', 'T', 'R'}
 
-const codecVersion = 1
+const codecVersion = 2
 
-// ErrBadFormat reports a malformed or truncated trace stream.
+// Section tags for the workload artifacts persisted through this codec.
+// The trace package owns only the names; the typed contents belong to the
+// layers that produce them.
+const (
+	SecInsts   = "INST" // instruction stream (count + varint records)
+	SecAnnot   = "ANNO" // branch.Annotation redirect byte per instruction
+	SecDesc    = "DESC" // cpu.Program descriptor byte per instruction
+	SecBlocks  = "BLKS" // collapsed block-access sequence (delta varints)
+	SecNextAt  = "NXTA" // next-use successor array (zigzag varints)
+	SecDataLat = "DLAT" // data-side latency timeline (int16 LE)
+)
+
+// ErrBadFormat reports a malformed, truncated, or corrupt stream.
 var ErrBadFormat = errors.New("trace: bad format")
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// Write encodes t to w in the binary trace format.
-func Write(w io.Writer, t *Trace) error {
+// Section is one tagged payload of a version-2 container.
+type Section struct {
+	Tag  string // 4 bytes
+	Data []byte
+}
+
+// WriteContainer encodes a named set of sections in the v2 container
+// format. Section order is preserved. The reader's sanity limits (name
+// and section-count bounds, per-section payload <= maxSaneLen) are
+// enforced here too, so a successful write always produces a readable
+// file.
+func WriteContainer(w io.Writer, name string, secs []Section) error {
+	if len(name) > 1<<16 {
+		return fmt.Errorf("trace: container name %d bytes exceeds the reader's %d limit", len(name), 1<<16)
+	}
+	if len(secs) > 1<<10 {
+		return fmt.Errorf("trace: %d sections exceed the reader's %d limit", len(secs), 1<<10)
+	}
+	for _, s := range secs {
+		if len(s.Tag) != 4 {
+			return fmt.Errorf("trace: section tag %q must be 4 bytes", s.Tag)
+		}
+		if uint64(len(s.Data)) > maxSaneLen {
+			return fmt.Errorf("trace: section %q payload %d bytes exceeds the reader's limit", s.Tag, len(s.Data))
+		}
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	var hdr [16]byte
+	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], codecVersion)
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Name)))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(t.Insts)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(name)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(secs)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := bw.WriteString(t.Name); err != nil {
+	if _, err := bw.WriteString(name); err != nil {
 		return err
 	}
-	var buf [3 * binary.MaxVarintLen64]byte
+	for _, s := range secs {
+		var sh [16]byte
+		copy(sh[0:4], s.Tag)
+		binary.LittleEndian.PutUint64(sh[4:12], uint64(len(s.Data)))
+		binary.LittleEndian.PutUint32(sh[12:16], crc32.ChecksumIEEE(s.Data))
+		if _, err := bw.Write(sh[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(s.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxSaneLen bounds single-allocation sizes while decoding, so a corrupt
+// length field fails cleanly instead of attempting a huge allocation.
+const maxSaneLen = 1 << 32
+
+// ReadContainer decodes a v2 container, verifying each section's checksum.
+// Truncated streams and checksum mismatches return ErrBadFormat.
+func ReadContainer(r io.Reader) (name string, secs []Section, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != codecVersion {
+		return "", nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadFormat, v, codecVersion)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[4:8])
+	nsec := binary.LittleEndian.Uint32(hdr[8:12])
+	if nameLen > 1<<16 || nsec > 1<<10 {
+		return "", nil, fmt.Errorf("%w: implausible header (name %d, sections %d)", ErrBadFormat, nameLen, nsec)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: reading name: %v", ErrBadFormat, err)
+	}
+	secs = make([]Section, 0, nsec)
+	for i := uint32(0); i < nsec; i++ {
+		var sh [16]byte
+		if _, err := io.ReadFull(br, sh[:]); err != nil {
+			return "", nil, fmt.Errorf("%w: section %d header: %v", ErrBadFormat, i, err)
+		}
+		length := binary.LittleEndian.Uint64(sh[4:12])
+		if length > maxSaneLen {
+			return "", nil, fmt.Errorf("%w: section %d length %d too large", ErrBadFormat, i, length)
+		}
+		data, err := readCapped(br, length)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: section %d payload: %v", ErrBadFormat, i, err)
+		}
+		if crc := crc32.ChecksumIEEE(data); crc != binary.LittleEndian.Uint32(sh[12:16]) {
+			return "", nil, fmt.Errorf("%w: section %q checksum mismatch", ErrBadFormat, sh[0:4])
+		}
+		secs = append(secs, Section{Tag: string(sh[0:4]), Data: data})
+	}
+	return string(nameBuf), secs, nil
+}
+
+// readCapped reads exactly n bytes, growing the buffer in bounded chunks
+// so a corrupt length field fails once the stream runs dry instead of
+// zeroing gigabytes up front.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = uint64(1 << 20)
+	buf := make([]byte, 0, int(min(n, chunk)))
+	for uint64(len(buf)) < n {
+		old := len(buf)
+		buf = append(buf, make([]byte, int(min(n-uint64(len(buf)), chunk)))...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// FindSection returns the first section with the given tag.
+func FindSection(secs []Section, tag string) ([]byte, bool) {
+	for _, s := range secs {
+		if s.Tag == tag {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+// EncodeInsts encodes an instruction stream as an SecInsts payload: the
+// record count followed by varint-delta records.
+func EncodeInsts(insts []Inst) []byte {
+	out := make([]byte, 0, 4*len(insts)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(insts)))
 	var prevPC uint64
-	for i := range t.Insts {
-		in := &t.Insts[i]
+	var buf [3 * binary.MaxVarintLen64]byte
+	for i := range insts {
+		in := &insts[i]
 		n := binary.PutUvarint(buf[:], zigzag(int64(in.PC-prevPC)))
 		prevPC = in.PC
 		flags := byte(in.Class)
@@ -63,51 +219,35 @@ func Write(w io.Writer, t *Trace) error {
 		if in.Class.IsMem() {
 			n += binary.PutUvarint(buf[n:], in.MemAddr)
 		}
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
+		out = append(out, buf[:n]...)
 	}
-	return bw.Flush()
+	return out
 }
 
-// Read decodes a trace previously written by Write.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+// DecodeInsts decodes an SecInsts payload.
+func DecodeInsts(data []byte) ([]Inst, error) {
+	br := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: instruction count: %v", ErrBadFormat, err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	// Every record consumes at least one payload byte, so a count beyond
+	// the remaining bytes is corrupt — reject it before allocating.
+	if count > uint64(br.Len()) {
+		return nil, fmt.Errorf("%w: instruction count %d exceeds %d payload bytes", ErrBadFormat, count, br.Len())
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != codecVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
-	}
-	nameLen := binary.LittleEndian.Uint32(hdr[4:8])
-	count := binary.LittleEndian.Uint64(hdr[8:16])
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("%w: name length %d too large", ErrBadFormat, nameLen)
-	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	t := &Trace{Name: string(nameBuf), Insts: make([]Inst, 0, count)}
+	insts := make([]Inst, 0, count)
 	var prevPC uint64
 	for i := uint64(0); i < count; i++ {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
 		}
 		pc := prevPC + uint64(unzigzag(d))
 		prevPC = pc
 		flags, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
 		}
 		in := Inst{PC: pc, Class: Class(flags & 0x7f), Taken: flags&0x80 != 0}
 		if in.Class >= numClasses {
@@ -116,18 +256,179 @@ func Read(r io.Reader) (*Trace, error) {
 		if in.Class.IsBranch() {
 			td, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: record %d target: %w", i, err)
+				return nil, fmt.Errorf("%w: record %d target: %v", ErrBadFormat, i, err)
 			}
 			in.Target = pc + uint64(unzigzag(td))
 		}
 		if in.Class.IsMem() {
 			a, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: record %d memaddr: %w", i, err)
+				return nil, fmt.Errorf("%w: record %d memaddr: %v", ErrBadFormat, i, err)
 			}
 			in.MemAddr = a
 		}
-		t.Insts = append(t.Insts, in)
+		insts = append(insts, in)
 	}
-	return t, nil
+	return insts, nil
+}
+
+// EncodeUint64sDelta encodes a uint64 array as count + zigzag varint deltas
+// against the previous element (block sequences revisit nearby addresses,
+// so deltas stay small).
+func EncodeUint64sDelta(vals []uint64) []byte {
+	out := make([]byte, 0, 2*len(vals)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	var prev uint64
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(int64(v-prev)))
+		prev = v
+	}
+	return out
+}
+
+// DecodeUint64sDelta decodes an EncodeUint64sDelta payload.
+func DecodeUint64sDelta(data []byte) ([]uint64, error) {
+	br := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(br)
+	if err != nil || count > uint64(br.Len()) { // >= 1 payload byte per element
+		return nil, fmt.Errorf("%w: uint64 array count", ErrBadFormat)
+	}
+	out := make([]uint64, count)
+	var prev uint64
+	for i := range out {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: uint64 array element %d: %v", ErrBadFormat, i, err)
+		}
+		prev += uint64(unzigzag(d))
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// EncodeInt64sDelta encodes an int64 array as count + zigzag varint deltas
+// against the element index (successor arrays hold future indices, so the
+// distance-to-index is small and the sentinel stays cheap).
+func EncodeInt64sDelta(vals []int64) []byte {
+	out := make([]byte, 0, 2*len(vals)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	for i, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(v-int64(i)))
+	}
+	return out
+}
+
+// DecodeInt64sDelta decodes an EncodeInt64sDelta payload.
+func DecodeInt64sDelta(data []byte) ([]int64, error) {
+	br := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(br)
+	if err != nil || count > uint64(br.Len()) { // >= 1 payload byte per element
+		return nil, fmt.Errorf("%w: int64 array count", ErrBadFormat)
+	}
+	out := make([]int64, count)
+	for i := range out {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: int64 array element %d: %v", ErrBadFormat, i, err)
+		}
+		out[i] = unzigzag(d) + int64(i)
+	}
+	return out, nil
+}
+
+// EncodeInt16s encodes an int16 array as count + 2-byte little-endian
+// elements (latency timelines are dense and bounded, so fixed width beats
+// varints).
+func EncodeInt16s(vals []int16) []byte {
+	out := make([]byte, 0, 2*len(vals)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint16(out, uint16(v))
+	}
+	return out
+}
+
+// DecodeInt16s decodes an EncodeInt16s payload.
+func DecodeInt16s(data []byte) ([]int16, error) {
+	br := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(br)
+	if err != nil || count > uint64(br.Len()) { // the length check below needs 2 bytes per element
+		return nil, fmt.Errorf("%w: int16 array count", ErrBadFormat)
+	}
+	rest := data[len(data)-br.Len():]
+	if uint64(len(rest)) != 2*count {
+		return nil, fmt.Errorf("%w: int16 array payload %d bytes, want %d", ErrBadFormat, len(rest), 2*count)
+	}
+	out := make([]int16, count)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(rest[2*i:]))
+	}
+	return out, nil
+}
+
+// Write encodes t as a v2 container holding one instruction section.
+func Write(w io.Writer, t *Trace) error {
+	return WriteContainer(w, t.Name, []Section{{Tag: SecInsts, Data: EncodeInsts(t.Insts)}})
+}
+
+// Read decodes a trace written by Write. Both container versions are
+// accepted: v2 (instruction section) and the legacy v1 bare stream.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if [4]byte(head[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head[0:4])
+	}
+	if binary.LittleEndian.Uint32(head[4:8]) == 1 {
+		return readV1(br)
+	}
+	name, secs, err := ReadContainer(br)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := FindSection(secs, SecInsts)
+	if !ok {
+		return nil, fmt.Errorf("%w: no %s section", ErrBadFormat, SecInsts)
+	}
+	insts, err := DecodeInsts(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Name: name, Insts: insts}, nil
+}
+
+// readV1 decodes the legacy version-1 stream: magic, version, nameLen,
+// name, count, then the same varint record encoding the v2 instruction
+// section carries (without a leading count).
+func readV1(br *bufio.Reader) (*Trace, error) {
+	var skip [4]byte
+	if _, err := io.ReadFull(br, skip[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[4:8])
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: name length %d too large", ErrBadFormat, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("%w: reading name: %v", ErrBadFormat, err)
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading records: %w", err)
+	}
+	payload := binary.AppendUvarint(make([]byte, 0, len(rest)+binary.MaxVarintLen64), count)
+	insts, err := DecodeInsts(append(payload, rest...))
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Name: string(nameBuf), Insts: insts}, nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -162,6 +164,153 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	if _, err := Read(bytes.NewReader(trunc)); err == nil {
 		t.Error("expected error for truncated stream")
 	}
+}
+
+func TestCodecReadsLegacyV1(t *testing.T) {
+	// A version-1 file is a bare record stream; Read must still accept it.
+	tr := randomTrace(rand.New(rand.NewSource(11)), 500)
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(tr.Name)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(tr.Insts)))
+	buf.Write(hdr[:])
+	buf.WriteString(tr.Name)
+	payload := EncodeInsts(tr.Insts)
+	// Strip the leading count varint: v1 carried the count in its header.
+	_, n := binary.Uvarint(payload)
+	buf.Write(payload[n:])
+
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(v1): %v", err)
+	}
+	if got.Name != tr.Name || len(got.Insts) != len(tr.Insts) {
+		t.Fatalf("v1 header mismatch: %q/%d", got.Name, len(got.Insts))
+	}
+	for i := range tr.Insts {
+		if got.Insts[i] != tr.Insts[i] {
+			t.Fatalf("v1 inst %d: got %+v want %+v", i, got.Insts[i], tr.Insts[i])
+		}
+	}
+}
+
+func TestCodecRejectsUnsupportedVersion(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(5)), 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint32(data[4:8], 3) // future version
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("future version: got %v, want ErrBadFormat", err)
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	secs := []Section{
+		{Tag: SecDesc, Data: []byte{1, 2, 3, 4, 5}},
+		{Tag: SecDataLat, Data: EncodeInt16s([]int16{0, 4, -1, 300})},
+		{Tag: "XTRA", Data: nil}, // unknown tags round-trip too
+	}
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, "wl", secs); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadContainer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "wl" || len(got) != len(secs) {
+		t.Fatalf("container header mismatch: %q, %d sections", name, len(got))
+	}
+	for i := range secs {
+		if got[i].Tag != secs[i].Tag || !bytes.Equal(got[i].Data, secs[i].Data) {
+			t.Errorf("section %d mismatch: %+v vs %+v", i, got[i], secs[i])
+		}
+	}
+	if _, ok := FindSection(got, SecDataLat); !ok {
+		t.Error("FindSection missed DLAT")
+	}
+	if _, ok := FindSection(got, SecNextAt); ok {
+		t.Error("FindSection found an absent tag")
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteContainer(&buf, "wl", []Section{{Tag: SecBlocks, Data: EncodeUint64sDelta([]uint64{9, 1, 5, 5})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip a payload byte: the section checksum must catch it.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, _, err := ReadContainer(bytes.NewReader(corrupt)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("corrupt payload: got %v, want ErrBadFormat", err)
+	}
+
+	// Truncation anywhere must fail, not decode partially.
+	for _, cut := range []int{1, len(clean) / 2, len(clean) - 1} {
+		if _, _, err := ReadContainer(bytes.NewReader(clean[:cut])); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("truncated at %d: got %v, want ErrBadFormat", cut, err)
+		}
+	}
+}
+
+func TestTypedPayloadRoundTrips(t *testing.T) {
+	u64 := []uint64{0, 1, 1, 1 << 40, 3, ^uint64(0), 12}
+	if got, err := DecodeUint64sDelta(EncodeUint64sDelta(u64)); err != nil || !equalSlices(got, u64) {
+		t.Errorf("uint64 round trip: %v, %v", got, err)
+	}
+	i64 := []int64{-1, 5, 2, 1 << 50, -1, 0}
+	if got, err := DecodeInt64sDelta(EncodeInt64sDelta(i64)); err != nil || !equalSlices(got, i64) {
+		t.Errorf("int64 round trip: %v, %v", got, err)
+	}
+	i16 := []int16{0, -32768, 32767, 4, 200}
+	if got, err := DecodeInt16s(EncodeInt16s(i16)); err != nil || !equalSlices(got, i16) {
+		t.Errorf("int16 round trip: %v, %v", got, err)
+	}
+	// Empty arrays round-trip as empty, not nil panics.
+	if got, err := DecodeInt16s(EncodeInt16s(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty int16 round trip: %v, %v", got, err)
+	}
+	// Truncated typed payloads fail cleanly.
+	full := EncodeInt16s(i16)
+	if _, err := DecodeInt16s(full[:len(full)-1]); err == nil {
+		t.Error("truncated int16 payload should fail")
+	}
+	// A count far beyond the payload must be rejected before allocation,
+	// not trusted into a multi-GB make().
+	huge := binary.AppendUvarint(nil, 1<<32)
+	if _, err := DecodeInsts(huge); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("huge inst count: got %v, want ErrBadFormat", err)
+	}
+	if _, err := DecodeUint64sDelta(huge); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("huge uint64 count: got %v, want ErrBadFormat", err)
+	}
+	if _, err := DecodeInt64sDelta(huge); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("huge int64 count: got %v, want ErrBadFormat", err)
+	}
+	if _, err := DecodeInt16s(huge); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("huge int16 count: got %v, want ErrBadFormat", err)
+	}
+}
+
+func equalSlices[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestZigzagProperty(t *testing.T) {
