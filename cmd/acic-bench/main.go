@@ -24,9 +24,18 @@
 // past -regress-pct). -cpuprofile/-memprofile write pprof data for any
 // mode.
 //
+// The -sample-sets mode is the set-sampled fast lane (DESIGN.md §10):
+// only N of the 64 L1i sets are simulated and the statistics are
+// extrapolated, making exploratory -exp sweeps ~5-7x faster with
+// documented error bars; -sample-validate runs the headline grid both
+// ways and prints the sampled-vs-full error-bar table, failing past
+// -sample-err-pct.
+//
 // Usage:
 //
 //	acic-bench -exp all            # everything (minutes)
+//	acic-bench -exp all -sample-sets 8   # set-sampled quick look (~5-7x faster)
+//	acic-bench -sample-validate    # sampled-vs-full error bars + wall-clock
 //	acic-bench -exp fig10,fig11    # the headline comparison
 //	acic-bench -exp table3 -n 1000000
 //	acic-bench -exp all -workers 4 -cache-dir ~/.cache/acic -progress
@@ -137,6 +146,143 @@ func runFig6(s *experiments.Suite) (string, error) {
 	return t.String(), nil
 }
 
+// runSampleValidate measures the set-sampled fast mode against the full
+// reference: the headline grid (every Fig 10/11 scheme plus the baseline,
+// all datacenter apps, FDP platform) is simulated through both lanes,
+// wall-clocks are compared, and per-cell relative errors of cycles, MPKI,
+// and speedup-over-baseline are reported as error-bar tables
+// (stats.SampledError). The run exits non-zero when the worst |cycles|
+// or |speedup| error exceeds errPct (DESIGN.md §10 documents the bounds
+// this mode regenerates). The result cache is deliberately not used:
+// both lanes must compute, or the wall-clock comparison is a lie.
+func runSampleValidate(sim *cliutil.SimFlags, n int, apps string, errPct float64) {
+	cleanup := func() {}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "acic-bench: -sample-validate: "+format+"\n", args...)
+		cleanup()
+		os.Exit(1)
+	}
+	sampleSets, err := sim.ResolveSampleSets()
+	if err != nil {
+		fail("%v", err)
+	}
+	if sampleSets == 0 {
+		sampleSets = 8
+	}
+
+	// The two suites are independent engines, but workload preparation is
+	// sampling-independent (artifact keys carry no sample component), so
+	// they share one artifact store — a scratch one when the user did not
+	// provide theirs — and the second suite's prepare loads instead of
+	// regenerating.
+	artifactDir := sim.ArtifactDir
+	if artifactDir == "" {
+		scratch, err := os.MkdirTemp("", "acic-sample-validate-*")
+		if err != nil {
+			fail("%v", err)
+		}
+		cleanup = func() { os.RemoveAll(scratch) }
+		defer cleanup()
+		artifactDir = scratch
+	}
+
+	newSuite := func(sampled bool) *experiments.Suite {
+		s := experiments.NewSuite(n)
+		s.Workers = sim.Workers
+		s.GangSize = sim.SuiteGangSize(s.N)
+		s.ArtifactDir = artifactDir
+		if sampled {
+			s.SampleSets = sampleSets
+		}
+		if apps != "" {
+			s.Apps = strings.Split(apps, ",")
+		}
+		if err := s.CacheError(); err != nil {
+			fail("%v", err)
+		}
+		return s
+	}
+	full := newSuite(false)
+	sampled := newSuite(true)
+
+	schemes := append([]string{experiments.Baseline}, experiments.Fig10Schemes...)
+	cells := experiments.CrossCells(full.AppNames(), schemes, "fdp")
+	if err := full.PrepareAll(full.AppNames()...); err != nil {
+		fail("%v", err)
+	}
+	if err := sampled.PrepareAll(sampled.AppNames()...); err != nil {
+		fail("%v", err)
+	}
+
+	// Both lanes run over warm workloads, so the wall-clocks compare
+	// simulation against simulation.
+	startFull := time.Now()
+	if err := full.Require(cells...); err != nil {
+		fail("full grid: %v", err)
+	}
+	fullWall := time.Since(startFull)
+	startSampled := time.Now()
+	if err := sampled.Require(cells...); err != nil {
+		fail("sampled grid: %v", err)
+	}
+	sampledWall := time.Since(startSampled)
+
+	cyclesErr := stats.NewSampledError("cycles")
+	mpkiErr := stats.NewSampledError("MPKI")
+	speedupErr := stats.NewSampledError("speedup")
+	for _, app := range full.AppNames() {
+		fb, err := full.Result(app, experiments.Baseline, "fdp")
+		if err != nil {
+			fail("%v", err)
+		}
+		sb, err := sampled.Result(app, experiments.Baseline, "fdp")
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, scheme := range schemes {
+			fr, err := full.Result(app, scheme, "fdp")
+			if err != nil {
+				fail("%v", err)
+			}
+			sr, err := sampled.Result(app, scheme, "fdp")
+			if err != nil {
+				fail("%v", err)
+			}
+			label := app + "/" + scheme
+			cyclesErr.Add(label, float64(fr.Cycles), float64(sr.Cycles))
+			mpkiErr.Add(label, fr.MPKI(), sr.MPKI())
+			speedupErr.Add(label, float64(fb.Cycles)/float64(fr.Cycles), float64(sb.Cycles)/float64(sr.Cycles))
+		}
+	}
+
+	fmt.Printf("=== sample-validate: %d of %d L1i sets, %d cells (%s × fdp), n=%d\n",
+		sampleSets, cliutil.DefaultL1Sets, len(cells), "baseline+fig10 schemes", full.N)
+	// The gated metrics get the per-cell error-bar tables; MPKI — looser
+	// by design (DESIGN.md §10) — is summarized only.
+	fmt.Print(cyclesErr.Table().String())
+	fmt.Print(speedupErr.Table().String())
+	fmt.Println(cyclesErr.Summary())
+	fmt.Println(mpkiErr.Summary())
+	fmt.Println(speedupErr.Summary())
+	fmt.Printf("wall-clock: full grid %.2fs, sampled grid %.2fs -> %.1fx\n",
+		fullWall.Seconds(), sampledWall.Seconds(), fullWall.Seconds()/sampledWall.Seconds())
+
+	if errPct >= 0 {
+		if worstLabel, worst := cyclesErr.Worst(); worst > errPct {
+			fmt.Fprintf(os.Stderr, "acic-bench: sampled cycles error %.2f%% (%s) exceeds -sample-err-pct %.1f\n",
+				worst, worstLabel, errPct)
+			cleanup()
+			os.Exit(1)
+		}
+		if worstLabel, worst := speedupErr.Worst(); worst > errPct {
+			fmt.Fprintf(os.Stderr, "acic-bench: sampled speedup error %.2f%% (%s) exceeds -sample-err-pct %.1f\n",
+				worst, worstLabel, errPct)
+			cleanup()
+			os.Exit(1)
+		}
+	}
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
@@ -157,6 +303,9 @@ func main() {
 		compare    = flag.String("compare", "", "baseline bench JSON: compare per-cell ns/access against it and exit (new side: -compare-to, or the report just measured by -bench-json)")
 		compareTo  = flag.String("compare-to", "", "new-side bench JSON for -compare (empty = the -bench-json report measured in this run)")
 		regressPct = flag.Float64("regress-pct", 25, "exit non-zero when any compared cell regresses by more than this percentage (negative = never fail)")
+
+		sampleValidate = flag.Bool("sample-validate", false, "validate the set-sampled fast mode: run the headline grid full and sampled, print the per-cell error-bar table and wall-clock speedup, and exit non-zero past -sample-err-pct")
+		sampleErrPct   = flag.Float64("sample-err-pct", 10, "-sample-validate failure threshold: worst per-cell |cycles error| and |speedup error| must stay within this percentage (negative = never fail)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -233,8 +382,19 @@ func main() {
 		}
 	}
 
+	if *sampleValidate {
+		runSampleValidate(sim, *n, *apps, *sampleErrPct)
+		return
+	}
+
 	if *benchJSON != "" {
 		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats, ArtifactDir: sim.ArtifactDir}
+		if ss, err := sim.ResolveSampleSets(); err != nil {
+			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
+			os.Exit(1)
+		} else {
+			cfg.SampleSets = ss
+		}
 		if *benchSchemes != "" {
 			cfg.Schemes = strings.Split(*benchSchemes, ",")
 		}
@@ -258,6 +418,9 @@ func main() {
 		fmt.Println(rep.PrepareSummary())
 		if st := rep.SweepTable(); st != nil {
 			fmt.Printf("=== gang sweeps: wall-clock per full scheme row (best of %d)\n%s", *benchRepeats, st)
+		}
+		if st := rep.SampledSweepTable(); st != nil {
+			fmt.Printf("=== sampled sweeps: full vs set-sampled wall-clock per scheme row (best of %d)\n%s", *benchRepeats, st)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 		// Finish the profiles before the comparison: its regression gate
@@ -306,11 +469,21 @@ func main() {
 		}
 	}
 
+	sampleSets, err := sim.ResolveSampleSets()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
+		os.Exit(1)
+	}
 	suite := experiments.NewSuite(*n)
 	suite.Workers = sim.Workers
 	suite.GangSize = sim.SuiteGangSize(suite.N)
 	suite.CacheDir = *cacheDir
 	suite.ArtifactDir = sim.ArtifactDir
+	suite.SampleSets = sampleSets
+	if sampleSets > 0 {
+		fmt.Printf("set-sampled fast mode: %d of %d L1i sets; statistics extrapolated (error bars: DESIGN.md §10, acic-bench -sample-validate)\n",
+			sampleSets, cliutil.DefaultL1Sets)
+	}
 	if *apps != "" {
 		suite.Apps = strings.Split(*apps, ",")
 	}

@@ -20,6 +20,7 @@
 //	acic-sim -workload web-search -schemes lru,acic,opt -n 500000
 //	acic-sim -workload web-search -schemes lru,acic -gang off
 //	acic-sim -workload tpcc -schemes lru,acic -artifact-dir ~/.cache/acic-artifacts
+//	acic-sim -workload tpcc -schemes lru,acic -sample-sets 8   # set-sampled fast mode
 package main
 
 import (
@@ -94,6 +95,17 @@ func main() {
 	opts := experiments.DefaultOptions()
 	opts.Prefetcher = *pf
 	opts.WarmupFrac = *warmup
+	sampleSets, err := sim.ResolveSampleSets()
+	if err != nil {
+		fail("%v", err)
+	}
+	if opts.Sample, err = experiments.SampleConfigForSets(sampleSets); err != nil {
+		fail("%v", err)
+	}
+	if opts.Sample.Enabled() {
+		fmt.Printf("set-sampled fast mode: %d of %d sets (stride %d); misses and stalls extrapolated, see DESIGN.md §10 for error bars\n",
+			sampleSets, cliutil.DefaultL1Sets, opts.Sample.Stride)
+	}
 
 	var order []string
 	for _, s := range strings.Split(*schemes, ",") {
@@ -169,7 +181,7 @@ func instrument(sub icache.Subsystem) *[]core.Decision {
 // runScheme simulates one scheme, collecting ACIC decision diagnostics
 // when the subsystem exposes them.
 func runScheme(w *experiments.Workload, scheme string, opts experiments.Options) (schemeRun, error) {
-	sub, err := experiments.NewScheme(scheme, w)
+	sub, err := experiments.NewSampledScheme(scheme, w, opts.Sample)
 	if err != nil {
 		return schemeRun{}, err
 	}
@@ -198,7 +210,7 @@ func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
 		captures := make([]*[]core.Decision, 0, len(chunk))
 		members := make([]string, 0, len(chunk))
 		for _, scheme := range chunk {
-			sub, err := experiments.NewScheme(scheme, w)
+			sub, err := experiments.NewSampledScheme(scheme, w, opts.Sample)
 			if err != nil {
 				runs.Fulfill(scheme, schemeRun{}, err)
 				continue

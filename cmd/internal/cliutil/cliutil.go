@@ -15,12 +15,19 @@ import (
 // multi-million-instruction traces).
 const GangAutoThreshold = 1_000_000
 
+// DefaultL1Sets is the evaluated schemes' shared L1i set count, the
+// denominator of the -sample-sets / -sample-stride conversion (it mirrors
+// icache.DefaultSets without pulling the simulator into the flag layer).
+const DefaultL1Sets = 64
+
 // SimFlags are the shared engine/storage knobs after parsing.
 type SimFlags struct {
-	Workers     int
-	Gang        string
-	GangSize    int
-	ArtifactDir string
+	Workers      int
+	Gang         string
+	GangSize     int
+	ArtifactDir  string
+	SampleSets   int
+	SampleStride int
 }
 
 // RegisterSim declares the shared simulation flags on fs (usually
@@ -31,8 +38,30 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	fs.IntVar(&f.Workers, "workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
 	fs.StringVar(&f.Gang, "gang", "auto", "group cells that share a workload into gang simulations — one Program traversal per gang: on, off, or auto (gang from 1M instructions, where the shared traversal measurably pays; output is byte-identical either way)")
 	fs.IntVar(&f.GangSize, "gang-size", 10, "max schemes per gang task (with -gang)")
+	fs.IntVar(&f.SampleSets, "sample-sets", 0, "set-sampled fast mode: simulate only this many of the 64 L1i sets (SDM-style sampling, statistics extrapolated; power of two; 0 = full simulation, the byte-identical reference)")
+	fs.IntVar(&f.SampleStride, "sample-stride", 0, "set-sampled fast mode by stride: simulate one in this many set constituencies (equivalent to -sample-sets 64/stride; 0 = full simulation)")
 	RegisterArtifactDir(fs, &f.ArtifactDir)
 	return f
+}
+
+// ResolveSampleSets reduces the two sampling flags to one sampled-set
+// count over the default 64-set geometry (0 = sampling off). Only one of
+// the two flags may be given.
+func (f *SimFlags) ResolveSampleSets() (int, error) {
+	switch {
+	case f.SampleSets != 0 && f.SampleStride != 0:
+		return 0, fmt.Errorf("-sample-sets and -sample-stride are two spellings of one knob; give only one")
+	case f.SampleStride != 0:
+		if f.SampleStride < 0 || f.SampleStride > DefaultL1Sets || DefaultL1Sets%f.SampleStride != 0 {
+			return 0, fmt.Errorf("-sample-stride must be a power of two in [1,%d], got %d", DefaultL1Sets, f.SampleStride)
+		}
+		if f.SampleStride == 1 {
+			return 0, nil
+		}
+		return DefaultL1Sets / f.SampleStride, nil
+	default:
+		return f.SampleSets, nil
+	}
 }
 
 // RegisterCacheDir declares -cache-dir on fs. It is separate from

@@ -15,7 +15,12 @@ import "sort"
 // sequence at each candidate capacity (in blocks). Capacities are treated
 // as given; pass them in ascending order for a readable curve.
 func MissRatioCurve(blocks []uint64, capacities []int) []float64 {
-	dists := ReuseDistances(blocks)
+	return missRatioFromDists(ReuseDistances(blocks), capacities)
+}
+
+// missRatioFromDists is MissRatioCurve over precomputed (possibly
+// estimated) stack distances.
+func missRatioFromDists(dists []int64, capacities []int) []float64 {
 	// Histogram the finite distances once, then answer every capacity by
 	// prefix sum.
 	sorted := make([]int64, 0, len(dists))

@@ -123,7 +123,12 @@ func Distribution(dists []int64, edges []int64) []float64 {
 // of the same block (Fig 1b). Row i gives the conditional distribution of
 // the next reuse-distance bucket, given the current access's bucket is i.
 func MarkovChain(blocks []uint64, edges []int64) [][]float64 {
-	dists := ReuseDistances(blocks)
+	return markovFromDists(blocks, ReuseDistances(blocks), edges)
+}
+
+// markovFromDists is MarkovChain over precomputed (possibly estimated)
+// distances aligned with blocks.
+func markovFromDists(blocks []uint64, dists []int64, edges []int64) [][]float64 {
 	n := len(edges) + 1
 	counts := make([][]uint64, n)
 	for i := range counts {

@@ -1,0 +1,67 @@
+package cache
+
+import "fmt"
+
+// SampleFilter selects the set constituencies a sampled simulation models
+// (SDM-style set sampling): a block belongs to the sampled subset when the
+// low bits of its set index — which are the low bits of the block number,
+// since SetIndex is block & (sets-1) and the stride divides the set count —
+// match the constituency offset. The zero value samples everything, so the
+// filter can sit unconditionally on hot paths: the full-simulation check is
+// one always-true mask compare.
+type SampleFilter struct {
+	Mask  uint64 // stride-1 (0 = disabled: every block is sampled)
+	Match uint64 // constituency offset, < stride
+}
+
+// NewSampleFilter builds a filter that samples one in stride set
+// constituencies, choosing the sets whose index ≡ offset (mod stride).
+// stride must be a power of two (so the constituency test is a mask) and
+// offset must be in [0, stride). stride 0 or 1 disables sampling.
+func NewSampleFilter(stride, offset int) (SampleFilter, error) {
+	if stride == 0 || stride == 1 {
+		if offset != 0 {
+			return SampleFilter{}, fmt.Errorf("cache: sample offset %d without a stride", offset)
+		}
+		return SampleFilter{}, nil
+	}
+	if stride < 0 || stride&(stride-1) != 0 {
+		return SampleFilter{}, fmt.Errorf("cache: sample stride must be a power of two, got %d", stride)
+	}
+	if offset < 0 || offset >= stride {
+		return SampleFilter{}, fmt.Errorf("cache: sample offset %d out of range [0,%d)", offset, stride)
+	}
+	return SampleFilter{Mask: uint64(stride - 1), Match: uint64(offset)}, nil
+}
+
+// Enabled reports whether the filter excludes anything.
+func (f SampleFilter) Enabled() bool { return f.Mask != 0 }
+
+// Stride returns the sampling stride (1 when disabled): one in Stride set
+// constituencies is simulated.
+func (f SampleFilter) Stride() int { return int(f.Mask) + 1 }
+
+// Sampled reports whether block falls in a sampled constituency. Always
+// true for the zero-value (disabled) filter.
+func (f SampleFilter) Sampled(block uint64) bool { return block&f.Mask == f.Match }
+
+// ScaleShared scales the capacity of a fully-associative structure shared
+// across sets (i-Filter, victim cache) down to the sampled fraction of the
+// traffic it sees, floored at 2 entries so the structure stays functional.
+// Under sampling such a structure receives 1/stride of its full-run
+// arrival rate; an unscaled capacity would hold each entry stride times
+// longer (in accesses) than the full run does and inflate its hit rate,
+// while capacity/stride preserves the full run's residency window.
+func (f SampleFilter) ScaleShared(capacity int) int {
+	if !f.Enabled() || capacity <= 0 {
+		return capacity
+	}
+	scaled := capacity / f.Stride()
+	if scaled < 2 {
+		scaled = 2
+	}
+	if scaled > capacity {
+		scaled = capacity
+	}
+	return scaled
+}

@@ -1,0 +1,75 @@
+package cache
+
+import "testing"
+
+func TestNewSampleFilter(t *testing.T) {
+	for _, tc := range []struct {
+		stride, offset int
+		ok             bool
+	}{
+		{0, 0, true}, {1, 0, true}, {2, 0, true}, {2, 1, true},
+		{8, 1, true}, {8, 7, true}, {64, 63, true},
+		{3, 0, false}, {6, 0, false}, {-2, 0, false},
+		{8, 8, false}, {8, -1, false}, {0, 1, false}, {1, 1, false},
+	} {
+		_, err := NewSampleFilter(tc.stride, tc.offset)
+		if (err == nil) != tc.ok {
+			t.Errorf("NewSampleFilter(%d, %d): err=%v, want ok=%v", tc.stride, tc.offset, err, tc.ok)
+		}
+	}
+}
+
+func TestSampleFilterZeroValueSamplesEverything(t *testing.T) {
+	var f SampleFilter
+	if f.Enabled() {
+		t.Fatal("zero filter reports enabled")
+	}
+	if f.Stride() != 1 {
+		t.Fatalf("zero filter stride = %d, want 1", f.Stride())
+	}
+	for _, b := range []uint64{0, 1, 7, 63, 64, 1 << 40} {
+		if !f.Sampled(b) {
+			t.Fatalf("zero filter rejects block %d", b)
+		}
+	}
+}
+
+func TestSampleFilterConstituency(t *testing.T) {
+	f, err := NewSampleFilter(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() || f.Stride() != 8 {
+		t.Fatalf("filter = %+v: enabled=%v stride=%d", f, f.Enabled(), f.Stride())
+	}
+	// Exactly the blocks whose set-index low bits equal the offset are
+	// sampled, and the fraction over any aligned range is 1/stride.
+	sampled := 0
+	for b := uint64(0); b < 1024; b++ {
+		in := f.Sampled(b)
+		if want := b%8 == 1; in != want {
+			t.Fatalf("Sampled(%d) = %v, want %v", b, in, want)
+		}
+		if in {
+			sampled++
+		}
+	}
+	if sampled != 1024/8 {
+		t.Fatalf("sampled %d of 1024 blocks, want %d", sampled, 1024/8)
+	}
+}
+
+func TestSampleFilterScaleShared(t *testing.T) {
+	f, _ := NewSampleFilter(8, 1)
+	for _, tc := range []struct{ in, want int }{
+		{16, 2}, {48, 6}, {128, 16}, {8, 2}, {1, 1}, {0, 0},
+	} {
+		if got := f.ScaleShared(tc.in); got != tc.want {
+			t.Errorf("ScaleShared(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	var off SampleFilter
+	if got := off.ScaleShared(16); got != 16 {
+		t.Errorf("disabled ScaleShared(16) = %d, want 16", got)
+	}
+}

@@ -15,15 +15,49 @@
 package cpu
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 
 	"acic/internal/branch"
+	"acic/internal/cache"
 	"acic/internal/icache"
 	"acic/internal/mem"
 	"acic/internal/prefetch"
 	"acic/internal/trace"
 )
+
+// SampleConfig selects SDM-style set-sampled simulation: only the i-cache
+// sets of one constituency (set index ≡ Offset mod Stride) are simulated.
+// Demand fetches and prefetches to non-sampled constituencies bypass the
+// i-cache subsystem and never stall the front end; the Result records the
+// sampled access count so miss and stall statistics extrapolate back to
+// the whole cache (Result.Extrapolated). The zero value disables sampling
+// and leaves the simulation bit-identical to a build without this feature.
+type SampleConfig struct {
+	Stride int // simulate one in Stride set constituencies (0 or 1 = full)
+	Offset int // which constituency, in [0, Stride)
+}
+
+// Enabled reports whether sampling is on.
+func (c SampleConfig) Enabled() bool { return c.Stride > 1 }
+
+// Validate reports an error for an unusable sampling configuration.
+func (c SampleConfig) Validate() error {
+	_, err := cache.NewSampleFilter(c.Stride, c.Offset)
+	return err
+}
+
+// Filter returns the constituency filter (the zero filter when disabled).
+// It panics on an invalid configuration; call Validate first on untrusted
+// values.
+func (c SampleConfig) Filter() cache.SampleFilter {
+	f, err := cache.NewSampleFilter(c.Stride, c.Offset)
+	if err != nil {
+		panic(fmt.Sprintf("cpu: %v", err))
+	}
+	return f
+}
 
 // Config are the core parameters (Table II defaults via DefaultConfig).
 type Config struct {
@@ -42,6 +76,9 @@ type Config struct {
 	// Extra is an additional table-driven prefetcher (e.g. entangling);
 	// nil for none.
 	Extra prefetch.Prefetcher
+
+	// Sample enables set-sampled simulation (zero value = full simulation).
+	Sample SampleConfig
 }
 
 // DefaultConfig returns the Table II core with FDP enabled.
@@ -77,6 +114,14 @@ type Result struct {
 	IMissStallCycles    int64
 	RedirectStallCycles int64
 
+	// Set-sampling provenance. SampleStride is the stride the run was
+	// simulated under (0 = full simulation); SampledAccesses counts the
+	// post-warmup demand accesses that fell in the sampled constituencies.
+	// Raw sampled counters cover the sampled subset only, until
+	// Extrapolated scales them back to the whole cache.
+	SampleStride    int
+	SampledAccesses int64
+
 	ICache icache.Stats // subsystem counters over the whole run (incl. warmup)
 }
 
@@ -94,6 +139,35 @@ func (r Result) MPKI() float64 {
 		return 0
 	}
 	return 1000 * float64(r.DemandMisses) / float64(r.Instructions)
+}
+
+// Extrapolated scales a set-sampled Result back to the whole cache; it
+// returns the receiver unchanged for a full-simulation run. Demand misses,
+// late misses, prefetches, and i-miss stall cycles are multiplied by the
+// measured access ratio (total demand accesses over sampled demand
+// accesses — more faithful than the configured stride when constituencies
+// see uneven traffic), and the cycle count absorbs the scaled-up stall so
+// speedups computed from sampled cells are first-order comparable to full
+// runs. The ICache stats are left as measured — they are the sampled
+// subset's ground truth, and every rate derived from them (miss rate,
+// filter-hit fraction) is already scale-free. DESIGN.md §10 documents the
+// error model and the validated bounds.
+func (r Result) Extrapolated() Result {
+	if r.SampleStride <= 1 {
+		return r
+	}
+	scale := float64(r.SampleStride)
+	if r.SampledAccesses > 0 {
+		scale = float64(r.BlockAccesses) / float64(r.SampledAccesses)
+	}
+	round := func(v uint64) uint64 { return uint64(float64(v)*scale + 0.5) }
+	out := r
+	out.DemandMisses = round(r.DemandMisses)
+	out.LateMisses = round(r.LateMisses)
+	out.Prefetches = round(r.Prefetches)
+	out.IMissStallCycles = int64(float64(r.IMissStallCycles)*scale + 0.5)
+	out.Cycles = r.Cycles + (out.IMissStallCycles - r.IMissStallCycles)
+	return out
 }
 
 // inflight tracks outstanding prefetches.
@@ -150,6 +224,26 @@ type Program struct {
 	// (descRunEvent) set, letting the run-ahead walker skip straight-line
 	// stretches 64 instructions per word instead of byte by byte.
 	runEvents []uint64
+
+	// Sampled-lane index (built lazily by ensureSampleIndex, shared by
+	// every scheme cell over this workload): samplePace is the cumulative
+	// fetch-slot prefix (group-end, redirect-penalty, and roundup costs
+	// baked in) that converts an instruction index to a fetch cycle with
+	// one add and one divide; sampleEvents flags redirects and the
+	// long-latency loads whose completions can back up the ROB; and
+	// sampleAccInstr maps each block access to its first instruction.
+	// sampleAccK/sampleAccA list the accesses of one constituency filter
+	// (instruction index and access index), cached per filter under
+	// sampleListMu so the walk visits only sampled accesses.
+	samplePace     []int64
+	sampleEvents   []uint64
+	sampleAccInstr []int32
+	sampleOnce     sync.Once
+
+	sampleListMu     sync.Mutex
+	sampleListFilter cache.SampleFilter
+	sampleAccK       []int32
+	sampleAccA       []int32
 }
 
 // EnsureDataLatencies computes the data-side latency timeline by replaying
@@ -284,6 +378,32 @@ type Simulator struct {
 	pfNextReady int64 // earliest readyAt in pfInFlight (scan gate)
 	l2NextFree  int64 // instruction-side L2 port availability (bandwidth)
 
+	// Set-sampling state (SDM fast lane; see sampled.go). sampleMask/
+	// sampleMatch are the constituency filter of cfg.Sample, denormalized
+	// so the hot-path test is one compare; mask 0 means full simulation
+	// and routes runTo through the reference cycle loop.
+	sampleMask      uint64
+	sampleMatch     uint64
+	sampledAccesses int64   // demand accesses in the sampled constituencies
+	paceBase        int64   // fetch-slot offset: fc(k) = (paceBase+pace[k])/width
+	lastRedirect    int64   // pace slot the last front-end redirect resolved at
+	mshr            []int64 // readyAt of in-flight emulated FDP prefetches
+	saK, saA        []int32 // this run's sampled-access list (Program-cached)
+	saCursor        int     // next sampled access to process
+	vtRetire6       int64   // retire chain anchor: completion in retire slots
+	vtIdx           int     // instruction index of the chain anchor
+	gateIdx         int     // next one-shot ROB-full check (maxInt = none)
+	sampledDone     bool    // final ROB drain already charged
+
+	// Pace-rebase history: the slot offsets in force before each of the
+	// most recent stalls, so the FTQ-window lookback can reconstruct the
+	// exact consumption slot of an access that predates a rebase (stalls
+	// only happen at sampled accesses, so a handful of entries always
+	// covers the FTQBlocks window).
+	rebIdx [rebaseRing]int32
+	rebVal [rebaseRing]int64
+	rebPos int
+
 	// Counters.
 	demandMisses  uint64
 	lateMisses    uint64
@@ -297,7 +417,7 @@ type Simulator struct {
 	warmupInstrs      int64
 	warmupTaken       bool
 	wCycles, wInstr   int64
-	wBlocks           int64
+	wBlocks, wSampled int64
 	wIStall, wRStall  int64
 	wMiss, wLate, wPf uint64
 }
@@ -317,14 +437,36 @@ func NewSimulator(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hie
 // lay its members out contiguously.
 func (s *Simulator) init(cfg Config, prog *Program, sub icache.Subsystem, hier *mem.Hierarchy) {
 	prog.EnsureDataLatencies(hier.Config())
+	filter := cfg.Sample.Filter() // panics on an invalid sampling config
+	if filter.Enabled() {
+		// The sampled constituencies keep their private behavior, but the
+		// fetch-path resources shared across all sets serve 1/stride of
+		// their full-run traffic, which would make prefetching unrealistically
+		// effective (no MSHR contention, an idle L2 port) and bias sampled
+		// miss/stall rates low. Scale them to the sampled fraction so per-
+		// request contention matches the full run: 1/stride of the MSHRs,
+		// and an L2 port stride× slower per request (equal utilization at
+		// 1/stride the request rate).
+		stride := int64(filter.Stride())
+		cfg.MaxPrefetches = int(max(1, int64(cfg.MaxPrefetches)/stride))
+		cfg.L2ServiceInterval *= stride
+	}
 	*s = Simulator{
-		cfg:        cfg,
-		sub:        sub,
-		hier:       hier,
-		prog:       prog,
-		rob:        make([]int64, cfg.ROB),
-		pfInFlight: make([]inflight, 0, cfg.MaxPrefetches),
-		blockedAt:  -1,
+		cfg:         cfg,
+		sub:         sub,
+		hier:        hier,
+		prog:        prog,
+		rob:         make([]int64, cfg.ROB),
+		pfInFlight:  make([]inflight, 0, cfg.MaxPrefetches),
+		blockedAt:   -1,
+		sampleMask:  filter.Mask,
+		sampleMatch: filter.Match,
+	}
+	if filter.Enabled() {
+		prog.ensureSampleIndex(cfg.FetchWidth, cfg.MispredictPenalty, cfg.MisfetchPenalty)
+		s.saK, s.saA = prog.sampledAccessList(filter)
+		s.gateIdx = maxInt
+		s.mshr = make([]int64, 0, cfg.MaxPrefetches)
 	}
 }
 
@@ -349,8 +491,13 @@ func (s *Simulator) start(warmupInstrs int64) {
 // or past bound, or the program has fully retired (then it returns true).
 // The state after runTo(b1); runTo(b2) is identical to the state the
 // single-run loop passes through — bounds only choose where the loop
-// pauses — which is what makes gang scheduling result-preserving.
+// pauses — which is what makes gang scheduling result-preserving. A
+// set-sampled simulation routes through the event-driven sampled loop
+// instead (sampled.go), with the same bound/pause contract.
 func (s *Simulator) runTo(bound int) bool {
+	if s.sampleMask != 0 {
+		return s.runSampledTo(bound)
+	}
 	n := s.prog.Len()
 	for s.fetchIdx < n || s.robLen > 0 {
 		if s.fetchIdx >= bound && s.fetchIdx < n {
@@ -361,6 +508,7 @@ func (s *Simulator) runTo(bound int) bool {
 			s.wCycles, s.wInstr, s.wBlocks = s.cycle, s.instructions, s.accessIdx
 			s.wMiss, s.wLate, s.wPf = s.demandMisses, s.lateMisses, s.prefetches
 			s.wIStall, s.wRStall = s.imissStall, s.redirectStall
+			s.wSampled = s.sampledAccesses
 			s.warmupTaken = true
 		}
 		// Quiescent-stall fast-forward: while the front end is stalled, a
@@ -401,7 +549,7 @@ func (s *Simulator) runTo(bound int) bool {
 
 // result reports the post-warmup counters of a completed run.
 func (s *Simulator) result() Result {
-	return Result{
+	r := Result{
 		Cycles:              s.cycle - s.wCycles,
 		Instructions:        s.instructions - s.wInstr,
 		BlockAccesses:       s.accessIdx - s.wBlocks,
@@ -412,6 +560,11 @@ func (s *Simulator) result() Result {
 		RedirectStallCycles: s.redirectStall - s.wRStall,
 		ICache:              s.sub.Stats(),
 	}
+	if s.sampleMask != 0 {
+		r.SampleStride = int(s.sampleMask) + 1
+		r.SampledAccesses = s.sampledAccesses - s.wSampled
+	}
+	return r
 }
 
 // step advances the simulation by one core cycle. It is the unit the

@@ -38,8 +38,8 @@ func AblationCSHRDefault(s *Suite) (*stats.Table, error) {
 		w := s.wl(app)
 		cc := core.DefaultConfig()
 		cc.EvictTrain = m.mode
-		sub := icache.MustNew(icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc})
-		res, err := RunSubsystem(w, sub, DefaultOptions())
+		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
+		res, err := RunSubsystem(w, sub, s.options())
 		if err != nil {
 			return err
 		}

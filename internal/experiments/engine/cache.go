@@ -52,11 +52,24 @@ func NewDiskCache[K comparable, V any](dir string, key func(K) string) (*DiskCac
 // alongside the bytes so decoders can rebuild derived state from sibling
 // artifacts (a persisted Program is reconstructed against its trace); any
 // dec error is treated as a miss.
+//
+// The directory is created with all missing parents, and its writability
+// is probed up front: Store is deliberately best-effort (a failed write
+// only costs a future recompute), so without the probe an unwritable
+// store — a read-only mount, a permission mismatch, a path whose parent
+// is a file — would silently persist nothing while the caller believes
+// it warmed a cache.
 func NewCodecDiskCache[K comparable, V any](dir, ext string, key func(K) string,
 	enc func(V) ([]byte, error), dec func(K, []byte) (V, error)) (*DiskCache[K, V], error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("engine: create cache dir: %w", err)
+		return nil, fmt.Errorf("engine: create cache dir %s: %w", dir, err)
 	}
+	probe, err := os.CreateTemp(dir, "probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("engine: cache dir %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	return &DiskCache[K, V]{dir: dir, ext: ext, key: key, enc: enc, dec: dec}, nil
 }
 

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The disk cache must create its directory — including missing parents —
+// rather than relying on it pre-existing (`acic-trace warm` hands it a
+// fresh path on first use).
+func TestDiskCacheCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "artifacts")
+	c, err := NewDiskCache[string, int](dir, func(k string) string { return k })
+	if err != nil {
+		t.Fatalf("NewDiskCache(%s): %v", dir, err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("cache dir was not created: %v", err)
+	}
+	c.Store("k", 42)
+	got, ok := c.Load("k")
+	if !ok || got != 42 {
+		t.Fatalf("Load after Store = (%d, %v), want (42, true)", got, ok)
+	}
+}
+
+// An unusable path must fail loudly at construction: Store is
+// best-effort, so without the up-front check a warm run would silently
+// persist nothing. A path whose parent is a regular file is unusable for
+// any user (permission-based checks are bypassed when tests run as root).
+func TestDiskCacheUnwritablePathFails(t *testing.T) {
+	parent := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(parent, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(parent, "artifacts")
+	_, err := NewDiskCache[string, int](dir, func(k string) string { return k })
+	if err == nil {
+		t.Fatalf("NewDiskCache(%s) succeeded on a path under a regular file", dir)
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Fatalf("error %q does not name the offending path %s", err, dir)
+	}
+}

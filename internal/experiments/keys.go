@@ -33,7 +33,13 @@ import (
 // v2: the data-side memory hierarchy was decoupled from the
 // instruction-miss stream into a per-workload precomputed latency
 // timeline (DESIGN.md §8), shifting absolute cycle counts.
-const cacheSchemaVersion = 2
+//
+// v3: result-cache keys grew a sampling component (sampleKey) so
+// set-sampled quick-look results and full-grid reference results can
+// never collide in one store; bumped together with the key-format change
+// so a v2 store is retired wholesale rather than partially re-keyed
+// (DESIGN.md §10).
+const cacheSchemaVersion = 3
 
 // simConfigHash digests the default simulator configuration (core, memory
 // hierarchy, prefetchers, ACIC) and the shape of cpu.Result (%#v of the
@@ -63,7 +69,20 @@ func profileDigest(p workload.Profile, ok bool, app string) string {
 
 // storeKeyPrefix is the shared prefix of every persistent key:
 // "v<schema>|cfg:<config digest>|profile:<profile digest>|n:<trace len>".
-// Result-cache keys append |scheme|pf|warmup; artifact keys append |stage.
+// Result-cache keys append |scheme|pf|warmup|sample; artifact keys append
+// |stage (workload preparation is sampling-independent, so artifact keys
+// carry no sample component and one warmed store serves both lanes).
 func storeKeyPrefix(profile string, n int) string {
 	return fmt.Sprintf("v%d|cfg:%s|profile:%s|n:%d", cacheSchemaVersion, simConfigHash(), profile, n)
+}
+
+// sampleKey canonicalizes a run's set-sampling configuration for
+// result-cache keys: "full" for the reference lane, "1/<stride>@<offset>"
+// for a sampled lane. Sampled and full results therefore live under
+// distinct keys in the same CacheDir and can never shadow each other.
+func sampleKey(s cpu.SampleConfig) string {
+	if !s.Enabled() {
+		return "full"
+	}
+	return fmt.Sprintf("1/%d@%d", s.Stride, s.Offset)
 }

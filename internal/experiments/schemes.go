@@ -6,6 +6,7 @@ import (
 	"acic/internal/bypass"
 	"acic/internal/cache"
 	"acic/internal/core"
+	"acic/internal/cpu"
 	"acic/internal/icache"
 	"acic/internal/policy"
 	"acic/internal/victim"
@@ -38,8 +39,22 @@ func SchemeNames() []string {
 // NewScheme builds the named i-cache subsystem for a workload. The oracle
 // is attached only for oracle schemes (opt, opt-bypass).
 func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
+	return NewSampledScheme(name, w, cpu.SampleConfig{})
+}
+
+// NewSampledScheme builds the named subsystem with the set-sampling filter
+// applied at construction time, so the shared fully-associative structures
+// (i-Filter, victim caches) are scaled to the sampled traffic fraction
+// (icache.Config.Sample). A zero sample config is exactly NewScheme.
+func NewSampledScheme(name string, w *Workload, sample cpu.SampleConfig) (icache.Subsystem, error) {
+	if err := sample.Validate(); err != nil {
+		return nil, err
+	}
+	filter := sample.Filter()
 	oracle := w.Oracle.Func()
-	base := func() icache.Config { return icache.Config{Sets: 64, Ways: 8} }
+	base := func() icache.Config {
+		return icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Sample: filter}
+	}
 	switch name {
 	case "lru":
 		c := base()
@@ -106,7 +121,7 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		c.Bypass = bypass.NewOBM(bypass.DefaultOBMConfig())
 		return icache.New(c)
 	case "vvc":
-		return icache.NewVVC(victim.DefaultVVCConfig()), nil
+		return icache.NewSampledVVC(victim.DefaultVVCConfig(), filter), nil
 	case "vc3k":
 		c := base()
 		c.Policy = policy.NewLRU()
@@ -119,7 +134,10 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		return icache.New(c)
 	case "l1i-36k":
 		// 36KB, 9-way: 64 sets x 9 ways.
-		c := icache.Config{Sets: 64, Ways: 9, Policy: policy.NewLRU(), Name: "l1i-36k"}
+		c := base()
+		c.Ways = 9
+		c.Policy = policy.NewLRU()
+		c.Name = "l1i-36k"
 		return icache.New(c)
 	case "opt":
 		c := base()
@@ -158,11 +176,11 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		c.Name = "random60"
 		return icache.New(c)
 	case "acic":
-		return newACIC(core.DefaultConfig(), w)
+		return newACIC(core.DefaultConfig(), w, filter)
 	case "acic-instant":
 		cc := core.DefaultConfig()
 		cc.Predictor.UpdateLatency = 0
-		sub, err := newACIC(cc, w)
+		sub, err := newACIC(cc, w, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -170,16 +188,16 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 	case "acic-global":
 		cc := core.DefaultConfig()
 		cc.Variant = core.VariantGlobalHistory
-		return newACIC(cc, w)
+		return newACIC(cc, w, filter)
 	case "acic-bimodal":
 		cc := core.DefaultConfig()
 		cc.Variant = core.VariantBimodal
-		return newACIC(cc, w)
+		return newACIC(cc, w, filter)
 	case "acic-pfaware":
 		// Future-work extension (paper §VI): prefetch-aware admission.
 		cc := core.DefaultConfig()
 		cc.PrefetchAware = true
-		sub, err := newACIC(cc, w)
+		sub, err := newACIC(cc, w, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +206,7 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 		// Fig 17 "no i-Filter": the admission predictor gates direct fills.
 		c := base()
 		c.Policy = policy.NewLRU()
-		c.Bypass = NewACICBypass(core.DefaultConfig(), 64)
+		c.Bypass = NewACICBypass(core.DefaultConfig(), icache.DefaultSets)
 		c.Name = "acic-nofilter"
 		return icache.New(c)
 	default:
@@ -197,8 +215,8 @@ func NewScheme(name string, w *Workload) (icache.Subsystem, error) {
 }
 
 // newACIC builds the standard ACIC complex over an LRU i-cache.
-func newACIC(cc core.Config, _ *Workload) (icache.Subsystem, error) {
-	c := icache.Config{Sets: 64, Ways: 8, Policy: policy.NewLRU(), ACIC: &cc}
+func newACIC(cc core.Config, _ *Workload, sample cache.SampleFilter) (icache.Subsystem, error) {
+	c := icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: sample}
 	return icache.New(c)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"acic/internal/cache"
 	"acic/internal/cpu"
 	"acic/internal/experiments/engine"
 	"acic/internal/workload"
@@ -66,6 +67,16 @@ type Suite struct {
 	// ArtifactDir may point at the same directory — result entries are
 	// .json, artifacts .actr.
 	ArtifactDir string
+	// SampleSets, when > 0, switches every simulation the suite runs into
+	// the set-sampled fast mode: only SampleSets of the 64 i-cache sets
+	// are simulated (one per stride-sized constituency, SDM methodology)
+	// and results are extrapolated back to the whole cache. Exploratory
+	// sweeps run roughly 64/SampleSets× less subsystem work per access;
+	// DESIGN.md §10 documents the validated error bars. Sampled results
+	// are cached under distinct keys (keys.go sampleKey), so one CacheDir
+	// safely serves both lanes. 0 (or 64) keeps the byte-identical full
+	// reference path. Must be a power of two.
+	SampleSets int
 	// GangSize, when > 1, turns on gang execution: each Require batch
 	// groups its same-(app, prefetcher) cells and runs every group as a
 	// single cpu.Gang simulation — one Program traversal driving all of
@@ -85,6 +96,7 @@ type Suite struct {
 	pipeline *Pipeline
 	results  *engine.Group[Cell, cpu.Result]
 	done     atomic.Int64
+	sample   cpu.SampleConfig
 	cacheErr error
 }
 
@@ -113,6 +125,8 @@ func NewSuite(n int) *Suite {
 // init spins up the engine on first use.
 func (s *Suite) init() {
 	s.once.Do(func() {
+		var sampleErr error
+		s.sample, sampleErr = SampleConfigForSets(s.SampleSets)
 		s.pool = engine.NewPool(s.Workers)
 		var plErr error
 		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool})
@@ -125,7 +139,7 @@ func (s *Suite) init() {
 				s.results.Cache = cache
 			}
 		}
-		s.cacheErr = errors.Join(s.cacheErr, plErr)
+		s.cacheErr = errors.Join(s.cacheErr, plErr, sampleErr)
 		s.results.OnDone = func(c Cell, fromCache bool, err error) {
 			if s.Progress == nil {
 				return
@@ -144,13 +158,30 @@ func (s *Suite) init() {
 
 // cacheKey canonicalizes everything a cell's result depends on. Its
 // prefix is shared with the artifact store (keys.go), so one
-// cacheSchemaVersion bump or config edit invalidates both together.
+// cacheSchemaVersion bump or config edit invalidates both together; the
+// trailing sample component keeps sampled and full entries disjoint.
 func (s *Suite) cacheKey(c Cell) string {
 	p, ok := workload.ByName(c.App)
-	opts := DefaultOptions()
-	return fmt.Sprintf("%s|scheme:%s|pf:%s|warmup:%g",
-		storeKeyPrefix(profileDigest(p, ok, c.App), s.N), c.Scheme, c.Prefetcher, opts.WarmupFrac)
+	opts := s.options()
+	return fmt.Sprintf("%s|scheme:%s|pf:%s|warmup:%g|sample:%s",
+		storeKeyPrefix(profileDigest(p, ok, c.App), s.N), c.Scheme, c.Prefetcher,
+		opts.WarmupFrac, sampleKey(opts.Sample))
 }
+
+// options returns the run options every suite cell — and every
+// instrumented per-app sweep the renderers fan out — executes under:
+// the paper defaults plus the suite's sampling mode.
+func (s *Suite) options() Options {
+	opts := DefaultOptions()
+	opts.Sample = s.sample
+	return opts
+}
+
+// sampleFilter returns the constituency filter suite runs build their
+// subsystems under (the zero filter when sampling is off); renderers that
+// construct instrumented icache.Configs directly attach it so their
+// shared structures scale like the planned cells' do.
+func (s *Suite) sampleFilter() cache.SampleFilter { return s.sample.Filter() }
 
 // computeCell runs one simulation cell.
 func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
@@ -158,7 +189,7 @@ func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	opts := DefaultOptions()
+	opts := s.options()
 	opts.Prefetcher = c.Prefetcher
 	return Run(w, c.Scheme, opts)
 }
@@ -271,7 +302,7 @@ func (s *Suite) runGangTask(gang []Cell) {
 		}
 		return
 	}
-	opts := DefaultOptions()
+	opts := s.options()
 	opts.Prefetcher = pending[0].Prefetcher
 	schemes := make([]string, len(pending))
 	for i, c := range pending {

@@ -37,7 +37,9 @@ type Subsystem interface {
 	Stats() Stats
 }
 
-// Stats are the cumulative demand-access counters of a subsystem.
+// Stats are the cumulative demand-access counters of a subsystem. Under
+// set sampling they cover the sampled constituencies only (Skipped counts
+// the bypassed accesses); every rate derived from them is scale-free.
 type Stats struct {
 	Accesses   uint64
 	Hits       uint64
@@ -45,6 +47,7 @@ type Stats struct {
 	FilterHits uint64
 	L1Hits     uint64
 	VCHits     uint64
+	Skipped    uint64 // demand accesses bypassed by the set-sampling filter
 }
 
 // MissRate returns demand misses per access.
@@ -86,16 +89,32 @@ type Config struct {
 	// with accessIdx values that index this sequence (the CPU front end
 	// does). Optional: without it, consumers fall back to NextUse.
 	NextAt []int64
+	// Sample restricts the complex to the sampled set constituencies
+	// (SDM-style set sampling; zero value = full simulation). Accesses to
+	// non-sampled constituencies bypass every structure with one mask
+	// compare, and the fully-associative structures shared across sets
+	// (i-Filter, victim cache — including the ACIC filter) are scaled to
+	// the sampled traffic fraction so their residency windows match the
+	// full run's (see cache.SampleFilter.ScaleShared).
+	Sample cache.SampleFilter
 }
+
+// DefaultSets and DefaultWays are the paper's 32KB 8-way L1i baseline
+// geometry, shared by every evaluated scheme and by the set-sampling
+// stride arithmetic in the experiment harness.
+const (
+	DefaultSets = 64
+	DefaultWays = 8
+)
 
 // DefaultGeometry fills Sets/Ways with the paper's 32KB 8-way baseline when
 // unset.
 func (c *Config) DefaultGeometry() {
 	if c.Sets == 0 {
-		c.Sets = 64
+		c.Sets = DefaultSets
 	}
 	if c.Ways == 0 {
-		c.Ways = 8
+		c.Ways = DefaultWays
 	}
 }
 
@@ -109,6 +128,7 @@ type Complex struct {
 	vc     *victim.VC
 	oracle func(uint64, int64) int64
 	nextAt []int64
+	sample cache.SampleFilter
 	stats  Stats
 
 	// actx is the reusable per-access context. One access may repopulate
@@ -136,16 +156,23 @@ func New(cfg Config) (*Complex, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Complex{l1: l1, byp: cfg.Bypass, oracle: cfg.NextUse, nextAt: cfg.NextAt, prefFilled: flat.NewTable(64)}
+	c := &Complex{l1: l1, byp: cfg.Bypass, oracle: cfg.NextUse, nextAt: cfg.NextAt,
+		sample: cfg.Sample, prefFilled: flat.NewTable(64)}
 	c.actx.NextUse = cfg.NextUse
+	// The shared fully-associative structures shrink to the sampled traffic
+	// fraction (no-ops when sampling is off) so their residency windows —
+	// measured in arrivals — match the full-size structures under full
+	// traffic.
 	if cfg.ACIC != nil {
-		c.acic = core.New(*cfg.ACIC)
+		cc := *cfg.ACIC
+		cc.FilterSlots = cfg.Sample.ScaleShared(cc.FilterSlots)
+		c.acic = core.New(cc)
 		c.filter = c.acic.Filter
 	} else if cfg.FilterSlots > 0 {
-		c.filter = core.NewIFilter(cfg.FilterSlots)
+		c.filter = core.NewIFilter(cfg.Sample.ScaleShared(cfg.FilterSlots))
 	}
 	if cfg.VictimBlocks > 0 {
-		c.vc = victim.NewVC(cfg.VictimBlocks)
+		c.vc = victim.NewVC(cfg.Sample.ScaleShared(cfg.VictimBlocks))
 	}
 	c.name = cfg.Name
 	if c.name == "" {
@@ -213,8 +240,19 @@ func (c *Complex) demandNext(accessIdx int64) int64 {
 	return c.nextAt[accessIdx]
 }
 
+// SampleFilter returns the constituency filter the complex runs under
+// (the zero filter for a full simulation).
+func (c *Complex) SampleFilter() cache.SampleFilter { return c.sample }
+
 // Fetch implements Subsystem.
 func (c *Complex) Fetch(block uint64, accessIdx, cycle int64) bool {
+	if !c.sample.Sampled(block) {
+		// Non-sampled constituency: presumed hit, no state anywhere in the
+		// complex is touched. One mask compare; the full-simulation filter
+		// matches every block.
+		c.stats.Skipped++
+		return true
+	}
 	c.stats.Accesses++
 	sets := c.l1.Config().Sets
 	set := c.l1.SetIndex(block)
@@ -261,6 +299,9 @@ func (c *Complex) Fetch(block uint64, accessIdx, cycle int64) bool {
 
 // PrefetchFill implements Subsystem.
 func (c *Complex) PrefetchFill(block uint64, accessIdx, cycle int64) {
+	if !c.sample.Sampled(block) {
+		return
+	}
 	if c.Contains(block) {
 		return
 	}
@@ -346,8 +387,12 @@ func (c *Complex) notifyEvict(block uint64) {
 	}
 }
 
-// Contains implements Subsystem.
+// Contains implements Subsystem. Non-sampled blocks are never resident:
+// the complex holds no state for them.
 func (c *Complex) Contains(block uint64) bool {
+	if !c.sample.Sampled(block) {
+		return false
+	}
 	if c.filter != nil && c.filter.Contains(block) {
 		return true
 	}
@@ -359,8 +404,9 @@ func (c *Complex) Stats() Stats { return c.stats }
 
 // VVCAdapter adapts victim.VVC to the Subsystem interface.
 type VVCAdapter struct {
-	V     *victim.VVC
-	stats Stats
+	V      *victim.VVC
+	sample cache.SampleFilter
+	stats  Stats
 }
 
 // NewVVC builds a VVC subsystem with the given geometry.
@@ -368,11 +414,22 @@ func NewVVC(cfg victim.VVCConfig) *VVCAdapter {
 	return &VVCAdapter{V: victim.NewVVC(cfg)}
 }
 
+// NewSampledVVC builds a VVC subsystem restricted to the sampled set
+// constituencies (the VVC's sets are indexed by the same block low bits as
+// the standard complex, so the same constituency filter applies).
+func NewSampledVVC(cfg victim.VVCConfig, sample cache.SampleFilter) *VVCAdapter {
+	return &VVCAdapter{V: victim.NewVVC(cfg), sample: sample}
+}
+
 // Name implements Subsystem.
 func (a *VVCAdapter) Name() string { return "vvc" }
 
 // Fetch implements Subsystem.
 func (a *VVCAdapter) Fetch(block uint64, _, _ int64) bool {
+	if !a.sample.Sampled(block) {
+		a.stats.Skipped++
+		return true
+	}
 	a.stats.Accesses++
 	if a.V.Fetch(block) {
 		a.stats.Hits++
@@ -385,10 +442,17 @@ func (a *VVCAdapter) Fetch(block uint64, _, _ int64) bool {
 
 // PrefetchFill implements Subsystem: VVC fills via its normal path; demand
 // hit/miss statistics are unaffected.
-func (a *VVCAdapter) PrefetchFill(block uint64, _, _ int64) { a.V.Fill(block) }
+func (a *VVCAdapter) PrefetchFill(block uint64, _, _ int64) {
+	if !a.sample.Sampled(block) {
+		return
+	}
+	a.V.Fill(block)
+}
 
 // Contains implements Subsystem.
-func (a *VVCAdapter) Contains(block uint64) bool { return a.V.Contains(block) }
+func (a *VVCAdapter) Contains(block uint64) bool {
+	return a.sample.Sampled(block) && a.V.Contains(block)
+}
 
 // Stats implements Subsystem.
 func (a *VVCAdapter) Stats() Stats { return a.stats }

@@ -19,6 +19,7 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -59,6 +60,25 @@ type Sweep struct {
 	GangNsPerAccess   float64  `json:"gang_ns_per_access"`
 }
 
+// SampledSweep is one set-sampled fast-mode wall-clock measurement: a
+// full scheme row under one prefetcher, timed end to end through the
+// reference path and through the sampled lane (experiments.RunSampled),
+// with the per-cell cycle-count error of the sampled run recorded
+// alongside — the wall-clock claim and the accuracy claim travel
+// together in the trajectory file.
+type SampledSweep struct {
+	App               string   `json:"app"`
+	Prefetcher        string   `json:"prefetcher"`
+	Schemes           []string `json:"schemes"`
+	SampleSets        int      `json:"sample_sets"`
+	Runs              int      `json:"runs"` // repetitions per path; best kept
+	FullWallNs        int64    `json:"full_wall_ns"`
+	SampledWallNs     int64    `json:"sampled_wall_ns"`
+	Speedup           float64  `json:"sampled_speedup"`
+	MeanCyclesErrPct  float64  `json:"mean_cycles_err_pct"`
+	WorstCyclesErrPct float64  `json:"worst_cycles_err_pct"`
+}
+
 // Report is the serialized benchmark trajectory for one tree state.
 type Report struct {
 	GoVersion string `json:"go_version"`
@@ -74,6 +94,7 @@ type Report struct {
 	PrepareStages []experiments.StageStats `json:"prepare_stages,omitempty"`
 	Cells         []Cell                   `json:"cells"`
 	Sweeps        []Sweep                  `json:"gang_sweeps,omitempty"`
+	SampledSweeps []SampledSweep           `json:"sampled_sweeps,omitempty"`
 }
 
 // Config selects the measurement grid.
@@ -84,6 +105,7 @@ type Config struct {
 	Prefetchers []string // prefetcher platforms (default {"none", "fdp"})
 	Repeats     int      // timed repetitions per cell, best kept (default 3)
 	GangSize    int      // schemes per gang in the sweep (0 = all; < 0 skips sweeps)
+	SampleSets  int      // also measure set-sampled sweeps at this -sample-sets (0 = skip)
 	ArtifactDir string   // persistent workload artifact store ("" = prepare in memory)
 }
 
@@ -163,7 +185,80 @@ func Measure(cfg Config) (*Report, error) {
 			rep.Sweeps = append(rep.Sweeps, sweep)
 		}
 	}
+	if cfg.SampleSets > 0 {
+		for _, pf := range cfg.Prefetchers {
+			sweep, err := measureSampledSweep(w, cfg, pf)
+			if err != nil {
+				return nil, fmt.Errorf("perf: sampled sweep %s: %w", pf, err)
+			}
+			rep.SampledSweeps = append(rep.SampledSweeps, sweep)
+		}
+	}
 	return rep, nil
+}
+
+// measureSampledSweep times one full scheme row through the reference
+// path and through the set-sampled fast lane (best of Repeats each) and
+// records the sampled run's per-cell cycle errors against the reference
+// results.
+func measureSampledSweep(w *experiments.Workload, cfg Config, pf string) (SampledSweep, error) {
+	opts := experiments.DefaultOptions()
+	opts.Prefetcher = pf
+
+	var fullRes []cpu.Result
+	var fullBest time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		res := make([]cpu.Result, len(cfg.Schemes))
+		start := time.Now()
+		for i, scheme := range cfg.Schemes {
+			var err error
+			if res[i], err = experiments.RunSampled(w, scheme, 0, opts); err != nil {
+				return SampledSweep{}, err
+			}
+		}
+		if elapsed := time.Since(start); fullBest == 0 || elapsed < fullBest {
+			fullBest = elapsed
+			fullRes = res
+		}
+	}
+
+	var sampRes []cpu.Result
+	var sampBest time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		res := make([]cpu.Result, len(cfg.Schemes))
+		start := time.Now()
+		for i, scheme := range cfg.Schemes {
+			var err error
+			if res[i], err = experiments.RunSampled(w, scheme, cfg.SampleSets, opts); err != nil {
+				return SampledSweep{}, err
+			}
+		}
+		if elapsed := time.Since(start); sampBest == 0 || elapsed < sampBest {
+			sampBest = elapsed
+			sampRes = res
+		}
+	}
+
+	var sum, worst float64
+	for i := range fullRes {
+		err := 100 * math.Abs(float64(sampRes[i].Cycles)/float64(fullRes[i].Cycles)-1)
+		sum += err
+		if err > worst {
+			worst = err
+		}
+	}
+	return SampledSweep{
+		App:               cfg.App,
+		Prefetcher:        pf,
+		Schemes:           cfg.Schemes,
+		SampleSets:        cfg.SampleSets,
+		Runs:              cfg.Repeats,
+		FullWallNs:        fullBest.Nanoseconds(),
+		SampledWallNs:     sampBest.Nanoseconds(),
+		Speedup:           float64(fullBest.Nanoseconds()) / float64(sampBest.Nanoseconds()),
+		MeanCyclesErrPct:  sum / float64(len(fullRes)),
+		WorstCyclesErrPct: worst,
+	}, nil
 }
 
 // measureSweep times one full scheme row two ways — the per-scheme path
@@ -326,6 +421,24 @@ func (r *Report) PrepareSummary() string {
 	}
 	return fmt.Sprintf("prepare phase: %.1fms (%d stage artifacts regenerated, %d from store)",
 		float64(r.PrepareWallNs)/1e6, computed, loaded)
+}
+
+// SampledSweepTable renders the set-sampled fast-mode sweep measurements
+// (nil when none were run).
+func (r *Report) SampledSweepTable() *stats.Table {
+	if len(r.SampledSweeps) == 0 {
+		return nil
+	}
+	t := &stats.Table{Header: []string{
+		"prefetcher", "schemes", "sample-sets", "full-ms", "sampled-ms", "speedup", "cycles-err mean/worst"}}
+	for _, s := range r.SampledSweeps {
+		t.AddRow(s.Prefetcher, len(s.Schemes), s.SampleSets,
+			fmt.Sprintf("%.1f", float64(s.FullWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.SampledWallNs)/1e6),
+			fmt.Sprintf("%.2fx", s.Speedup),
+			fmt.Sprintf("%.2f%% / %.2f%%", s.MeanCyclesErrPct, s.WorstCyclesErrPct))
+	}
+	return t
 }
 
 // SweepTable renders the gang-sweep measurements (nil when none were run).

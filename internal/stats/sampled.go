@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampledError is the error-bar report of the set-sampled fast mode: it
+// accumulates one metric's sampled-vs-full pairs per evaluation cell and
+// renders the per-cell relative errors plus the aggregate bars that
+// DESIGN.md §10 documents. `acic-bench -sample-validate` builds one per
+// metric over the evaluation grid.
+type SampledError struct {
+	Metric string
+	cells  []sampledErrCell
+}
+
+type sampledErrCell struct {
+	label         string
+	full, sampled float64
+}
+
+// NewSampledError creates an empty report for the named metric.
+func NewSampledError(metric string) *SampledError {
+	return &SampledError{Metric: metric}
+}
+
+// Add records one cell's reference (full-run) and sampled values.
+func (e *SampledError) Add(label string, full, sampled float64) {
+	e.cells = append(e.cells, sampledErrCell{label: label, full: full, sampled: sampled})
+}
+
+// Len returns the number of recorded cells.
+func (e *SampledError) Len() int { return len(e.cells) }
+
+// errPct returns the signed relative error of one cell in percent. A zero
+// reference with a zero sampled value is exact; a zero reference with a
+// non-zero sampled value counts as 100%.
+func (c sampledErrCell) errPct() float64 {
+	if c.full == 0 {
+		if c.sampled == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (c.sampled - c.full) / c.full
+}
+
+// MeanAbsPct returns the mean absolute relative error in percent.
+func (e *SampledError) MeanAbsPct() float64 {
+	if len(e.cells) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range e.cells {
+		sum += math.Abs(c.errPct())
+	}
+	return sum / float64(len(e.cells))
+}
+
+// MaxAbsPct returns the worst absolute relative error in percent.
+func (e *SampledError) MaxAbsPct() float64 {
+	_, pct := e.Worst()
+	return pct
+}
+
+// Worst returns the label and absolute relative error (percent) of the
+// worst cell ("" and 0 when empty).
+func (e *SampledError) Worst() (label string, absPct float64) {
+	for _, c := range e.cells {
+		if p := math.Abs(c.errPct()); p >= absPct {
+			label, absPct = c.label, p
+		}
+	}
+	return label, absPct
+}
+
+// Table renders the per-cell report: label, full value, sampled value,
+// and signed relative error.
+func (e *SampledError) Table() *Table {
+	t := &Table{Header: []string{"cell", "full " + e.Metric, "sampled " + e.Metric, "err%"}}
+	for _, c := range e.cells {
+		t.AddRow(c.label, fmt.Sprintf("%.4g", c.full), fmt.Sprintf("%.4g", c.sampled),
+			fmt.Sprintf("%+.2f", c.errPct()))
+	}
+	return t
+}
+
+// Summary renders the aggregate error bar as one line.
+func (e *SampledError) Summary() string {
+	label, worst := e.Worst()
+	return fmt.Sprintf("%s: mean |err| %.2f%%, worst |err| %.2f%% (%s) over %d cells",
+		e.Metric, e.MeanAbsPct(), worst, label, len(e.cells))
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSampledErrorAggregates(t *testing.T) {
+	e := NewSampledError("cycles")
+	if e.MeanAbsPct() != 0 || e.MaxAbsPct() != 0 {
+		t.Fatal("empty report has non-zero error bars")
+	}
+	e.Add("a/lru", 100, 110)  // +10%
+	e.Add("b/opt", 200, 190)  // -5%
+	e.Add("c/acic", 400, 400) // exact
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", e.Len())
+	}
+	if got := e.MeanAbsPct(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("MeanAbsPct = %g, want 5", got)
+	}
+	label, worst := e.Worst()
+	if label != "a/lru" || math.Abs(worst-10) > 1e-9 {
+		t.Fatalf("Worst = (%s, %g), want (a/lru, 10)", label, worst)
+	}
+}
+
+func TestSampledErrorZeroReference(t *testing.T) {
+	e := NewSampledError("MPKI")
+	e.Add("zero/zero", 0, 0)
+	if e.MaxAbsPct() != 0 {
+		t.Fatalf("0 vs 0 counts as error: %g", e.MaxAbsPct())
+	}
+	e.Add("zero/some", 0, 3)
+	if e.MaxAbsPct() != 100 {
+		t.Fatalf("0 vs non-zero error = %g, want 100", e.MaxAbsPct())
+	}
+}
+
+func TestSampledErrorRendering(t *testing.T) {
+	e := NewSampledError("speedup")
+	e.Add("app/scheme", 1.25, 1.20)
+	tbl := e.Table().String()
+	for _, want := range []string{"app/scheme", "full speedup", "sampled speedup", "-4.00"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	sum := e.Summary()
+	for _, want := range []string{"speedup", "worst", "1 cells"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q: %s", want, sum)
+		}
+	}
+}

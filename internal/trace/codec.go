@@ -224,46 +224,58 @@ func EncodeInsts(insts []Inst) []byte {
 	return out
 }
 
-// DecodeInsts decodes an SecInsts payload.
+// DecodeInsts decodes an SecInsts payload. Records are decoded with
+// index-based varint reads over the raw payload — the decoder runs once
+// per workload artifact load on the warm-start path, and a per-byte
+// reader interface there costs more than the arithmetic it feeds.
 func DecodeInsts(data []byte) ([]Inst, error) {
-	br := bytes.NewReader(data)
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: instruction count: %v", ErrBadFormat, err)
+	pos := 0
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	count, ok := uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: instruction count: truncated varint", ErrBadFormat)
 	}
 	// Every record consumes at least one payload byte, so a count beyond
 	// the remaining bytes is corrupt — reject it before allocating.
-	if count > uint64(br.Len()) {
-		return nil, fmt.Errorf("%w: instruction count %d exceeds %d payload bytes", ErrBadFormat, count, br.Len())
+	if count > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("%w: instruction count %d exceeds %d payload bytes", ErrBadFormat, count, len(data)-pos)
 	}
 	insts := make([]Inst, 0, count)
 	var prevPC uint64
 	for i := uint64(0); i < count; i++ {
-		d, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		d, ok := uvarint()
+		if !ok {
+			return nil, fmt.Errorf("%w: record %d: truncated varint", ErrBadFormat, i)
 		}
 		pc := prevPC + uint64(unzigzag(d))
 		prevPC = pc
-		flags, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: record %d: truncated flags", ErrBadFormat, i)
 		}
+		flags := data[pos]
+		pos++
 		in := Inst{PC: pc, Class: Class(flags & 0x7f), Taken: flags&0x80 != 0}
 		if in.Class >= numClasses {
 			return nil, fmt.Errorf("%w: record %d: bad class %d", ErrBadFormat, i, in.Class)
 		}
 		if in.Class.IsBranch() {
-			td, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: record %d target: %v", ErrBadFormat, i, err)
+			td, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("%w: record %d target: truncated varint", ErrBadFormat, i)
 			}
 			in.Target = pc + uint64(unzigzag(td))
 		}
 		if in.Class.IsMem() {
-			a, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: record %d memaddr: %v", ErrBadFormat, i, err)
+			a, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("%w: record %d memaddr: truncated varint", ErrBadFormat, i)
 			}
 			in.MemAddr = a
 		}
