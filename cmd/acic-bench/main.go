@@ -4,10 +4,11 @@
 // against the published values.
 //
 // Experiments plan their simulation cells up front and execute them on a
-// worker pool (one worker per core by default); same-(app, prefetcher)
-// cells are additionally grouped into gang simulations — one Program
-// traversal driving a whole scheme row — when the trace is long enough
-// for the shared traversal to pay (-gang on|off|auto and -gang-size;
+// worker pool (one worker per core by default); same-app cells — across
+// prefetcher platforms — are additionally grouped into gang simulations,
+// one Program traversal driving a whole scheme × prefetcher row, when the
+// trace is long enough for the shared traversal to pay (-gang on|off|auto,
+// -gang-size, and -gang-window auto|default|N for the traversal window;
 // output is byte-identical in every mode). With -cache-dir (or
 // ACIC_CACHE_DIR) results persist on disk keyed by workload/trace-length/
 // scheme/prefetcher, making reruns incremental; with -artifact-dir (or
@@ -190,9 +191,11 @@ func runSampleValidate(sim *cliutil.SimFlags, n int, apps string, errPct float64
 		s := experiments.NewSuite(n)
 		s.Workers = sim.Workers
 		s.GangSize = sim.SuiteGangSize(s.N)
+		s.GangWindow, _ = sim.ResolveGangWindow() // validated by main
 		s.ArtifactDir = artifactDir
 		if sampled {
 			s.SampleSets = sampleSets
+			s.SampleOffset = sim.SampleOffset
 		}
 		if apps != "" {
 			s.Apps = strings.Split(apps, ",")
@@ -369,16 +372,27 @@ func main() {
 		}
 		c := perf.Compare(oldRep, newRep)
 		fmt.Printf("=== bench comparison: %s -> new\n%s%s\n", *compare, c.Table(), c.Summary())
+		// A cell present on only one side is a broken comparison, not a
+		// zero-delta row: under an enforcing -regress-pct it is an error
+		// (a renamed or dropped cell would otherwise dodge the gate).
+		// Negative -regress-pct keeps the informational mode used when
+		// diffing against historical baselines with different cell sets.
 		for _, only := range c.OnlyOld {
 			fmt.Printf("only in baseline: %s\n", only)
 		}
 		for _, only := range c.OnlyNew {
 			fmt.Printf("only in new: %s\n", only)
 		}
-		if *regressPct >= 0 && c.WorstPct() > *regressPct {
-			fmt.Fprintf(os.Stderr, "acic-bench: throughput regression: worst cell %+.1f%% exceeds -regress-pct %.1f\n",
-				c.WorstPct(), *regressPct)
-			os.Exit(1)
+		if *regressPct >= 0 {
+			if err := c.MissingCells(); err != nil {
+				fmt.Fprintf(os.Stderr, "acic-bench: -compare: %v\n", err)
+				os.Exit(1)
+			}
+			if c.WorstPct() > *regressPct {
+				fmt.Fprintf(os.Stderr, "acic-bench: throughput regression: worst cell %+.1f%% exceeds -regress-pct %.1f\n",
+					c.WorstPct(), *regressPct)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -405,6 +419,7 @@ func main() {
 		if !*benchSweeps {
 			cfg.GangSize = -1
 		}
+		cfg.GangWindow, _ = sim.ResolveGangWindow() // validated above
 		rep, err := perf.Measure(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
@@ -421,6 +436,9 @@ func main() {
 		}
 		if st := rep.SampledSweepTable(); st != nil {
 			fmt.Printf("=== sampled sweeps: full vs set-sampled wall-clock per scheme row (best of %d)\n%s", *benchRepeats, st)
+		}
+		if st := rep.CrossSweepTable(); st != nil {
+			fmt.Printf("=== cross-prefetcher sweeps: serial vs gang (fixed / auto window) wall-clock per row (best of %d)\n%s", *benchRepeats, st)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 		// Finish the profiles before the comparison: its regression gate
@@ -477,9 +495,11 @@ func main() {
 	suite := experiments.NewSuite(*n)
 	suite.Workers = sim.Workers
 	suite.GangSize = sim.SuiteGangSize(suite.N)
+	suite.GangWindow, _ = sim.ResolveGangWindow() // validated above
 	suite.CacheDir = *cacheDir
 	suite.ArtifactDir = sim.ArtifactDir
 	suite.SampleSets = sampleSets
+	suite.SampleOffset = sim.SampleOffset
 	if sampleSets > 0 {
 		fmt.Printf("set-sampled fast mode: %d of %d L1i sets; statistics extrapolated (error bars: DESIGN.md §10, acic-bench -sample-validate)\n",
 			sampleSets, cliutil.DefaultL1Sets)
@@ -516,6 +536,10 @@ func main() {
 		for _, st := range suite.PrepareStats() {
 			fmt.Fprintf(os.Stderr, "prepare %-8s %d regenerated, %d from artifact store\n",
 				st.Stage, st.Computed, st.FromStore)
+		}
+		if gs := suite.GangStats(); gs.Gangs > 0 {
+			fmt.Fprintf(os.Stderr, "gangs: %d runs covering %d cells (%d cross-prefetcher), max width %d, window %d\n",
+				gs.Gangs, gs.Cells, gs.Mixed, gs.MaxWidth, gs.Window)
 		}
 	}
 	stopCPUProfile()

@@ -99,12 +99,15 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if opts.Sample, err = experiments.SampleConfigForSets(sampleSets); err != nil {
+	if opts.Sample, err = experiments.SampleConfigFor(sampleSets, sim.SampleOffset, *name); err != nil {
+		fail("%v", err)
+	}
+	if opts.GangWindow, err = sim.ResolveGangWindow(); err != nil {
 		fail("%v", err)
 	}
 	if opts.Sample.Enabled() {
-		fmt.Printf("set-sampled fast mode: %d of %d sets (stride %d); misses and stalls extrapolated, see DESIGN.md §10 for error bars\n",
-			sampleSets, cliutil.DefaultL1Sets, opts.Sample.Stride)
+		fmt.Printf("set-sampled fast mode: %d of %d sets (stride %d, constituency %d); misses and stalls extrapolated, see DESIGN.md §10 for error bars\n",
+			sampleSets, cliutil.DefaultL1Sets, opts.Sample.Stride, opts.Sample.Offset)
 	}
 
 	var order []string

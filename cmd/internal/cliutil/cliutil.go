@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 )
 
 // GangAutoThreshold is the trace length from which the gang's shared
@@ -20,14 +21,21 @@ const GangAutoThreshold = 1_000_000
 // icache.DefaultSets without pulling the simulator into the flag layer).
 const DefaultL1Sets = 64
 
+// AutoGangWindow is the ResolveGangWindow value selecting the measured
+// adaptive window (mirrors experiments.AutoGangWindow without pulling the
+// simulator into the flag layer).
+const AutoGangWindow = -1
+
 // SimFlags are the shared engine/storage knobs after parsing.
 type SimFlags struct {
 	Workers      int
 	Gang         string
 	GangSize     int
+	GangWindow   string
 	ArtifactDir  string
 	SampleSets   int
 	SampleStride int
+	SampleOffset int
 }
 
 // RegisterSim declares the shared simulation flags on fs (usually
@@ -38,8 +46,10 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	fs.IntVar(&f.Workers, "workers", 0, "simulation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
 	fs.StringVar(&f.Gang, "gang", "auto", "group cells that share a workload into gang simulations — one Program traversal per gang: on, off, or auto (gang from 1M instructions, where the shared traversal measurably pays; output is byte-identical either way)")
 	fs.IntVar(&f.GangSize, "gang-size", 10, "max schemes per gang task (with -gang)")
+	fs.StringVar(&f.GangWindow, "gang-window", "auto", "gang traversal window in instructions: auto derives it from measured member footprints against the host cache budget (ACIC_LLC_BYTES overrides detection), default runs the fixed heuristic, any positive count pins it; affects only throughput, never results")
 	fs.IntVar(&f.SampleSets, "sample-sets", 0, "set-sampled fast mode: simulate only this many of the 64 L1i sets (SDM-style sampling, statistics extrapolated; power of two; 0 = full simulation, the byte-identical reference)")
 	fs.IntVar(&f.SampleStride, "sample-stride", 0, "set-sampled fast mode by stride: simulate one in this many set constituencies (equivalent to -sample-sets 64/stride; 0 = full simulation)")
+	fs.IntVar(&f.SampleOffset, "sample-offset", 0, "sampled set constituency to simulate, in [1,stride) (with -sample-sets/-sample-stride; 0 = derive per workload from the trace digest — constituency 0 is alignment-biased and never used)")
 	RegisterArtifactDir(fs, &f.ArtifactDir)
 	return f
 }
@@ -79,13 +89,37 @@ func RegisterArtifactDir(fs *flag.FlagSet, dst *string) {
 		"persistent workload artifact store: prepared traces, annotated programs, successor arrays, and data-latency timelines are written once and reused by every later run (empty = disabled)")
 }
 
+// ResolveGangWindow reduces the -gang-window spelling to the
+// experiments.Options.GangWindow encoding: AutoGangWindow (-1) for
+// "auto", 0 for "default", or the pinned positive instruction count.
+func (f *SimFlags) ResolveGangWindow() (int, error) {
+	switch f.GangWindow {
+	case "auto", "":
+		return AutoGangWindow, nil
+	case "default":
+		return 0, nil
+	}
+	n, err := strconv.Atoi(f.GangWindow)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("-gang-window must be auto, default, or a positive instruction count (got %q)", f.GangWindow)
+	}
+	return n, nil
+}
+
 // Validate checks the parsed flag values.
 func (f *SimFlags) Validate() error {
 	switch f.Gang {
 	case "on", "off", "auto":
-		return nil
+	default:
+		return fmt.Errorf("-gang must be on, off, or auto (got %q)", f.Gang)
 	}
-	return fmt.Errorf("-gang must be on, off, or auto (got %q)", f.Gang)
+	if _, err := f.ResolveGangWindow(); err != nil {
+		return err
+	}
+	if f.SampleOffset < 0 {
+		return fmt.Errorf("-sample-offset must be >= 0, got %d", f.SampleOffset)
+	}
+	return nil
 }
 
 // GangEnabled resolves the three-state -gang flag against the trace

@@ -41,6 +41,66 @@ type GangMember struct {
 // that per-member suspend/resume cost vanishes. Results never depend on it.
 const DefaultGangWindow = 8192
 
+// MaxGangWindow caps the derived traversal window (AutoGangWindow). Beyond
+// one million instructions a window exceeds most evaluated trace lengths,
+// at which point rotation — and thus the window — stops mattering.
+const MaxGangWindow = 1 << 20
+
+// AutoGangWindow derives a traversal window from measured sizes instead of
+// the fixed DefaultGangWindow heuristic. Out of budgetBytes of host cache
+// (the effective LLC), members × perMemberBytes is claimed by the gang's
+// per-member state — every member's hierarchy and subsystem arrays are
+// touched each rotation — and the remainder bounds the shared window
+// slice (bytesPerInstr of program arrays per instruction, measured by
+// Program.GangBytesPerInstr). A larger window amortizes the per-rotation
+// refault of member state, so the derivation picks the largest window
+// whose slice still fits: (budget − members·perMember) / bytesPerInstr,
+// clamped to [DefaultGangWindow, MaxGangWindow] and rounded down to a
+// power of two. The floor at DefaultGangWindow means the derived window is
+// never more rotation-heavy than the fixed heuristic; when member state
+// alone overflows the budget, the floor is returned. Like every window,
+// the result affects only host-cache behavior, never simulation results.
+func AutoGangWindow(budgetBytes, perMemberBytes int64, members, bytesPerInstr int) int {
+	if bytesPerInstr < 1 {
+		bytesPerInstr = 1
+	}
+	w := (budgetBytes - int64(members)*perMemberBytes) / int64(bytesPerInstr)
+	if w <= DefaultGangWindow {
+		return DefaultGangWindow
+	}
+	if w > MaxGangWindow {
+		w = MaxGangWindow
+	}
+	p := int64(DefaultGangWindow)
+	for p<<1 <= w {
+		p <<= 1
+	}
+	return int(p)
+}
+
+// GangBytesPerInstr measures the bytes of shared program arrays a gang
+// traversal touches per instruction: the descriptor and data-block arrays,
+// the collapsed block-access sequence, the run-ahead event bitmap, and the
+// data-latency timeline (counted at its final size even before
+// EnsureDataLatencies materializes it). AutoGangWindow uses this to size
+// the window slice against the host cache budget.
+func (p *Program) GangBytesPerInstr() int {
+	n := int64(p.Len())
+	if n == 0 {
+		return 1
+	}
+	bytes := int64(len(p.Desc)) +
+		8*int64(len(p.MemBlk)) +
+		8*int64(len(p.Blocks)) +
+		8*int64(len(p.runEvents)) +
+		2*n // DataLat: one int16 per instruction once materialized
+	per := bytes / n
+	if per < 1 {
+		per = 1
+	}
+	return int(per)
+}
+
 // Gang advances N independent scheme simulations through one traversal of
 // a shared Program. Build with NewGang, run with Run.
 type Gang struct {
@@ -72,6 +132,10 @@ func NewGang(prog *Program, members []GangMember, window int) *Gang {
 
 // Members returns the number of simulations in the gang.
 func (g *Gang) Members() int { return len(g.sims) }
+
+// Window returns the traversal window the gang runs under (after default
+// substitution), in instructions.
+func (g *Gang) Window() int { return g.window }
 
 // advance runs every unfinished member up to the fetch bound and returns
 // how many are still running. It is the steady-state unit of gang

@@ -8,6 +8,7 @@ import (
 	"acic/internal/icache"
 	"acic/internal/mem"
 	"acic/internal/policy"
+	"acic/internal/prefetch"
 	"acic/internal/trace"
 	"acic/internal/workload"
 )
@@ -81,6 +82,95 @@ func TestGangHeterogeneousConfigs(t *testing.T) {
 	}
 	if got[1] != wantOff {
 		t.Errorf("FDP-off member diverged: %+v != %+v", got[1], wantOff)
+	}
+}
+
+// TestGangHeterogeneousPrefetchers mixes prefetcher platforms in one gang
+// — FDP, no prefetching, next-line, and entangling — at several windows;
+// every member must match its serial twin bit for bit. This is the
+// cpu-level soundness fact behind cross-prefetcher gang rows: the shared
+// Program and data-latency timeline are prefetcher-independent, all
+// prefetcher-touched state is per-member.
+func TestGangHeterogeneousPrefetchers(t *testing.T) {
+	prof, _ := workload.ByName("web-search")
+	tr := workload.Generate(prof, 50_000)
+	prog := NewProgram(tr, branch.NewFrontEnd().Annotate(tr))
+
+	cfgs := []func() Config{
+		func() Config { return DefaultConfig() }, // FDP
+		func() Config { c := DefaultConfig(); c.UseFDP = false; return c },
+		func() Config {
+			c := DefaultConfig()
+			c.UseFDP = false
+			c.Extra = prefetch.NewNextLine(1)
+			return c
+		},
+		func() Config {
+			c := DefaultConfig()
+			c.UseFDP = false
+			c.Extra = prefetch.NewEntangling(prefetch.DefaultEntanglingConfig())
+			return c
+		},
+	}
+	want := make([]Result, len(cfgs))
+	for i, mk := range cfgs {
+		want[i] = NewSimulator(mk(), prog, gangTestSubs()[0], mem.New(mem.DefaultConfig())).Run(5000)
+	}
+	for _, window := range []int{1, 1024, DefaultGangWindow, MaxGangWindow} {
+		hiers := mem.NewGang(mem.DefaultConfig(), len(cfgs))
+		members := make([]GangMember, len(cfgs))
+		for i, mk := range cfgs {
+			// Configs are rebuilt per gang: Extra prefetchers are stateful
+			// and must be private to one simulation.
+			members[i] = GangMember{Cfg: mk(), Sub: gangTestSubs()[0], Hier: hiers[i]}
+		}
+		got := NewGang(prog, members, window).Run(5000)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("window %d member %d: gang %+v != serial %+v", window, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAutoGangWindow pins the measured-window rule on representative
+// budgets: a small budget (or one consumed by member state) floors at the
+// fixed heuristic, a huge budget caps at MaxGangWindow, and a mid-range
+// budget lands on the power-of-two floor of the byte arithmetic.
+func TestAutoGangWindow(t *testing.T) {
+	cases := []struct {
+		name         string
+		budget, per  int64
+		members, bpi int
+		want         int
+	}{
+		{"small budget floors", 8 << 20, 1 << 20, 10, 26, DefaultGangWindow},
+		{"member state overflows budget", 4 << 20, 1 << 20, 10, 26, DefaultGangWindow},
+		{"huge budget caps", 1 << 30, 1 << 20, 10, 26, MaxGangWindow},
+		// (16M - 6M) / 16 = 655360 -> pow2 floor 524288.
+		{"mid budget pow2 floor", 16 << 20, 1 << 20, 6, 16, 524288},
+		{"zero bytes-per-instr clamps", 64 << 20, 1 << 20, 2, 0, MaxGangWindow},
+	}
+	for _, c := range cases {
+		if got := AutoGangWindow(c.budget, c.per, c.members, c.bpi); got != c.want {
+			t.Errorf("%s: AutoGangWindow(%d, %d, %d, %d) = %d, want %d",
+				c.name, c.budget, c.per, c.members, c.bpi, got, c.want)
+		}
+	}
+}
+
+// TestGangBytesPerInstr sanity-bounds the measured per-instruction byte
+// cost of a real program: at least the descriptor byte plus the timeline's
+// int16, and nowhere near the pathological.
+func TestGangBytesPerInstr(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	tr := workload.Generate(prof, 30_000)
+	prog := NewProgram(tr, branch.NewFrontEnd().Annotate(tr))
+	if got := prog.GangBytesPerInstr(); got < 3 || got > 64 {
+		t.Errorf("GangBytesPerInstr() = %d, want a few tens of bytes", got)
+	}
+	if got := NewProgram(&trace.Trace{}, nil).GangBytesPerInstr(); got != 1 {
+		t.Errorf("empty program GangBytesPerInstr() = %d, want 1", got)
 	}
 }
 

@@ -38,8 +38,8 @@ func AblationCSHRDefault(s *Suite) (*stats.Table, error) {
 		w := s.wl(app)
 		cc := core.DefaultConfig()
 		cc.EvictTrain = m.mode
-		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
-		res, err := RunSubsystem(w, sub, s.options())
+		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter(app)})
+		res, err := RunSubsystem(w, sub, s.options(app))
 		if err != nil {
 			return err
 		}

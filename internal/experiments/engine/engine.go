@@ -36,7 +36,8 @@ func Workers() int {
 // Pool bounds the number of concurrently running tasks. The zero value is
 // not usable; construct with NewPool.
 type Pool struct {
-	slots chan struct{}
+	slots   chan struct{}
+	running atomic.Int64
 }
 
 // NewPool creates a pool running at most workers tasks at once
@@ -51,6 +52,36 @@ func NewPool(workers int) *Pool {
 // Width returns the pool's concurrency bound.
 func (p *Pool) Width() int { return cap(p.slots) }
 
+// acquire blocks until a slot frees and counts the task as running;
+// release undoes both. Every slot user goes through this pair so the
+// occupancy counters stay exact.
+func (p *Pool) acquire() {
+	p.slots <- struct{}{}
+	p.running.Add(1)
+}
+
+func (p *Pool) release() {
+	p.running.Add(-1)
+	<-p.slots
+}
+
+// Running returns the number of tasks currently occupying slots. It is a
+// point-in-time snapshot — scheduling advice, not a synchronization
+// primitive.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Idle returns how many slots are currently free (Width − Running, floored
+// at zero). Batch packers use it to decide how many tasks a submission
+// should split into: with idle workers available, narrower-but-more tasks
+// fill the pool; with the pool saturated, wider tasks amortize better.
+func (p *Pool) Idle() int {
+	idle := p.Width() - p.Running()
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
 // Go starts fn as one pool task, blocking the caller until a slot frees
 // (the same submitter backpressure as Each and Require) and returning as
 // soon as the task is launched. Completion is observed through whatever fn
@@ -58,9 +89,9 @@ func (p *Pool) Width() int { return cap(p.slots) }
 // done channels the eventual Require waits on. Like Each, Go must not be
 // called from inside a pool task.
 func (p *Pool) Go(fn func()) {
-	p.slots <- struct{}{}
+	p.acquire()
 	go func() {
-		defer func() { <-p.slots }()
+		defer p.release()
 		fn()
 	}()
 }
@@ -74,10 +105,10 @@ func (p *Pool) Each(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		p.slots <- struct{}{}
+		p.acquire()
 		go func(i int) {
 			defer wg.Done()
-			defer func() { <-p.slots }()
+			defer p.release()
 			errs[i] = fn(i)
 		}(i)
 	}
@@ -210,10 +241,10 @@ func (g *Group[K, V]) Require(keys ...K) error {
 			continue
 		}
 		wg.Add(1)
-		g.pool.slots <- struct{}{} // backpressure on the submitter
+		g.pool.acquire() // backpressure on the submitter
 		go func(k K, c *cell[V]) {
 			defer wg.Done()
-			defer func() { <-g.pool.slots }()
+			defer g.pool.release()
 			// A Get may have help-run the cell while this task was
 			// queued; losing the CAS means there is nothing left to do.
 			if c.started.CompareAndSwap(false, true) {

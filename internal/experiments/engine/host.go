@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Host cache-budget detection. Adaptive gang windows (experiments
+// gang scheduling, cpu.AutoGangWindow) size the shared traversal slice
+// against the host's last-level cache; this file answers "how big is it"
+// the same way Workers answers "how wide is the host" — an environment
+// override first, then a platform probe, then a safe default.
+
+// DefaultLLCBytes is the budget assumed when the host's last-level cache
+// size cannot be detected: 32 MiB, a mid-range server LLC.
+const DefaultLLCBytes int64 = 32 << 20
+
+// LLCBytes returns the host cache budget in bytes: the ACIC_LLC_BYTES
+// environment variable when set (plain bytes or a K/M/G-suffixed size),
+// else the largest cache level sysfs reports for cpu0, else
+// DefaultLLCBytes.
+func LLCBytes() int64 {
+	if s := os.Getenv("ACIC_LLC_BYTES"); s != "" {
+		if n, ok := parseSize(s); ok {
+			return n
+		}
+	}
+	if n := sysfsLLCBytes(); n > 0 {
+		return n
+	}
+	return DefaultLLCBytes
+}
+
+// sysfsLLCBytes probes /sys/devices/system/cpu/cpu0/cache once per
+// process; the hardware does not change under us.
+var sysfsLLCBytes = sync.OnceValue(func() int64 {
+	paths, err := filepath.Glob("/sys/devices/system/cpu/cpu0/cache/index*/size")
+	if err != nil {
+		return 0
+	}
+	var best int64
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		if n, ok := parseSize(string(b)); ok && n > best {
+			best = n
+		}
+	}
+	return best
+})
+
+// parseSize parses a byte count with an optional K/M/G suffix (the sysfs
+// cache-size format, e.g. "32768K").
+func parseSize(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n * mult, true
+}

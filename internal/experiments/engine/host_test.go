@@ -1,0 +1,51 @@
+package engine
+
+import "testing"
+
+// TestParseSize covers the sysfs/env size grammar: plain bytes, K/M/G
+// suffixes, surrounding whitespace, and the rejects.
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"32768", 32768, true},
+		{"32768K", 32 << 20, true},
+		{"48M", 48 << 20, true},
+		{"2G", 2 << 30, true},
+		{" 512K\n", 512 << 10, true}, // sysfs values end in a newline
+		{"", 0, false},
+		{"0", 0, false},
+		{"-4K", 0, false},
+		{"1.5M", 0, false},
+		{"K", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseSize(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestLLCBytesEnvOverride: ACIC_LLC_BYTES wins over detection, a
+// malformed value falls through to it, and the answer is always positive.
+func TestLLCBytesEnvOverride(t *testing.T) {
+	t.Setenv("ACIC_LLC_BYTES", "8M")
+	if got := LLCBytes(); got != 8<<20 {
+		t.Errorf("LLCBytes() = %d under ACIC_LLC_BYTES=8M, want %d", got, 8<<20)
+	}
+	t.Setenv("ACIC_LLC_BYTES", "123456")
+	if got := LLCBytes(); got != 123456 {
+		t.Errorf("LLCBytes() = %d under ACIC_LLC_BYTES=123456", got)
+	}
+	t.Setenv("ACIC_LLC_BYTES", "not-a-size")
+	if got := LLCBytes(); got <= 0 {
+		t.Errorf("LLCBytes() = %d with a malformed override, want a positive fallback", got)
+	}
+	t.Setenv("ACIC_LLC_BYTES", "")
+	if got := LLCBytes(); got <= 0 {
+		t.Errorf("LLCBytes() = %d without an override, want a positive budget", got)
+	}
+}

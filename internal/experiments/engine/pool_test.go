@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolOccupancy pins the Running/Idle counters batch packers plan
+// against: an empty pool is fully idle, every held slot moves one unit
+// from Idle to Running, and drained tasks return it.
+func TestPoolOccupancy(t *testing.T) {
+	p := NewPool(4)
+	if p.Width() != 4 || p.Running() != 0 || p.Idle() != 4 {
+		t.Fatalf("fresh pool: width %d running %d idle %d", p.Width(), p.Running(), p.Idle())
+	}
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		p.Go(func() {
+			defer wg.Done()
+			started <- struct{}{}
+			<-hold
+		})
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	if p.Running() != 3 || p.Idle() != 1 {
+		t.Errorf("3 held tasks: running %d idle %d, want 3 and 1", p.Running(), p.Idle())
+	}
+	close(hold)
+	wg.Wait()
+	if p.Running() != 0 || p.Idle() != 4 {
+		t.Errorf("drained pool: running %d idle %d, want 0 and 4", p.Running(), p.Idle())
+	}
+}
+
+// TestPoolEachCountsOccupancy: Each goes through the same acquire/release
+// pair as Go, so occupancy observed from inside a task is at least 1 and
+// never exceeds the width.
+func TestPoolEachCountsOccupancy(t *testing.T) {
+	p := NewPool(2)
+	if err := p.Each(8, func(i int) error {
+		if r := p.Running(); r < 1 || r > 2 {
+			t.Errorf("Running() = %d inside a width-2 pool task", r)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Running() != 0 {
+		t.Errorf("Running() = %d after Each returned", p.Running())
+	}
+}

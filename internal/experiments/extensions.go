@@ -81,7 +81,7 @@ func (s *Suite) Headroom() (*stats.Table, error) {
 	curves := make([][]float64, len(apps))
 	err := s.each(len(apps), func(i int) error {
 		w := s.wl(apps[i])
-		curves[i] = analysis.SampledMissRatioCurve(w.Blocks, HeadroomCapacities, s.sampleFilter())
+		curves[i] = analysis.SampledMissRatioCurve(w.Blocks, HeadroomCapacities, s.sampleFilter(apps[i]))
 		return nil
 	})
 	if err != nil {

@@ -30,7 +30,7 @@ func (s *Suite) Fig1a() (*stats.Table, error) {
 	err := s.each(len(apps), func(i int) error {
 		w := s.wl(apps[i])
 		refs := analysis.InstBlockRefs(w.Trace)
-		dists := analysis.SampledReuseDistances(refs, s.sampleFilter())
+		dists := analysis.SampledReuseDistances(refs, s.sampleFilter(apps[i]))
 		fr := analysis.Distribution(dists, analysis.Fig1aEdges)
 		copy(rows[i][:], fr)
 		return nil
@@ -55,7 +55,7 @@ func (s *Suite) Fig1b(app string) (*stats.Table, error) {
 		return nil, err
 	}
 	refs := analysis.InstBlockRefs(w.Trace)
-	chain := analysis.SampledMarkovChain(refs, analysis.Fig1aEdges, s.sampleFilter())
+	chain := analysis.SampledMarkovChain(refs, analysis.Fig1aEdges, s.sampleFilter(app))
 	labels := []string{"0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}
 	t := &stats.Table{Header: append([]string{"from\\to"}, labels...)}
 	for i, row := range chain {
@@ -104,7 +104,7 @@ func (s *Suite) Fig3b(app string) (*stats.Histogram, float64, error) {
 	}
 	cc := core.DefaultConfig()
 	cc.Variant = core.VariantAlwaysAdmit
-	sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, NextUse: w.Oracle.Func(), Sample: s.sampleFilter()})
+	sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, NextUse: w.Oracle.Func(), Sample: s.sampleFilter(app)})
 	h := stats.NewHistogram(Fig3bEdges...)
 	var wrong, total uint64
 	sub.ACIC().OnDecision = func(d core.Decision) {
@@ -128,7 +128,7 @@ func (s *Suite) Fig3b(app string) (*stats.Histogram, float64, error) {
 			wrong++
 		}
 	}
-	if _, err := RunSubsystem(w, sub, s.options()); err != nil {
+	if _, err := RunSubsystem(w, sub, s.options(app)); err != nil {
 		return nil, 0, err
 	}
 	frac := 0.0
@@ -163,7 +163,7 @@ func (s *Suite) Fig6(app string) (*stats.Histogram, error) {
 	// never resolve" is separated from "evicted at 256 entries", as the
 	// paper's incremental-capacity study does.
 	cc.CSHR.Ways = 4096
-	sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
+	sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter(app)})
 	h := stats.NewHistogram(Fig6Edges...)
 	sub.ACIC().AgeSamples = func(age int64, resolved bool) {
 		if !resolved {
@@ -171,7 +171,7 @@ func (s *Suite) Fig6(app string) (*stats.Histogram, error) {
 		}
 		h.Add(float64(age))
 	}
-	if _, err := RunSubsystem(w, sub, s.options()); err != nil {
+	if _, err := RunSubsystem(w, sub, s.options(app)); err != nil {
 		return nil, err
 	}
 	// Entries still unresolved at the end of the run count as InF.
@@ -258,7 +258,7 @@ func (s *Suite) Fig12a() (*stats.Table, error) {
 		partials[i] = tally{make([]int64, len(Fig12aRanges)), make([]int64, len(Fig12aRanges))}
 		w := s.wl(apps[i])
 		cc := core.DefaultConfig()
-		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
+		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter(apps[i])})
 		sub.ACIC().OnDecision = func(d core.Decision) {
 			dIn := w.Oracle.NextUse(d.Victim, d.AccessIdx) - d.AccessIdx
 			dOut := w.Oracle.NextUse(d.Contender, d.AccessIdx) - d.AccessIdx
@@ -277,7 +277,7 @@ func (s *Suite) Fig12a() (*stats.Table, error) {
 				}
 			}
 		}
-		if _, err := RunSubsystem(w, sub, s.options()); err != nil {
+		if _, err := RunSubsystem(w, sub, s.options(apps[i])); err != nil {
 			return err
 		}
 		return nil
@@ -337,8 +337,8 @@ func (s *Suite) Fig13() (*stats.Table, error) {
 	err := s.each(len(apps), func(i int) error {
 		w := s.wl(apps[i])
 		cc := core.DefaultConfig()
-		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
-		if _, err := RunSubsystem(w, sub, s.options()); err != nil {
+		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter(apps[i])})
+		if _, err := RunSubsystem(w, sub, s.options(apps[i])); err != nil {
 			return err
 		}
 		admitted[i] = sub.ACIC().AdmitFraction()
@@ -407,8 +407,8 @@ func (s *Suite) Fig15() (*stats.Table, error) {
 		w := s.wl(app)
 		cc := core.DefaultConfig()
 		v.Mutate(&cc)
-		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter()})
-		res, err := RunSubsystem(w, sub, s.options())
+		sub := icache.MustNew(icache.Config{Sets: icache.DefaultSets, Ways: icache.DefaultWays, Policy: policy.NewLRU(), ACIC: &cc, Sample: s.sampleFilter(app)})
+		res, err := RunSubsystem(w, sub, s.options(app))
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"acic/internal/cpu"
+	"acic/internal/icache"
 	"acic/internal/workload"
 )
 
@@ -151,6 +154,270 @@ func TestSuiteGangUsesAndFillsDiskCache(t *testing.T) {
 	}
 	if fromCache == 0 {
 		t.Error("gang rerun hit nothing in the cache")
+	}
+}
+
+// TestRunGangCellsCrossPrefetcher is the cross-prefetcher differential:
+// cells mixing every platform (and the "" shorthand for opts.Prefetcher)
+// in one gang must each match a serial Run under that cell's platform.
+func TestRunGangCellsCrossPrefetcher(t *testing.T) {
+	prof, _ := workload.ByName("web-search")
+	w := Prepare(prof, 60_000)
+	cells := []GangCell{
+		{Scheme: "lru", Prefetcher: "fdp"},
+		{Scheme: "lru", Prefetcher: "none"},
+		{Scheme: "acic", Prefetcher: "entangling"},
+		{Scheme: "opt", Prefetcher: "next-line"},
+		{Scheme: "acic", Prefetcher: "stream"},
+		{Scheme: "acic", Prefetcher: ""}, // inherits opts.Prefetcher
+	}
+	opts := DefaultOptions()
+	res, window, errs := RunGangCells(w, cells, opts)
+	if window != cpu.DefaultGangWindow {
+		t.Errorf("default-heuristic run reported window %d, want %d", window, cpu.DefaultGangWindow)
+	}
+	for i, c := range cells {
+		if errs[i] != nil {
+			t.Fatalf("cell %d (%s/%s): %v", i, c.Scheme, c.Prefetcher, errs[i])
+		}
+		serialOpts := opts
+		if c.Prefetcher != "" {
+			serialOpts.Prefetcher = c.Prefetcher
+		}
+		want, err := Run(w, c.Scheme, serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i] != want {
+			t.Errorf("cell %d (%s/%s): gang %+v != serial %+v", i, c.Scheme, c.Prefetcher, res[i], want)
+		}
+	}
+}
+
+// TestRunGangCellsPartialErrors: a bad scheme and a bad prefetcher each
+// error in their own slot; the surviving cells still run and match serial.
+func TestRunGangCellsPartialErrors(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	w := Prepare(prof, 40_000)
+	opts := DefaultOptions()
+	cells := []GangCell{
+		{Scheme: "lru", Prefetcher: "none"},
+		{Scheme: "no-such-scheme", Prefetcher: "none"},
+		{Scheme: "opt", Prefetcher: "warp-drive"},
+		{Scheme: "opt", Prefetcher: "entangling"},
+	}
+	res, _, errs := RunGangCells(w, cells, opts)
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("valid cells errored: %v, %v", errs[0], errs[3])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "no-such-scheme") {
+		t.Errorf("bad-scheme slot error = %v", errs[1])
+	}
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "warp-drive") {
+		t.Errorf("bad-prefetcher slot error = %v", errs[2])
+	}
+	serialOpts := opts
+	serialOpts.Prefetcher = "entangling"
+	want, err := Run(w, "opt", serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[3] != want {
+		t.Errorf("survivor after failed slots diverges: %+v != %+v", res[3], want)
+	}
+}
+
+// TestRunGangCellsWindowSelection pins the window plumbing: 0 runs the
+// fixed heuristic, a positive value is used verbatim, and AutoGangWindow
+// resolves to MeasuredGangWindow — with results byte-identical across all
+// three, the end-to-end fact behind `-gang-window auto`.
+func TestRunGangCellsWindowSelection(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	w := Prepare(prof, 40_000)
+	cells := []GangCell{
+		{Scheme: "lru", Prefetcher: "none"},
+		{Scheme: "acic", Prefetcher: "fdp"},
+	}
+	run := func(gw int) ([]cpu.Result, int) {
+		opts := DefaultOptions()
+		opts.GangWindow = gw
+		res, window, errs := RunGangCells(w, cells, opts)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("GangWindow=%d cell %d: %v", gw, i, err)
+			}
+		}
+		return res, window
+	}
+	fixedRes, fixedWin := run(0)
+	if fixedWin != cpu.DefaultGangWindow {
+		t.Errorf("GangWindow=0 ran window %d, want %d", fixedWin, cpu.DefaultGangWindow)
+	}
+	pinnedRes, pinnedWin := run(4096)
+	if pinnedWin != 4096 {
+		t.Errorf("GangWindow=4096 ran window %d", pinnedWin)
+	}
+	autoRes, autoWin := run(AutoGangWindow)
+	if autoWin < cpu.DefaultGangWindow || autoWin > cpu.MaxGangWindow {
+		t.Errorf("auto window %d outside [%d,%d]", autoWin, cpu.DefaultGangWindow, cpu.MaxGangWindow)
+	}
+	for i := range cells {
+		if fixedRes[i] != pinnedRes[i] || fixedRes[i] != autoRes[i] {
+			t.Errorf("cell %d results differ across windows: fixed %+v pinned %+v auto %+v",
+				i, fixedRes[i], pinnedRes[i], autoRes[i])
+		}
+	}
+}
+
+// TestMeasuredGangWindow pins the budget → window derivation against
+// pinned host budgets: a starved budget floors at the fixed heuristic, a
+// huge one caps at MaxGangWindow, and the floor guarantees auto never
+// rotates more often than the fixed default.
+func TestMeasuredGangWindow(t *testing.T) {
+	prof, _ := workload.ByName("media-streaming")
+	w := Prepare(prof, 40_000)
+	var subs []icache.Subsystem
+	for _, scheme := range []string{"lru", "acic", "opt"} {
+		sub, err := NewSampledScheme(scheme, w, cpu.SampleConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	t.Setenv("ACIC_LLC_BYTES", "1M")
+	if got := MeasuredGangWindow(w.Prog, subs); got != cpu.DefaultGangWindow {
+		t.Errorf("starved budget: window %d, want the %d floor", got, cpu.DefaultGangWindow)
+	}
+	t.Setenv("ACIC_LLC_BYTES", "8G")
+	if got := MeasuredGangWindow(w.Prog, subs); got != cpu.MaxGangWindow {
+		t.Errorf("huge budget: window %d, want the %d cap", got, cpu.MaxGangWindow)
+	}
+	t.Setenv("ACIC_LLC_BYTES", "")
+	if got := MeasuredGangWindow(w.Prog, subs); got < cpu.DefaultGangWindow || got > cpu.MaxGangWindow {
+		t.Errorf("detected budget: window %d outside [%d,%d]", got, cpu.DefaultGangWindow, cpu.MaxGangWindow)
+	}
+	if got := GangWindowEstimate(w, 10); got < cpu.DefaultGangWindow || got > cpu.MaxGangWindow {
+		t.Errorf("GangWindowEstimate = %d outside [%d,%d]", got, cpu.DefaultGangWindow, cpu.MaxGangWindow)
+	}
+}
+
+// TestPackChunks pins the occupancy packer: ceil baselines, widest-first
+// splitting while idle slots remain, and the all-singles stop.
+func TestPackChunks(t *testing.T) {
+	cases := []struct {
+		name           string
+		sizes          []int
+		gangSize, idle int
+		want           []int
+	}{
+		{"saturated pool keeps minimum", []int{7, 3}, 4, 0, []int{2, 1}},
+		{"one idle slot splits the widest", []int{7, 3}, 4, 4, []int{3, 1}},
+		{"splitting stops at all-singles", []int{7, 3}, 4, 100, []int{7, 3}},
+		{"singles cannot split further", []int{2, 1}, 1, 100, []int{2, 1}},
+		{"empty plan", nil, 4, 8, []int{}},
+	}
+	for _, c := range cases {
+		got := packChunks(c.sizes, c.gangSize, c.idle)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s: packChunks(%v, %d, %d) = %v, want %v",
+				c.name, c.sizes, c.gangSize, c.idle, got, c.want)
+		}
+	}
+}
+
+// TestSplitBalanced pins the chunker: contiguous, order-preserving, sizes
+// within one of each other, degenerate part counts clamped.
+func TestSplitBalanced(t *testing.T) {
+	batch := make([]Cell, 5)
+	for i := range batch {
+		batch[i] = Cell{App: "a", Scheme: fmt.Sprintf("s%d", i)}
+	}
+	for _, parts := range []int{0, 1, 2, 3, 5, 9} {
+		out := splitBalanced(batch, parts)
+		wantParts := parts
+		if wantParts < 1 {
+			wantParts = 1
+		}
+		if wantParts > len(batch) {
+			wantParts = len(batch)
+		}
+		if len(out) != wantParts {
+			t.Errorf("parts=%d: got %d chunks, want %d", parts, len(out), wantParts)
+		}
+		var flat []Cell
+		min, max := len(batch), 0
+		for _, chunk := range out {
+			flat = append(flat, chunk...)
+			if len(chunk) < min {
+				min = len(chunk)
+			}
+			if len(chunk) > max {
+				max = len(chunk)
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("parts=%d: chunk sizes spread %d..%d", parts, min, max)
+		}
+		for i := range flat {
+			if flat[i] != batch[i] {
+				t.Fatalf("parts=%d: order not preserved at %d", parts, i)
+			}
+		}
+	}
+}
+
+// crossPfSlice renders the two cross-prefetcher tables under the given
+// gang size and window, returning the exact bytes and the suite (for its
+// gang statistics).
+func crossPfSlice(t *testing.T, gangSize, gangWindow int) (string, *Suite) {
+	t.Helper()
+	s := NewSuite(30_000)
+	s.Apps = []string{"media-streaming", "sibench"}
+	s.Workers = 2
+	s.GangSize = gangSize
+	s.GangWindow = gangWindow
+	t1, err := s.PrefetcherBaselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.PrefetchAware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t1.String() + t2.String(), s
+}
+
+// TestSuiteCrossPrefetcherGangIdentical pins the tentpole end to end: the
+// prefetcher-sweep tables are byte-identical with gangs off, with
+// cross-prefetcher gangs under the fixed window, and under the measured
+// auto window — and the gang plan actually mixes platforms in one gang.
+func TestSuiteCrossPrefetcherGangIdentical(t *testing.T) {
+	serial, _ := crossPfSlice(t, 0, 0)
+	fixed, sf := crossPfSlice(t, 4, 0)
+	if fixed != serial {
+		t.Errorf("fixed-window gang output diverges:\n--- per-cell ---\n%s--- gang ---\n%s", serial, fixed)
+	}
+	gs := sf.GangStats()
+	if gs.Gangs == 0 || gs.Cells == 0 {
+		t.Fatalf("gang run recorded no gangs: %+v", gs)
+	}
+	if gs.Mixed == 0 {
+		t.Errorf("no gang spanned >1 prefetcher platform: %+v", gs)
+	}
+	if gs.MaxWidth < 2 || gs.MaxWidth > 4 {
+		t.Errorf("max gang width %d outside (1,GangSize]", gs.MaxWidth)
+	}
+	if gs.Window != int64(cpu.DefaultGangWindow) {
+		t.Errorf("fixed-window stats report window %d, want %d", gs.Window, cpu.DefaultGangWindow)
+	}
+
+	auto, sa := crossPfSlice(t, 4, AutoGangWindow)
+	if auto != serial {
+		t.Errorf("auto-window gang output diverges:\n--- per-cell ---\n%s--- gang ---\n%s", serial, auto)
+	}
+	if w := sa.GangStats().Window; w < int64(cpu.DefaultGangWindow) || w > int64(cpu.MaxGangWindow) {
+		t.Errorf("auto window %d outside [%d,%d]", w, cpu.DefaultGangWindow, cpu.MaxGangWindow)
 	}
 }
 

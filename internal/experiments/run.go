@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"acic/internal/analysis"
 	"acic/internal/branch"
 	"acic/internal/cpu"
+	"acic/internal/experiments/engine"
 	"acic/internal/icache"
 	"acic/internal/mem"
 	"acic/internal/prefetch"
@@ -55,6 +57,14 @@ func Prepare(p workload.Profile, n int) *Workload {
 	return w
 }
 
+// AutoGangWindow, as Options.GangWindow (or Suite.GangWindow), selects the
+// measured adaptive traversal window: derived at gang startup from the
+// members' probed footprints against the host cache budget
+// (MeasuredGangWindow) instead of the fixed cpu.DefaultGangWindow
+// heuristic. Like every window choice it affects only host-cache
+// behavior, never results.
+const AutoGangWindow = -1
+
 // Options configure a simulation run.
 type Options struct {
 	WarmupFrac float64 // fraction of instructions treated as warmup (0.1)
@@ -64,6 +74,11 @@ type Options struct {
 	// the returned results are extrapolated back to the whole cache
 	// (cpu.Result.Extrapolated; DESIGN.md §10 documents the error bounds).
 	Sample cpu.SampleConfig
+	// GangWindow is the traversal window gang runs use: 0 selects the
+	// fixed cpu.DefaultGangWindow, AutoGangWindow derives it from measured
+	// footprints (MeasuredGangWindow), any positive value pins it. Results
+	// are byte-identical at every setting.
+	GangWindow int
 }
 
 // DefaultOptions mirrors the paper's setup: FDP platform, 10% warmup.
@@ -72,9 +87,25 @@ func DefaultOptions() Options { return Options{WarmupFrac: 0.1, Prefetcher: "fdp
 // SampleConfigForSets converts a sampled-set count over the default L1i
 // geometry into the simulator's sampling configuration: sampleSets of the
 // icache.DefaultSets sets are simulated, one per stride-sized
-// constituency. 0 (or the full set count) disables sampling; the count
-// must otherwise be a power of two below the set count.
+// constituency, pinned to the fixed fallback constituency 1. 0 (or the
+// full set count) disables sampling; the count must otherwise be a power
+// of two below the set count. The default paths (Suite, RunSampled, the
+// CLIs) go through SampleConfigFor instead, which derives the
+// constituency from the workload digest.
 func SampleConfigForSets(sampleSets int) (cpu.SampleConfig, error) {
+	return SampleConfigFor(sampleSets, 1, "")
+}
+
+// SampleConfigFor converts a sampled-set count into one workload's
+// sampling configuration. offset selects the constituency: 0 derives it
+// from app's profile digest (sampleOffsetFor — a per-workload default
+// that never lands on constituency 0), any value in [1, stride) pins it
+// explicitly. Constituency 0 is not selectable: function entries and
+// region starts concentrate at block numbers that are multiples of small
+// powers of two, so the sets ≡ 0 (mod stride) constituency holds a
+// disproportionate share of hot, well-cached blocks and underestimates
+// miss rates by ~25% on the datacenter workloads (DESIGN.md §10).
+func SampleConfigFor(sampleSets, offset int, app string) (cpu.SampleConfig, error) {
 	switch {
 	case sampleSets == 0 || sampleSets == icache.DefaultSets:
 		return cpu.SampleConfig{}, nil
@@ -83,17 +114,36 @@ func SampleConfigForSets(sampleSets int) (cpu.SampleConfig, error) {
 	case sampleSets&(sampleSets-1) != 0:
 		return cpu.SampleConfig{}, fmt.Errorf("experiments: -sample-sets must be a power of two, got %d", sampleSets)
 	}
-	// Constituency 1, not 0: function entries and region starts concentrate
-	// at block numbers that are multiples of small powers of two, so the
-	// sets ≡ 0 (mod stride) constituency holds a disproportionate share of
-	// hot, well-cached blocks and underestimates miss rates by ~25% on the
-	// datacenter workloads. Constituency 1 measured the tightest error bars
-	// of all offsets across apps × schemes (DESIGN.md §10).
-	cfg := cpu.SampleConfig{Stride: icache.DefaultSets / sampleSets, Offset: 1}
+	stride := icache.DefaultSets / sampleSets
+	if offset == 0 {
+		offset = sampleOffsetFor(stride, app)
+	}
+	if offset < 1 || offset >= stride {
+		return cpu.SampleConfig{}, fmt.Errorf("experiments: sample constituency must be in [1,%d) (0 is alignment-biased; DESIGN.md §10), got %d", stride, offset)
+	}
+	cfg := cpu.SampleConfig{Stride: stride, Offset: offset}
 	if err := cfg.Validate(); err != nil {
 		return cpu.SampleConfig{}, err
 	}
 	return cfg, nil
+}
+
+// sampleOffsetFor derives a workload's default sample constituency from
+// its profile digest: a stable hash folded into [1, stride). Every
+// workload thus samples a fixed but decorrelated constituency — instead
+// of all workloads sharing one arbitrary offset — and none can land on
+// the alignment-biased constituency 0. Deterministic across processes
+// (the digest is content-addressed), and part of the result-cache key
+// (keys.go sampleKey), so cached sampled results can never be confused
+// across constituencies.
+func sampleOffsetFor(stride int, app string) int {
+	if stride <= 2 {
+		return 1
+	}
+	p, ok := workload.ByName(app)
+	h := fnv.New32a()
+	h.Write([]byte(profileDigest(p, ok, app)))
+	return 1 + int(h.Sum32()%uint32(stride-1))
 }
 
 // Run simulates one scheme over the workload and returns the result
@@ -109,10 +159,12 @@ func Run(w *Workload, scheme string, opts Options) (cpu.Result, error) {
 // RunSampled simulates one scheme under set sampling: sampleSets of the
 // default 64 i-cache sets are simulated (standard SDM methodology, ~one
 // stride-th of the per-access subsystem work) and the result is
-// extrapolated back to the whole cache. It is the fast quick-look lane;
-// Run with zero Options.Sample remains the byte-identical reference.
+// extrapolated back to the whole cache. The sampled constituency is
+// derived from the workload's digest (SampleConfigFor). It is the fast
+// quick-look lane; Run with zero Options.Sample remains the
+// byte-identical reference.
 func RunSampled(w *Workload, scheme string, sampleSets int, opts Options) (cpu.Result, error) {
-	sample, err := SampleConfigForSets(sampleSets)
+	sample, err := SampleConfigFor(sampleSets, 0, w.Profile.Name)
 	if err != nil {
 		return cpu.Result{}, err
 	}
@@ -188,6 +240,18 @@ func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, 
 	return sim.Run(warmup(w, opts)).Extrapolated(), nil
 }
 
+// GangCell names one gang member: a scheme run under a prefetcher
+// platform ("" = the gang Options' Prefetcher). Cross-prefetcher gangs
+// are sound because the only state members share is read-only — the
+// Program and its data-latency timeline, which is prefetcher-independent
+// (the data-access sequence is fixed by instruction order) — while every
+// prefetcher-touched structure (FTQ, FDP stream, Extra prefetcher tables)
+// is private per-member simulator state.
+type GangCell struct {
+	Scheme     string
+	Prefetcher string
+}
+
 // RunGang simulates several schemes over one workload in a single gang:
 // one traversal of the shared Program drives every scheme (see cpu.Gang),
 // with the members' instruction-side hierarchies carved out of contiguous
@@ -196,65 +260,143 @@ func RunSubsystem(w *Workload, sub icache.Subsystem, opts Options) (cpu.Result, 
 // errs while the remaining members still run. Each member's result is
 // bit-identical to Run(w, scheme, opts).
 func RunGang(w *Workload, schemes []string, opts Options) (results []cpu.Result, errs []error) {
-	results = make([]cpu.Result, len(schemes))
-	errs = make([]error, len(schemes))
-	if _, err := platformConfig(opts.Prefetcher); err != nil {
-		for i := range errs {
-			errs[i] = err
-		}
-		return results, errs
-	}
-	subs := make([]icache.Subsystem, 0, len(schemes))
-	slot := make([]int, 0, len(schemes))
+	cells := make([]GangCell, len(schemes))
 	for i, scheme := range schemes {
-		sub, err := NewSampledScheme(scheme, w, opts.Sample)
+		cells[i] = GangCell{Scheme: scheme}
+	}
+	results, _, errs = RunGangCells(w, cells, opts)
+	return results, errs
+}
+
+// RunGangCells simulates a heterogeneous gang over one workload: members
+// may differ in prefetcher platform as well as scheme, and all advance
+// through one shared Program traversal. Results and errors are indexed
+// like cells; window reports the traversal window the gang ran under
+// (derived from measured footprints when opts.GangWindow is
+// AutoGangWindow). Each member's result is bit-identical to
+// Run(w, cell.Scheme, opts-with-cell.Prefetcher).
+func RunGangCells(w *Workload, cells []GangCell, opts Options) (results []cpu.Result, window int, errs []error) {
+	results = make([]cpu.Result, len(cells))
+	errs = make([]error, len(cells))
+	subs := make([]icache.Subsystem, 0, len(cells))
+	pfs := make([]string, 0, len(cells))
+	slot := make([]int, 0, len(cells))
+	for i, c := range cells {
+		pf := c.Prefetcher
+		if pf == "" {
+			pf = opts.Prefetcher
+		}
+		if _, err := platformConfig(pf); err != nil {
+			errs[i] = err
+			continue
+		}
+		sub, err := NewSampledScheme(c.Scheme, w, opts.Sample)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
 		subs = append(subs, sub)
+		pfs = append(pfs, pf)
 		slot = append(slot, i)
 	}
-	gangRes, err := RunGangSubsystems(w, subs, opts)
+	gangRes, window, err := runGangMembers(w, subs, pfs, opts)
 	if err != nil {
-		// platformConfig was validated above; treat a late failure as
+		// Per-member configs were validated above; treat a late failure as
 		// affecting every member that made it into the gang.
 		for _, i := range slot {
 			errs[i] = err
 		}
-		return results, errs
+		return results, window, errs
 	}
 	for j, r := range gangRes {
 		results[slot[j]] = r
 	}
-	return results, errs
+	return results, window, errs
 }
 
 // RunGangSubsystems gang-simulates pre-built subsystems over the workload
 // (the building block under RunGang; use it to attach instrumentation to
-// members before the run). Results are indexed like subs.
+// members before the run). Results are indexed like subs; every member
+// runs under opts.Prefetcher.
 func RunGangSubsystems(w *Workload, subs []icache.Subsystem, opts Options) ([]cpu.Result, error) {
-	if _, err := platformConfig(opts.Prefetcher); err != nil {
-		return nil, err
-	}
+	results, _, err := runGangMembers(w, subs, make([]string, len(subs)), opts)
+	return results, err
+}
+
+// runGangMembers assembles and runs the gang: per-member platform configs
+// (stateful Extra prefetchers must not be shared across members),
+// struct-of-gangs hierarchies, and the traversal window — fixed, pinned,
+// or measured per opts.GangWindow. pfs is indexed like subs; "" selects
+// opts.Prefetcher.
+func runGangMembers(w *Workload, subs []icache.Subsystem, pfs []string, opts Options) ([]cpu.Result, int, error) {
 	if err := opts.Sample.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	hiers := mem.NewGang(mem.DefaultConfig(), len(subs))
 	members := make([]cpu.GangMember, len(subs))
 	for i, sub := range subs {
-		// Platform configs are built per member: stateful Extra prefetchers
-		// must not be shared across schemes.
-		cfg, _ := platformConfig(opts.Prefetcher)
+		pf := pfs[i]
+		if pf == "" {
+			pf = opts.Prefetcher
+		}
+		cfg, err := platformConfig(pf)
+		if err != nil {
+			return nil, 0, err
+		}
 		cfg.Sample = opts.Sample
 		members[i] = cpu.GangMember{Cfg: cfg, Sub: sub, Hier: hiers[i]}
 	}
-	gang := cpu.NewGang(w.Prog, members, 0)
+	window := opts.GangWindow
+	if window == AutoGangWindow {
+		window = MeasuredGangWindow(w.Prog, subs)
+	}
+	gang := cpu.NewGang(w.Prog, members, window)
 	results := gang.Run(warmup(w, opts))
 	for i := range results {
 		results[i] = results[i].Extrapolated()
 	}
-	return results, nil
+	return results, gang.Window(), nil
+}
+
+// MeasuredGangWindow derives the traversal window an auto-mode gang of
+// the given subsystems runs under: the widest member footprint — the
+// default hierarchy's struct-of-gangs share plus the subsystem's own
+// estimate — is probed against the detected (or ACIC_LLC_BYTES-
+// overridden) host cache budget, with the program's measured bytes per
+// instruction sizing the shared window slice (cpu.AutoGangWindow
+// documents the rule).
+func MeasuredGangWindow(prog *cpu.Program, subs []icache.Subsystem) int {
+	hier := mem.New(mem.DefaultConfig()).FootprintBytes()
+	perMember := hier
+	for _, sub := range subs {
+		if fp := hier + subsystemFootprint(sub); fp > perMember {
+			perMember = fp
+		}
+	}
+	return cpu.AutoGangWindow(engine.LLCBytes(), perMember, len(subs), prog.GangBytesPerInstr())
+}
+
+// GangWindowEstimate reports the traversal window a members-wide gang of
+// default-footprint schemes over w would run under in auto mode —
+// `acic-trace warm` prints it per workload so the measured bytes/instr
+// and the host budget can be inspected without running a simulation.
+func GangWindowEstimate(w *Workload, members int) int {
+	perMember := mem.New(mem.DefaultConfig()).FootprintBytes() + defaultSubsystemFootprint()
+	return cpu.AutoGangWindow(engine.LLCBytes(), perMember, members, w.Prog.GangBytesPerInstr())
+}
+
+// subsystemFootprint reads a subsystem's working-set estimate, falling
+// back to the default-geometry L1 arrays for subsystems that do not
+// report one.
+func subsystemFootprint(sub icache.Subsystem) int64 {
+	if f, ok := sub.(interface{ FootprintBytes() int64 }); ok {
+		return f.FootprintBytes()
+	}
+	return defaultSubsystemFootprint()
+}
+
+func defaultSubsystemFootprint() int64 {
+	return int64(icache.DefaultSets * icache.DefaultWays * 24)
 }
 
 // Speedup returns base cycles over result cycles.

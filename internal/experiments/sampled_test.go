@@ -184,6 +184,48 @@ func TestSampleConfigForSets(t *testing.T) {
 	}
 }
 
+// TestSampleOffsetDerivation pins the digest-derived default constituency:
+// deterministic per workload, always in [1, stride), decorrelated across
+// workloads, and overridable by an explicit in-range pin.
+func TestSampleOffsetDerivation(t *testing.T) {
+	apps := []string{"media-streaming", "web-search", "data-caching", "tpcc", "wikipedia", "sibench"}
+	offsets := make(map[int]bool)
+	for _, app := range apps {
+		a, err := SampleConfigFor(8, 0, app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		b, _ := SampleConfigFor(8, 0, app)
+		if a != b {
+			t.Errorf("%s: derived offset not deterministic: %+v != %+v", app, a, b)
+		}
+		if a.Offset < 1 || a.Offset >= a.Stride {
+			t.Errorf("%s: offset %d outside [1,%d)", app, a.Offset, a.Stride)
+		}
+		offsets[a.Offset] = true
+	}
+	// The whole point of deriving per workload: the fleet must not pile
+	// onto one constituency.
+	if len(offsets) < 2 {
+		t.Errorf("all %d workloads derived the same constituency %v", len(apps), offsets)
+	}
+
+	pinned, err := SampleConfigFor(8, 5, "media-streaming")
+	if err != nil || pinned.Offset != 5 {
+		t.Errorf("pinned offset: %+v, %v", pinned, err)
+	}
+	if _, err := SampleConfigFor(8, 8, "media-streaming"); err == nil {
+		t.Error("offset == stride must be rejected")
+	}
+	if _, err := SampleConfigFor(8, -1, "media-streaming"); err == nil {
+		t.Error("negative offset must be rejected")
+	}
+	// stride 2 has a single unbiased constituency; derivation lands on it.
+	if cfg, err := SampleConfigFor(32, 0, "media-streaming"); err != nil || cfg.Offset != 1 {
+		t.Errorf("stride-2 derivation = %+v, %v, want offset 1", cfg, err)
+	}
+}
+
 // TestSampledCacheKeysDistinct pins that sampled and full suite results
 // can never collide in one persistent cache.
 func TestSampledCacheKeysDistinct(t *testing.T) {
@@ -205,6 +247,18 @@ func TestSampledCacheKeysDistinct(t *testing.T) {
 	}
 	if k := stride16.cacheKey(c); k == sk {
 		t.Fatalf("different sample strides share a cache key: %s", k)
+	}
+	// Same stride, pinned vs derived constituency: distinct keys, so one
+	// CacheDir never conflates results from different sampled sets.
+	pinned := NewSuite(100_000)
+	pinned.SampleSets = 8
+	pinned.SampleOffset = 7
+	if err := pinned.CacheError(); err != nil {
+		t.Fatal(err)
+	}
+	derived, _ := SampleConfigFor(8, 0, c.App)
+	if derived.Offset != 7 && pinned.cacheKey(c) == sk {
+		t.Fatalf("different constituencies share a cache key: %s", sk)
 	}
 }
 

@@ -78,14 +78,28 @@ type Suite struct {
 	// reference path. Must be a power of two.
 	SampleSets int
 	// GangSize, when > 1, turns on gang execution: each Require batch
-	// groups its same-(app, prefetcher) cells and runs every group as a
-	// single cpu.Gang simulation — one Program traversal driving all of
-	// the group's schemes — instead of one task per cell. Groups larger
-	// than GangSize are split into chunks of at most GangSize (in batch
-	// order), so a wide grid still fans out across the worker pool.
-	// Results, the per-cell memo, the disk cache, and rendered output are
-	// byte-identical to per-cell execution at any GangSize.
+	// groups its same-app cells — across prefetcher platforms, since the
+	// shared Program and its data-latency timeline are prefetcher-
+	// independent — and runs every group as a single cpu.Gang simulation,
+	// one Program traversal driving all of the group's (scheme,
+	// prefetcher) members, instead of one task per cell. Groups are split
+	// into chunks of at most GangSize, widened to fill idle pool slots
+	// (see submitGangs), so a wide grid still fans out across the worker
+	// pool. Results, the per-cell memo, the disk cache, and rendered
+	// output are byte-identical to per-cell execution at any GangSize.
 	GangSize int
+	// GangWindow selects the gang traversal window: 0 runs the fixed
+	// cpu.DefaultGangWindow heuristic, AutoGangWindow derives the window
+	// from measured member footprints against the host cache budget
+	// (MeasuredGangWindow), and any positive value pins it. Windows only
+	// affect host-cache behavior, never results or cache keys.
+	GangWindow int
+	// SampleOffset pins the sampled constituency when SampleSets is
+	// active: 0 (the default) derives a per-workload offset from the
+	// trace digest — constituency 0 is alignment-biased, see DESIGN.md
+	// §10 — and any value in [1, stride) selects that constituency for
+	// every workload.
+	SampleOffset int
 	// Progress, if non-nil, is called after each completed cell with the
 	// running done count, the number of cells planned so far, and a
 	// human-readable label. Called from worker goroutines.
@@ -96,8 +110,29 @@ type Suite struct {
 	pipeline *Pipeline
 	results  *engine.Group[Cell, cpu.Result]
 	done     atomic.Int64
-	sample   cpu.SampleConfig
 	cacheErr error
+
+	sampleMu sync.Mutex
+	samples  map[string]cpu.SampleConfig // per-app sampling config (digest-derived offsets)
+
+	gangRuns     atomic.Int64 // gang tasks that reached simulation
+	gangCells    atomic.Int64 // cells produced by gang simulations
+	gangMixed    atomic.Int64 // gang runs spanning >1 prefetcher platform
+	gangMaxWidth atomic.Int64 // widest gang simulated
+	gangWindow   atomic.Int64 // traversal window of the most recent gang run
+}
+
+// GangStats summarizes the suite's gang scheduling so far: how many gang
+// simulations ran, how many cells they produced, how many spanned more
+// than one prefetcher platform, the widest gang, and the traversal window
+// of the most recent run (uniform across runs unless workloads differ in
+// measured footprint under -gang-window auto).
+type GangStats struct {
+	Gangs    int64
+	Cells    int64
+	Mixed    int64
+	MaxWidth int64
+	Window   int64
 }
 
 // DefaultTraceLen is the default per-workload instruction count, overridable
@@ -125,8 +160,10 @@ func NewSuite(n int) *Suite {
 // init spins up the engine on first use.
 func (s *Suite) init() {
 	s.once.Do(func() {
-		var sampleErr error
-		s.sample, sampleErr = SampleConfigForSets(s.SampleSets)
+		// Offset-range and set-count validation is app-independent, so one
+		// probe call surfaces any configuration error up front; per-app
+		// configs (digest-derived offsets) are then built on demand.
+		_, sampleErr := SampleConfigFor(s.SampleSets, s.SampleOffset, "")
 		s.pool = engine.NewPool(s.Workers)
 		var plErr error
 		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool})
@@ -162,26 +199,50 @@ func (s *Suite) init() {
 // trailing sample component keeps sampled and full entries disjoint.
 func (s *Suite) cacheKey(c Cell) string {
 	p, ok := workload.ByName(c.App)
-	opts := s.options()
+	opts := s.options(c.App)
 	return fmt.Sprintf("%s|scheme:%s|pf:%s|warmup:%g|sample:%s",
 		storeKeyPrefix(profileDigest(p, ok, c.App), s.N), c.Scheme, c.Prefetcher,
 		opts.WarmupFrac, sampleKey(opts.Sample))
 }
 
-// options returns the run options every suite cell — and every
-// instrumented per-app sweep the renderers fan out — executes under:
-// the paper defaults plus the suite's sampling mode.
-func (s *Suite) options() Options {
+// sampleFor returns the app's sampling configuration — the suite's set
+// count with the workload's digest-derived constituency offset (or the
+// pinned SampleOffset) — memoized because the digest hashes the profile.
+// Configuration errors were surfaced by init; here they are logic errors.
+func (s *Suite) sampleFor(app string) cpu.SampleConfig {
+	s.sampleMu.Lock()
+	defer s.sampleMu.Unlock()
+	if sc, ok := s.samples[app]; ok {
+		return sc
+	}
+	if s.samples == nil { // cacheKey is callable before the engine spins up
+		s.samples = make(map[string]cpu.SampleConfig)
+	}
+	sc, err := SampleConfigFor(s.SampleSets, s.SampleOffset, app)
+	if err != nil {
+		panic(err)
+	}
+	s.samples[app] = sc
+	return sc
+}
+
+// options returns the run options a suite cell of the given app — and
+// every instrumented per-app sweep the renderers fan out — executes
+// under: the paper defaults plus the suite's sampling mode (per-app, as
+// the sampled constituency is derived from the workload digest) and gang
+// window policy.
+func (s *Suite) options(app string) Options {
 	opts := DefaultOptions()
-	opts.Sample = s.sample
+	opts.Sample = s.sampleFor(app)
+	opts.GangWindow = s.GangWindow
 	return opts
 }
 
-// sampleFilter returns the constituency filter suite runs build their
-// subsystems under (the zero filter when sampling is off); renderers that
-// construct instrumented icache.Configs directly attach it so their
+// sampleFilter returns the constituency filter the app's suite runs build
+// their subsystems under (the zero filter when sampling is off); renderers
+// that construct instrumented icache.Configs directly attach it so their
 // shared structures scale like the planned cells' do.
-func (s *Suite) sampleFilter() cache.SampleFilter { return s.sample.Filter() }
+func (s *Suite) sampleFilter(app string) cache.SampleFilter { return s.sampleFor(app).Filter() }
 
 // computeCell runs one simulation cell.
 func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
@@ -189,7 +250,7 @@ func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	opts := s.options()
+	opts := s.options(c.App)
 	opts.Prefetcher = c.Prefetcher
 	return Run(w, c.Scheme, opts)
 }
@@ -243,7 +304,7 @@ func (s *Suite) wl(app string) *Workload {
 // Require plans and executes the given cells: duplicates (within the batch
 // and against earlier work) are executed once, the rest run in parallel on
 // the worker pool. With GangSize > 1 the batch's new cells are first
-// grouped into gang tasks (same app, same prefetcher — one Program
+// grouped into gang tasks (same app, any prefetcher — one Program
 // traversal per gang). All cells are attempted; the first error in
 // argument order is returned. Renderers call Require before reading
 // results so their output does not depend on execution order.
@@ -255,36 +316,93 @@ func (s *Suite) Require(cells ...Cell) error {
 	return s.results.Require(cells...)
 }
 
-// submitGangs claims the batch's not-yet-planned cells, groups them by
-// (app, prefetcher) in first-appearance order, splits each group into
-// chunks of at most GangSize, and submits one pool task per chunk. Cells
-// claimed here are completed by their gang task; the results.Require that
-// follows only waits on them.
+// submitGangs claims the batch's not-yet-planned cells, groups them by app
+// in first-appearance order — prefetcher platforms mix freely within a
+// gang, since members share only the read-only Program — and submits one
+// pool task per chunk of the packing plan. The packer starts from the
+// minimum chunk count each group needs under GangSize and then splits the
+// widest chunks while idle pool slots remain (packChunks): with spare
+// workers, narrower-but-more gangs fill the pool; with the pool
+// saturated, GangSize-wide gangs amortize traversals best. Cells claimed
+// here are completed by their gang task; the results.Require that follows
+// only waits on them.
 func (s *Suite) submitGangs(cells []Cell) {
-	type group struct{ app, pf string }
-	claimed := make(map[group][]Cell)
-	var order []group
+	claimed := make(map[string][]Cell)
+	var order []string
 	for _, c := range cells {
 		if !s.results.TryClaim(c) {
 			continue // computed, in flight, or a duplicate within the batch
 		}
-		g := group{c.App, c.Prefetcher}
-		if _, ok := claimed[g]; !ok {
-			order = append(order, g)
+		if _, ok := claimed[c.App]; !ok {
+			order = append(order, c.App)
 		}
-		claimed[g] = append(claimed[g], c)
+		claimed[c.App] = append(claimed[c.App], c)
 	}
-	for _, g := range order {
-		batch := claimed[g]
-		for start := 0; start < len(batch); start += s.GangSize {
-			gang := batch[start:min(start+s.GangSize, len(batch))]
+	sizes := make([]int, len(order))
+	for i, app := range order {
+		sizes[i] = len(claimed[app])
+	}
+	// The occupancy snapshot is taken once, before any task launches, so
+	// the plan does not react to its own submissions.
+	chunks := packChunks(sizes, s.GangSize, s.pool.Idle())
+	for i, app := range order {
+		for _, gang := range splitBalanced(claimed[app], chunks[i]) {
 			s.pool.Go(func() { s.runGangTask(gang) })
 		}
 	}
 }
 
+// packChunks decides how many gang tasks each group's cells split into.
+// Every group starts at its minimum — ceil(size/gangSize), the fewest
+// chunks that respect the width cap — and while the plan leaves pool
+// slots idle, the group whose chunks are currently widest is split once
+// more. Deterministic for a given occupancy snapshot; like the window,
+// the packing affects only scheduling, never results.
+func packChunks(sizes []int, gangSize, idle int) []int {
+	chunks := make([]int, len(sizes))
+	total := 0
+	for i, n := range sizes {
+		chunks[i] = (n + gangSize - 1) / gangSize
+		total += chunks[i]
+	}
+	for total < idle {
+		widest, width := -1, 1
+		for i, n := range sizes {
+			if w := (n + chunks[i] - 1) / chunks[i]; w > width {
+				widest, width = i, w
+			}
+		}
+		if widest < 0 {
+			break // every chunk is a single cell; nothing left to split
+		}
+		chunks[widest]++
+		total++
+	}
+	return chunks
+}
+
+// splitBalanced cuts batch into parts contiguous chunks whose sizes differ
+// by at most one, preserving order.
+func splitBalanced(batch []Cell, parts int) [][]Cell {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(batch) {
+		parts = len(batch)
+	}
+	out := make([][]Cell, 0, parts)
+	for start, i := 0, 0; i < parts; i++ {
+		end := start + (len(batch)-start)/(parts-i)
+		out = append(out, batch[start:end])
+		start = end
+	}
+	return out
+}
+
 // runGangTask produces one gang's cells: disk-cached members are fulfilled
-// directly, the rest run as a single RunGang over the shared workload.
+// directly, the rest — whatever mix of schemes and prefetcher platforms
+// survived the cache — run as a single RunGangCells over the shared
+// workload.
 func (s *Suite) runGangTask(gang []Cell) {
 	pending := gang[:0:0]
 	for _, c := range gang {
@@ -302,15 +420,38 @@ func (s *Suite) runGangTask(gang []Cell) {
 		}
 		return
 	}
-	opts := s.options()
-	opts.Prefetcher = pending[0].Prefetcher
-	schemes := make([]string, len(pending))
+	opts := s.options(pending[0].App)
+	gcells := make([]GangCell, len(pending))
+	pfs := make(map[string]bool, 1)
 	for i, c := range pending {
-		schemes[i] = c.Scheme
+		gcells[i] = GangCell{Scheme: c.Scheme, Prefetcher: c.Prefetcher}
+		pfs[c.Prefetcher] = true
 	}
-	results, errs := RunGang(w, schemes, opts)
+	results, window, errs := RunGangCells(w, gcells, opts)
+	s.gangRuns.Add(1)
+	s.gangCells.Add(int64(len(pending)))
+	if len(pfs) > 1 {
+		s.gangMixed.Add(1)
+	}
+	for old := s.gangMaxWidth.Load(); int64(len(pending)) > old; old = s.gangMaxWidth.Load() {
+		if s.gangMaxWidth.CompareAndSwap(old, int64(len(pending))) {
+			break
+		}
+	}
+	s.gangWindow.Store(int64(window))
 	for i, c := range pending {
 		s.results.Fulfill(c, results[i], errs[i])
+	}
+}
+
+// GangStats reports the suite's gang scheduling counters so far.
+func (s *Suite) GangStats() GangStats {
+	return GangStats{
+		Gangs:    s.gangRuns.Load(),
+		Cells:    s.gangCells.Load(),
+		Mixed:    s.gangMixed.Load(),
+		MaxWidth: s.gangMaxWidth.Load(),
+		Window:   s.gangWindow.Load(),
 	}
 }
 

@@ -228,6 +228,18 @@ func NewGang(cfg Config, n int) []*Hierarchy {
 // Config returns the configuration the hierarchy was built with.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// FootprintBytes measures the backing bytes one hierarchy contributes to a
+// gang's per-member working set: the line arrays (16-byte memLine entries)
+// and MRU hint arrays of all three levels. For NewGang members this is
+// exactly the member's share of the contiguous struct-of-gangs backing,
+// which is what adaptive gang-window derivation probes.
+func (h *Hierarchy) FootprintBytes() int64 {
+	f := func(l *level) int64 {
+		return int64(len(l.lines))*16 + int64(len(l.mru))*4
+	}
+	return f(h.l1d) + f(h.l2) + f(h.l3)
+}
+
 // Latencies returns the configured level latencies.
 func (h *Hierarchy) Latencies() Latencies { return h.lat }
 

@@ -75,6 +75,19 @@ func findCell(r *Report, want Cell) (Cell, bool) {
 	return Cell{}, false
 }
 
+// MissingCells returns an error describing cells present in exactly one
+// of the two reports, or nil when the cell sets match. An enforcing
+// comparison treats a one-sided cell as a broken gate, not a zero-delta
+// row — a renamed or dropped cell must fail loudly rather than silently
+// leave the regression check with nothing to compare.
+func (c *Comparison) MissingCells() error {
+	if len(c.OnlyOld) == 0 && len(c.OnlyNew) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cell sets differ: %d only in baseline %v, %d only in new %v",
+		len(c.OnlyOld), c.OnlyOld, len(c.OnlyNew), c.OnlyNew)
+}
+
 // Speedup returns the aggregate old/new wall-clock ratio over matched
 // cells (> 1 means the new tree is faster), or 0 with nothing matched.
 func (c *Comparison) Speedup() float64 {

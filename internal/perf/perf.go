@@ -79,6 +79,53 @@ type SampledSweep struct {
 	WorstCyclesErrPct float64  `json:"worst_cycles_err_pct"`
 }
 
+// CrossSweep is one cross-prefetcher row wall-clock measurement: a grid
+// of (scheme × prefetcher) cells over one workload, timed end to end
+// through the per-cell serial path and through gang execution twice —
+// once under the fixed default traversal window and once under the
+// measured adaptive window (experiments.AutoGangWindow). All three paths
+// are verified to produce identical results before the timings are
+// reported, so the speedups travel with the determinism claim.
+type CrossSweep struct {
+	Name         string   `json:"name"` // row composition id (CrossSweepRows)
+	App          string   `json:"app"`
+	Schemes      []string `json:"schemes"`
+	Prefetchers  []string `json:"prefetchers"`
+	GangSize     int      `json:"gang_size"`
+	Runs         int      `json:"runs"`        // repetitions per path; best kept
+	AutoWindow   int      `json:"auto_window"` // derived traversal window (instructions)
+	SerialWallNs int64    `json:"serial_wall_ns"`
+	FixedWallNs  int64    `json:"fixed_wall_ns"` // gang, default window
+	AutoWallNs   int64    `json:"auto_wall_ns"`  // gang, measured window
+	FixedSpeedup float64  `json:"fixed_speedup"` // serial wall / fixed-window gang wall
+	AutoSpeedup  float64  `json:"auto_speedup"`  // serial wall / auto-window gang wall
+}
+
+// CrossSweepRow names a tracked cross-prefetcher row composition.
+type CrossSweepRow struct {
+	Name        string
+	Schemes     []string
+	Prefetchers []string
+}
+
+// CrossSweepRows returns the tracked row compositions: the Fig 20/21
+// scheme row on the entangling platform, the prefetcher-baseline row
+// (one scheme fanned across every platform — gangable only since rows
+// may span prefetchers), and the prefetch-aware comparison grid.
+func CrossSweepRows() []CrossSweepRow {
+	return []CrossSweepRow{
+		{Name: "fig20-21",
+			Schemes:     append([]string{experiments.Baseline}, experiments.SPECSchemes...),
+			Prefetchers: []string{"entangling"}},
+		{Name: "ext-prefetchers",
+			Schemes:     []string{experiments.Baseline},
+			Prefetchers: experiments.Prefetchers()},
+		{Name: "ext-pfaware",
+			Schemes:     []string{experiments.Baseline, "acic", "acic-pfaware"},
+			Prefetchers: []string{"fdp", "entangling"}},
+	}
+}
+
 // Report is the serialized benchmark trajectory for one tree state.
 type Report struct {
 	GoVersion string `json:"go_version"`
@@ -95,6 +142,7 @@ type Report struct {
 	Cells         []Cell                   `json:"cells"`
 	Sweeps        []Sweep                  `json:"gang_sweeps,omitempty"`
 	SampledSweeps []SampledSweep           `json:"sampled_sweeps,omitempty"`
+	CrossSweeps   []CrossSweep             `json:"cross_sweeps,omitempty"`
 }
 
 // Config selects the measurement grid.
@@ -105,6 +153,7 @@ type Config struct {
 	Prefetchers []string // prefetcher platforms (default {"none", "fdp"})
 	Repeats     int      // timed repetitions per cell, best kept (default 3)
 	GangSize    int      // schemes per gang in the sweep (0 = all; < 0 skips sweeps)
+	GangWindow  int      // gang traversal window for the plain gang sweeps (experiments.Options.GangWindow encoding)
 	SampleSets  int      // also measure set-sampled sweeps at this -sample-sets (0 = skip)
 	ArtifactDir string   // persistent workload artifact store ("" = prepare in memory)
 }
@@ -194,7 +243,114 @@ func Measure(cfg Config) (*Report, error) {
 			rep.SampledSweeps = append(rep.SampledSweeps, sweep)
 		}
 	}
+	if cfg.GangSize >= 0 {
+		for _, row := range CrossSweepRows() {
+			sweep, err := measureCrossSweep(w, cfg, row)
+			if err != nil {
+				return nil, fmt.Errorf("perf: cross sweep %s: %w", row.Name, err)
+			}
+			rep.CrossSweeps = append(rep.CrossSweeps, sweep)
+		}
+	}
 	return rep, nil
+}
+
+// measureCrossSweep times one cross-prefetcher row three ways — the
+// per-cell serial path, gang execution under the fixed default window,
+// and gang execution under the measured adaptive window — keeping the
+// best wall-clock of Repeats runs for each, and verifies all three paths
+// produced identical results. One gang covers the whole row (capped at
+// GangSize members per chunk, like the suite scheduler).
+func measureCrossSweep(w *experiments.Workload, cfg Config, row CrossSweepRow) (CrossSweep, error) {
+	cells := make([]experiments.GangCell, 0, len(row.Schemes)*len(row.Prefetchers))
+	for _, pf := range row.Prefetchers {
+		for _, scheme := range row.Schemes {
+			cells = append(cells, experiments.GangCell{Scheme: scheme, Prefetcher: pf})
+		}
+	}
+	gangSize := cfg.GangSize
+	if gangSize == 0 || gangSize > len(cells) {
+		gangSize = len(cells)
+	}
+
+	var serialRes []cpu.Result
+	var serialBest time.Duration
+	for r := 0; r < cfg.Repeats; r++ {
+		res := make([]cpu.Result, len(cells))
+		start := time.Now()
+		for i, c := range cells {
+			opts := experiments.DefaultOptions()
+			opts.Prefetcher = c.Prefetcher
+			sub, err := experiments.NewScheme(c.Scheme, w)
+			if err != nil {
+				return CrossSweep{}, err
+			}
+			if res[i], err = experiments.RunSubsystem(w, sub, opts); err != nil {
+				return CrossSweep{}, err
+			}
+		}
+		if elapsed := time.Since(start); serialBest == 0 || elapsed < serialBest {
+			serialBest = elapsed
+			serialRes = res
+		}
+	}
+
+	gangPath := func(window int) ([]cpu.Result, time.Duration, int, error) {
+		var best time.Duration
+		var bestRes []cpu.Result
+		var usedWindow int
+		for r := 0; r < cfg.Repeats; r++ {
+			res := make([]cpu.Result, 0, len(cells))
+			start := time.Now()
+			for at := 0; at < len(cells); at += gangSize {
+				chunk := cells[at:min(at+gangSize, len(cells))]
+				opts := experiments.DefaultOptions()
+				opts.GangWindow = window
+				results, ran, errs := experiments.RunGangCells(w, chunk, opts)
+				for _, err := range errs {
+					if err != nil {
+						return nil, 0, 0, err
+					}
+				}
+				usedWindow = ran
+				res = append(res, results...)
+			}
+			if elapsed := time.Since(start); best == 0 || elapsed < best {
+				best = elapsed
+				bestRes = res
+			}
+		}
+		return bestRes, best, usedWindow, nil
+	}
+	fixedRes, fixedBest, _, err := gangPath(0)
+	if err != nil {
+		return CrossSweep{}, err
+	}
+	autoRes, autoBest, autoWindow, err := gangPath(experiments.AutoGangWindow)
+	if err != nil {
+		return CrossSweep{}, err
+	}
+
+	for i := range serialRes {
+		if serialRes[i] != fixedRes[i] || serialRes[i] != autoRes[i] {
+			return CrossSweep{}, fmt.Errorf("gang result diverges from serial for %s/%s",
+				cells[i].Scheme, cells[i].Prefetcher)
+		}
+	}
+	return CrossSweep{
+		Name:         row.Name,
+		App:          cfg.App,
+		Schemes:      row.Schemes,
+		Prefetchers:  row.Prefetchers,
+		GangSize:     gangSize,
+		Runs:         cfg.Repeats,
+		AutoWindow:   autoWindow,
+		SerialWallNs: serialBest.Nanoseconds(),
+		FixedWallNs:  fixedBest.Nanoseconds(),
+		AutoWallNs:   autoBest.Nanoseconds(),
+		FixedSpeedup: float64(serialBest.Nanoseconds()) / float64(fixedBest.Nanoseconds()),
+		AutoSpeedup:  float64(serialBest.Nanoseconds()) / float64(autoBest.Nanoseconds()),
+	}, nil
 }
 
 // measureSampledSweep times one full scheme row through the reference
@@ -301,7 +457,9 @@ func measureSweep(w *experiments.Workload, cfg Config, pf string) (Sweep, error)
 		start := time.Now()
 		for at := 0; at < len(cfg.Schemes); at += gangSize {
 			chunk := cfg.Schemes[at:min(at+gangSize, len(cfg.Schemes))]
-			results, errs := experiments.RunGang(w, chunk, opts)
+			gangOpts := opts
+			gangOpts.GangWindow = cfg.GangWindow
+			results, errs := experiments.RunGang(w, chunk, gangOpts)
 			for _, err := range errs {
 				if err != nil {
 					return Sweep{}, err
@@ -453,6 +611,25 @@ func (r *Report) SweepTable() *stats.Table {
 			fmt.Sprintf("%.1f", float64(s.SerialWallNs)/1e6),
 			fmt.Sprintf("%.1f", float64(s.GangWallNs)/1e6),
 			fmt.Sprintf("%.2fx", s.GangSpeedup))
+	}
+	return t
+}
+
+// CrossSweepTable renders the cross-prefetcher sweep measurements (nil
+// when none were run).
+func (r *Report) CrossSweepTable() *stats.Table {
+	if len(r.CrossSweeps) == 0 {
+		return nil
+	}
+	t := &stats.Table{Header: []string{
+		"row", "cells", "auto-window", "serial-ms", "fixed-ms", "auto-ms", "fixed-speedup", "auto-speedup"}}
+	for _, s := range r.CrossSweeps {
+		t.AddRow(s.Name, len(s.Schemes)*len(s.Prefetchers), s.AutoWindow,
+			fmt.Sprintf("%.1f", float64(s.SerialWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.FixedWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.AutoWallNs)/1e6),
+			fmt.Sprintf("%.2fx", s.FixedSpeedup),
+			fmt.Sprintf("%.2fx", s.AutoSpeedup))
 	}
 	return t
 }

@@ -122,6 +122,29 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareMissingCells: matched reports pass, while a cell present in
+// only one report is a loud error naming the one-sided cells — never a
+// silent zero-delta row.
+func TestCompareMissingCells(t *testing.T) {
+	if err := Compare(sampleReport(), sampleReport()).MissingCells(); err != nil {
+		t.Errorf("identical reports reported missing cells: %v", err)
+	}
+	oldRep := sampleReport()
+	newRep := &Report{Cells: []Cell{
+		oldRep.Cells[0],
+		{App: "a", Scheme: "ship", Prefetcher: "fdp", Accesses: 1000, NsPerAccess: 10},
+	}}
+	err := Compare(oldRep, newRep).MissingCells()
+	if err == nil {
+		t.Fatal("one-sided cells must error")
+	}
+	for _, want := range []string{"a/opt/fdp", "a/ship/fdp"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("MissingCells error %q does not name %s", err, want)
+		}
+	}
+}
+
 // TestMeasureTiny runs a minimal grid end to end: one scheme, one
 // prefetcher, and a two-member gang sweep whose identical-results check is
 // live. Small n keeps this fast; it exercises the real simulator.
