@@ -193,6 +193,7 @@ func runSampleValidate(sim *cliutil.SimFlags, n int, apps string, errPct float64
 		s.GangSize = sim.SuiteGangSize(s.N)
 		s.GangWindow, _ = sim.ResolveGangWindow() // validated by main
 		s.ArtifactDir = artifactDir
+		s.PrepareWindow = sim.PrepareWindow
 		if sampled {
 			s.SampleSets = sampleSets
 			s.SampleOffset = sim.SampleOffset
@@ -302,6 +303,7 @@ func main() {
 		benchPfs     = flag.String("bench-prefetchers", "none,fdp", "prefetcher platforms for -bench-json (comma-separated)")
 		benchRepeats = flag.Int("bench-repeats", 3, "timed repetitions per -bench-json cell (best kept)")
 		benchSweeps  = flag.Bool("bench-sweeps", true, "also measure per-prefetcher gang-vs-serial sweep wall-clocks in -bench-json mode")
+		benchPrepare = flag.Bool("bench-prepare-sweeps", true, "also measure batch-vs-streamed cold-prepare wall-clock and peak heap (at n and 4n, scratch stores) in -bench-json mode")
 
 		compare    = flag.String("compare", "", "baseline bench JSON: compare per-cell ns/access against it and exit (new side: -compare-to, or the report just measured by -bench-json)")
 		compareTo  = flag.String("compare-to", "", "new-side bench JSON for -compare (empty = the -bench-json report measured in this run)")
@@ -402,7 +404,8 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats, ArtifactDir: sim.ArtifactDir}
+		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats, ArtifactDir: sim.ArtifactDir,
+			PrepareWindow: sim.PrepareWindow, PrepareSweeps: *benchPrepare}
 		if ss, err := sim.ResolveSampleSets(); err != nil {
 			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 			os.Exit(1)
@@ -439,6 +442,9 @@ func main() {
 		}
 		if st := rep.CrossSweepTable(); st != nil {
 			fmt.Printf("=== cross-prefetcher sweeps: serial vs gang (fixed / auto window) wall-clock per row (best of %d)\n%s", *benchRepeats, st)
+		}
+		if st := rep.PrepareSweepTable(); st != nil {
+			fmt.Printf("=== prepare sweeps: batch vs streamed cold prepare (scratch stores)\n%s", st)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 		// Finish the profiles before the comparison: its regression gate
@@ -498,6 +504,7 @@ func main() {
 	suite.GangWindow, _ = sim.ResolveGangWindow() // validated above
 	suite.CacheDir = *cacheDir
 	suite.ArtifactDir = sim.ArtifactDir
+	suite.PrepareWindow = sim.PrepareWindow
 	suite.SampleSets = sampleSets
 	suite.SampleOffset = sim.SampleOffset
 	if sampleSets > 0 {

@@ -45,6 +45,17 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// footprint counts distinct blocks in the collapsed access sequence —
+// the same set trace.Trace.Footprint reports, but computable for
+// streamed-prepared workloads that carry no Inst records.
+func footprint(blocks []uint64) int {
+	seen := make(map[uint64]struct{}, len(blocks)/8+1)
+	for _, b := range blocks {
+		seen[b] = struct{}{}
+	}
+	return len(seen)
+}
+
 // schemeRun is one scheme's simulation output: the timing result plus the
 // ACIC diagnostics note, when the scheme carries an ACIC complex.
 type schemeRun struct {
@@ -73,7 +84,7 @@ func main() {
 	}
 	pool := engine.NewPool(sim.Workers)
 	pipeline, err := experiments.NewPipeline(experiments.PipelineConfig{
-		N: *n, Dir: sim.ArtifactDir, Pool: pool,
+		N: *n, Dir: sim.ArtifactDir, Pool: pool, Window: sim.PrepareWindow,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -83,7 +94,7 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Printf("workload %s: %d instructions, %d block accesses, footprint %d blocks\n",
-		prof.Name, len(w.Trace.Insts), len(w.Blocks), w.Trace.Footprint())
+		prof.Name, w.Prog.Len(), len(w.Blocks), footprint(w.Blocks))
 
 	if *showDist {
 		dists := analysis.ReuseDistances(w.Blocks)

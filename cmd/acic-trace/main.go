@@ -135,7 +135,12 @@ func runWarm(args []string) {
 	n := fs.Int("n", 0, "trace length in instructions (0 = ACIC_BENCH_N or 400000; must match the simulation runs to be reused)")
 	names := fs.String("workloads", "", "comma-separated profile names (empty = all datacenter + SPEC profiles)")
 	workers := fs.Int("workers", 0, "preparation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
+	var prepareWindow int
+	cliutil.RegisterPrepareWindow(fs, &prepareWindow)
 	fs.Parse(args)
+	if prepareWindow < 0 {
+		fail("-prepare-window must be >= 0, got %d", prepareWindow)
+	}
 	if artifactDir == "" {
 		fail("warm needs -artifact-dir (or ACIC_ARTIFACT_DIR)")
 	}
@@ -153,7 +158,7 @@ func runWarm(args []string) {
 	}
 
 	pl, err := experiments.NewPipeline(experiments.PipelineConfig{
-		N: *n, Dir: artifactDir, Pool: engine.NewPool(*workers),
+		N: *n, Dir: artifactDir, Pool: engine.NewPool(*workers), Window: prepareWindow,
 	})
 	if err != nil {
 		// Warming exists only to fill the store; a store that cannot be
@@ -171,6 +176,10 @@ func runWarm(args []string) {
 		t.AddRow(st.Stage, st.Computed, st.FromStore)
 	}
 	fmt.Print(t.String())
+	if streamed := pl.Streamed(); streamed > 0 {
+		fmt.Printf("streamed prepare: %d workloads in windows of %d instructions (peak memory O(window))\n",
+			streamed, prepareWindow)
+	}
 	fmt.Printf("warmed %d workloads in %.1fs (store: %s)\n", len(apps), elapsed.Seconds(), artifactDir)
 
 	// The warmed programs are in memory, so the adaptive gang-window
@@ -247,23 +256,67 @@ func describeFile(path string) error {
 		return nil
 	}
 	fmt.Printf("%s: v2 container %q, %d sections, %d bytes\n", path, name, len(secs), len(data))
+	var instCount, instBytes uint64
 	for _, s := range secs {
 		fmt.Printf("  %s  %8d bytes%s\n", s.Tag, len(s.Data), sectionDetail(s))
+		if s.Tag == trace.SecInsts || s.Tag == trace.SecInstsZ {
+			if count, n := binary.Uvarint(s.Data); n > 0 {
+				instCount += count
+				instBytes += uint64(len(s.Data))
+			}
+		}
+	}
+	// Instruction sections may be chunked (one per streamed prepare
+	// window); summarize the whole stream's density in one line.
+	if instCount > 0 {
+		raw := instCount * instRecordBytes
+		fmt.Printf("  instructions: %d in %d encoded bytes = %.2f bytes/inst (raw %d bytes, %.1fx packed)\n",
+			instCount, instBytes, float64(instBytes)/float64(instCount), raw, float64(raw)/float64(instBytes))
 	}
 	return nil
 }
 
-// sectionDetail decodes the element count of the known section encodings.
-func sectionDetail(s trace.Section) string {
-	switch s.Tag {
-	case trace.SecInsts, trace.SecBlocks, trace.SecNextAt, trace.SecDataLat:
-		if count, n := binary.Uvarint(s.Data); n > 0 {
-			return fmt.Sprintf("  %d entries", count)
-		}
+// instRecordBytes is the in-memory size of one trace.Inst record — the
+// "raw" side of the inspect output's packing ratios.
+const instRecordBytes = 32
+
+// sectionRawWidth returns the decoded per-element width of a section's
+// payload, or 0 when the encoding carries no element count.
+func sectionRawWidth(tag string) uint64 {
+	switch tag {
+	case trace.SecInsts, trace.SecInstsZ:
+		return instRecordBytes
+	case trace.SecBlocks, trace.SecNextAt:
+		return 8
+	case trace.SecDataLat:
+		return 2
 	case trace.SecAnnot, trace.SecDesc:
-		return fmt.Sprintf("  %d entries", len(s.Data))
+		return 1
 	}
-	return ""
+	return 0
+}
+
+// sectionDetail decodes the element count of the known section encodings
+// and reports the raw (decoded) size next to the encoded one.
+func sectionDetail(s trace.Section) string {
+	var count uint64
+	switch s.Tag {
+	case trace.SecInsts, trace.SecInstsZ, trace.SecBlocks, trace.SecNextAt, trace.SecDataLat:
+		c, n := binary.Uvarint(s.Data)
+		if n <= 0 {
+			return ""
+		}
+		count = c
+	case trace.SecAnnot, trace.SecDesc:
+		count = uint64(len(s.Data))
+	default:
+		return ""
+	}
+	raw := count * sectionRawWidth(s.Tag)
+	if raw == 0 || len(s.Data) == 0 {
+		return fmt.Sprintf("  %d entries", count)
+	}
+	return fmt.Sprintf("  %d entries, raw %d bytes, %.2fx packed", count, raw, float64(raw)/float64(len(s.Data)))
 }
 
 func characterize(tr *trace.Trace) {

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"acic/internal/cache"
+)
+
+// NextUseBuilder computes the successor array of a block-access sequence
+// incrementally, one chunk at a time, producing exactly the array
+// NextUseArray builds from the whole sequence. The batch form needs the
+// full sequence for its backward pass; the builder instead patches
+// forward: a running last-seen table carries the most recent access index
+// of every block across chunk boundaries, and when block b is accessed
+// again at j, the earlier slot out[last[b]] — whichever chunk it landed
+// in — is patched to j. Slots never patched are exactly the "no later
+// access" slots and finish as cache.NeverUsed (DESIGN.md §12 gives the
+// equivalence argument).
+type NextUseBuilder struct {
+	out  []int64
+	last map[uint64]int64
+}
+
+// NewNextUseBuilder returns a builder; capHint sizes the array upfront
+// when the final sequence length is known (0 is fine).
+func NewNextUseBuilder(capHint int) *NextUseBuilder {
+	return &NextUseBuilder{
+		out:  make([]int64, 0, capHint),
+		last: make(map[uint64]int64, 1024),
+	}
+}
+
+// Append feeds the next chunk of the block-access sequence.
+func (b *NextUseBuilder) Append(blocks []uint64) {
+	for _, blk := range blocks {
+		i := int64(len(b.out))
+		if j, ok := b.last[blk]; ok {
+			b.out[j] = i
+		}
+		b.last[blk] = i
+		b.out = append(b.out, cache.NeverUsed)
+	}
+}
+
+// Len returns the number of accesses appended so far.
+func (b *NextUseBuilder) Len() int { return len(b.out) }
+
+// Finish returns the completed successor array. The builder must not be
+// appended to afterwards.
+func (b *NextUseBuilder) Finish() []int64 {
+	b.last = nil
+	return b.out
+}

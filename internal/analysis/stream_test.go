@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"acic/internal/cache"
+)
+
+func randomBlocks(rng *rand.Rand, n, distinct int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(rng.Intn(distinct)) * 7
+	}
+	return out
+}
+
+func TestNextUseBuilderMatchesArray(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 2, 100, 5003} {
+		blocks := randomBlocks(rng, n, 1+n/10)
+		want := NextUseArray(blocks)
+		for _, window := range []int{1, 3, 64, n, n + 17} {
+			if window == 0 {
+				window = 1
+			}
+			b := NewNextUseBuilder(n)
+			for lo := 0; lo < len(blocks); lo += window {
+				b.Append(blocks[lo:min(lo+window, len(blocks))])
+			}
+			got := b.Finish()
+			if len(got) != len(want) {
+				t.Fatalf("n=%d window=%d: len %d want %d", n, window, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d window=%d: out[%d] = %d, want %d", n, window, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNextUseBuilderChunkBoundaryCarry pins the carry across a window
+// edge explicitly: the successor of an access in one chunk lands in a
+// later chunk, and must patch the already-appended slot.
+func TestNextUseBuilderChunkBoundaryCarry(t *testing.T) {
+	b := NewNextUseBuilder(0)
+	b.Append([]uint64{10, 20, 10}) // chunk 1: 10@0, 20@1, 10@2
+	b.Append([]uint64{20, 30})     // chunk 2: 20@3, 30@4
+	b.Append([]uint64{10})         // chunk 3: 10@5
+	got := b.Finish()
+	want := []int64{2, 3, 5, cache.NeverUsed, cache.NeverUsed, cache.NeverUsed}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}

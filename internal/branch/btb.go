@@ -134,9 +134,18 @@ func NewFrontEnd() *FrontEnd {
 // the i-cache scheme, so one pass serves every scheme evaluated on the
 // trace.
 func (fe *FrontEnd) Annotate(tr *trace.Trace) []Annotation {
-	out := make([]Annotation, len(tr.Insts))
-	for i := range tr.Insts {
-		in := &tr.Insts[i]
+	return fe.AnnotateInsts(tr.Insts)
+}
+
+// AnnotateInsts is Annotate over a bare instruction window. The pass is a
+// plain sequential walk over predictor state, so feeding a trace through
+// one FrontEnd window by window yields exactly the annotations of a single
+// whole-trace call — that per-window form is what the streaming prepare
+// pipeline runs (DESIGN.md §12).
+func (fe *FrontEnd) AnnotateInsts(insts []trace.Inst) []Annotation {
+	out := make([]Annotation, len(insts))
+	for i := range insts {
+		in := &insts[i]
 		fallthru := in.PC + 4
 		switch in.Class {
 		case trace.ClassCondBranch:

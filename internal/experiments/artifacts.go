@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"acic/internal/analysis"
 	"acic/internal/branch"
@@ -37,6 +38,7 @@ import (
 // through the store's atomic temp-file-and-rename writes.
 type Pipeline struct {
 	n      int
+	window int
 	memCfg mem.Config
 	lookup func(string) (workload.Profile, bool)
 
@@ -45,6 +47,18 @@ type Pipeline struct {
 	nextats   *engine.Group[string, []int64]
 	datalats  *engine.Group[string, []int16]
 	workloads *engine.Group[string, *Workload]
+
+	// Typed store handles, retained alongside the groups' Cache fields so
+	// the streamed prepare (stream.go) can probe warmth (Has) and write
+	// artifacts directly — it bypasses the stage groups entirely, fusing
+	// all four passes into one windowed walk. All nil when no store is
+	// configured.
+	traceStore   *engine.DiskCache[string, *trace.Trace]
+	programStore *engine.DiskCache[string, *cpu.Program]
+	nextatStore  *engine.DiskCache[string, []int64]
+	datalatStore *engine.DiskCache[string, []int16]
+
+	streamed atomic.Int64
 }
 
 // PipelineConfig configures NewPipeline.
@@ -60,6 +74,13 @@ type PipelineConfig struct {
 	Pool *engine.Pool
 	// Lookup resolves app names to profiles (nil = workload.ByName).
 	Lookup func(string) (workload.Profile, bool)
+	// Window, when > 0, turns cold preparation into the windowed streaming
+	// pipeline: generation, branch annotation, descriptor derivation, the
+	// successor array, and the data-latency replay advance together Window
+	// instructions at a time, so peak memory is O(Window) instruction
+	// records instead of O(N). Artifacts land in the store byte-identical
+	// to the batch path's; warm loads are unaffected. 0 = batch prepare.
+	Window int
 }
 
 // NewPipeline builds the staged pipeline. When the artifact store cannot
@@ -76,7 +97,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Lookup == nil {
 		cfg.Lookup = workload.ByName
 	}
-	pl := &Pipeline{n: cfg.N, memCfg: mem.DefaultConfig(), lookup: cfg.Lookup}
+	pl := &Pipeline{n: cfg.N, window: cfg.Window, memCfg: mem.DefaultConfig(), lookup: cfg.Lookup}
 
 	pl.traces = engine.NewGroup(cfg.Pool, func(app string) (*trace.Trace, error) {
 		prof, ok := pl.lookup(app)
@@ -177,6 +198,10 @@ func (pl *Pipeline) openStore(dir string) error {
 	pl.programs.Cache = programs
 	pl.nextats.Cache = nextats
 	pl.datalats.Cache = datalats
+	pl.traceStore = traces
+	pl.programStore = programs
+	pl.nextatStore = nextats
+	pl.datalatStore = datalats
 	return nil
 }
 
@@ -257,6 +282,12 @@ func (pl *Pipeline) assemble(app string) (*Workload, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", app)
 	}
+	// Windowed mode streams cold preparation; a fully warm store still
+	// takes the batch load path below (loading is already cheap and keeps
+	// the zero-regeneration warm semantics byte-for-byte identical).
+	if pl.window > 0 && !pl.storeWarm(app) {
+		return pl.assembleStreamed(app, prof)
+	}
 	prog, err := pl.programs.Get(app)
 	if err != nil {
 		return nil, err
@@ -306,6 +337,11 @@ func (pl *Pipeline) Require(apps ...string) error {
 // and program, deduplicated by singleflight), so one app's successor
 // array never waits on another app's data-hierarchy replay.
 func (pl *Pipeline) Warm(apps ...string) error {
+	if pl.window > 0 {
+		// Streamed preparation produces all four artifacts in one fused
+		// pass per workload, so warming is just requiring the workloads.
+		return pl.workloads.Require(apps...)
+	}
 	var wg sync.WaitGroup
 	var dlErr, naErr error
 	wg.Add(2)
@@ -333,13 +369,21 @@ type StageStats struct {
 // Computed == 0 on every stage; that is what "skipping the prepare phase"
 // means and what the regression tests assert.
 func (pl *Pipeline) Stats() []StageStats {
-	return []StageStats{
+	stats := []StageStats{
 		{"trace", pl.traces.Computed(), pl.traces.CacheHits()},
 		{"program", pl.programs.Computed(), pl.programs.CacheHits()},
 		{"nextat", pl.nextats.Computed(), pl.nextats.CacheHits()},
 		{"datalat", pl.datalats.Computed(), pl.datalats.CacheHits()},
 	}
+	if pl.window > 0 {
+		stats = append(stats, StageStats{Stage: "streamed", Computed: pl.streamed.Load()})
+	}
+	return stats
 }
+
+// Streamed returns how many workloads were prepared through the fused
+// windowed pipeline (always 0 in batch mode or on a warm store).
+func (pl *Pipeline) Streamed() int64 { return pl.streamed.Load() }
 
 // Regenerated returns the total number of stage artifacts produced by
 // compute functions (0 on a fully warm store).

@@ -92,6 +92,62 @@ func (d *DiskCache[K, V]) Load(k K) (V, bool) {
 	return v, true
 }
 
+// Has reports whether an entry for k exists on disk, without reading or
+// decoding it. A true result is no guarantee the entry will decode — Load
+// still treats corruption as a miss — it only routes callers that choose
+// between a warm load path and a regenerating path.
+func (d *DiskCache[K, V]) Has(k K) bool {
+	_, err := os.Stat(d.path(k))
+	return err == nil
+}
+
+// StreamEntry is a streaming Store in progress: the caller writes the
+// encoded value to F incrementally (F is a fresh temp file, so seeking is
+// allowed), then either Commit renames it into place atomically or Abort
+// discards it. Best-effort like Store: both outcomes only decide whether
+// a future Load hits.
+type StreamEntry struct {
+	F    *os.File
+	path string
+	done bool
+}
+
+// BeginStream starts a streaming Store for k. ok is false when the store
+// cannot create a temp file — callers skip persistence and continue.
+func (d *DiskCache[K, V]) BeginStream(k K) (*StreamEntry, bool) {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return nil, false
+	}
+	return &StreamEntry{F: tmp, path: d.path(k)}, true
+}
+
+// Commit finalizes the entry: close, then atomic rename, so concurrent
+// readers never observe a partial artifact.
+func (e *StreamEntry) Commit() {
+	if e == nil || e.done {
+		return
+	}
+	e.done = true
+	if err := e.F.Close(); err != nil {
+		os.Remove(e.F.Name())
+		return
+	}
+	if err := os.Rename(e.F.Name(), e.path); err != nil {
+		os.Remove(e.F.Name())
+	}
+}
+
+// Abort discards the in-progress entry.
+func (e *StreamEntry) Abort() {
+	if e == nil || e.done {
+		return
+	}
+	e.done = true
+	e.F.Close()
+	os.Remove(e.F.Name())
+}
+
 // Store implements Cache. The value is written to a temp file and renamed
 // so concurrent readers never observe a partial entry.
 func (d *DiskCache[K, V]) Store(k K, v V) {

@@ -29,7 +29,7 @@ func (s *Suite) Fig1a() (*stats.Table, error) {
 	rows := make([][6]float64, len(apps))
 	err := s.each(len(apps), func(i int) error {
 		w := s.wl(apps[i])
-		refs := analysis.InstBlockRefs(w.Trace)
+		refs := w.Prog.BlockRefs()
 		dists := analysis.SampledReuseDistances(refs, s.sampleFilter(apps[i]))
 		fr := analysis.Distribution(dists, analysis.Fig1aEdges)
 		copy(rows[i][:], fr)
@@ -54,7 +54,7 @@ func (s *Suite) Fig1b(app string) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	refs := analysis.InstBlockRefs(w.Trace)
+	refs := w.Prog.BlockRefs()
 	chain := analysis.SampledMarkovChain(refs, analysis.Fig1aEdges, s.sampleFilter(app))
 	labels := []string{"0", "1-16", "16-512", "512-1024", "1024-10000", ">10000"}
 	t := &stats.Table{Header: append([]string{"from\\to"}, labels...)}

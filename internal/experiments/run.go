@@ -217,8 +217,10 @@ func platformConfig(prefetcher string) (cpu.Config, error) {
 }
 
 // warmup returns the warmup instruction count for a workload under opts.
+// Length comes from the Program, not the trace — streamed-prepared
+// workloads carry no Inst records.
 func warmup(w *Workload, opts Options) int64 {
-	return int64(float64(len(w.Trace.Insts)) * opts.WarmupFrac)
+	return int64(float64(w.Prog.Len()) * opts.WarmupFrac)
 }
 
 // RunSubsystem simulates a pre-built subsystem over the workload. With

@@ -67,6 +67,12 @@ type Suite struct {
 	// ArtifactDir may point at the same directory — result entries are
 	// .json, artifacts .actr.
 	ArtifactDir string
+	// PrepareWindow, when > 0, streams cold workload preparation in
+	// windows of that many instructions (see PipelineConfig.Window): peak
+	// prepare memory drops from O(N) instruction records to O(window),
+	// artifacts and results stay byte-identical, and a warm artifact store
+	// is loaded exactly as in batch mode. 0 keeps the batch prepare.
+	PrepareWindow int
 	// SampleSets, when > 0, switches every simulation the suite runs into
 	// the set-sampled fast mode: only SampleSets of the 64 i-cache sets
 	// are simulated (one per stride-sized constituency, SDM methodology)
@@ -166,7 +172,7 @@ func (s *Suite) init() {
 		_, sampleErr := SampleConfigFor(s.SampleSets, s.SampleOffset, "")
 		s.pool = engine.NewPool(s.Workers)
 		var plErr error
-		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool})
+		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool, Window: s.PrepareWindow})
 		s.results = engine.NewGroup(s.pool, s.computeCell)
 		if s.CacheDir != "" {
 			cache, err := engine.NewDiskCache[Cell, cpu.Result](s.CacheDir, s.cacheKey)

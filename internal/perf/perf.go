@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"acic/internal/cpu"
@@ -101,6 +102,26 @@ type CrossSweep struct {
 	AutoSpeedup  float64  `json:"auto_speedup"`  // serial wall / auto-window gang wall
 }
 
+// PrepareSweep is one cold-prepare measurement: the same workload prepared
+// from an empty artifact store through the batch path and through the
+// windowed streaming pipeline, recording wall-clock and peak live-heap
+// growth for each, with the two lanes' prepared arrays verified identical
+// before the numbers are reported. The peak-reduction column is the
+// memory claim the streaming prepare makes (cold peak O(window) instead
+// of O(trace)); committing it to bench/trajectory keeps it regressable.
+type PrepareSweep struct {
+	App                string  `json:"app"`
+	N                  int     `json:"trace_instructions"`
+	Window             int     `json:"window"`
+	BatchWallNs        int64   `json:"batch_wall_ns"`
+	BatchPeakBytes     int64   `json:"batch_peak_bytes"`
+	StreamedWallNs     int64   `json:"streamed_wall_ns"`
+	StreamedPeakBytes  int64   `json:"streamed_peak_bytes"`
+	PeakReduction      float64 `json:"peak_reduction"` // batch peak / streamed peak
+	ArraysIdentical    bool    `json:"arrays_identical"`
+	ArtifactsLoadClean bool    `json:"artifacts_load_clean"` // batch pipeline warm-loads the streamed store
+}
+
 // CrossSweepRow names a tracked cross-prefetcher row composition.
 type CrossSweepRow struct {
 	Name        string
@@ -137,12 +158,19 @@ type Report struct {
 	// With a warm artifact store it collapses to the time needed to load
 	// and reassemble the artifacts — the "prepare ~0" the staged pipeline
 	// targets; PrepareStages records where the time went.
-	PrepareWallNs int64                    `json:"prepare_wall_ns"`
-	PrepareStages []experiments.StageStats `json:"prepare_stages,omitempty"`
-	Cells         []Cell                   `json:"cells"`
-	Sweeps        []Sweep                  `json:"gang_sweeps,omitempty"`
-	SampledSweeps []SampledSweep           `json:"sampled_sweeps,omitempty"`
-	CrossSweeps   []CrossSweep             `json:"cross_sweeps,omitempty"`
+	PrepareWallNs int64 `json:"prepare_wall_ns"`
+	// PreparePeakBytes is the high-water mark of the live heap
+	// (runtime.MemStats HeapAlloc, sampled every millisecond) over the
+	// prepare phase, relative to the GC-settled baseline before it — the
+	// number the streaming prepare (-prepare-window) shrinks.
+	PreparePeakBytes int64                    `json:"prepare_peak_bytes"`
+	PrepareWindow    int                      `json:"prepare_window,omitempty"`
+	PrepareStages    []experiments.StageStats `json:"prepare_stages,omitempty"`
+	Cells            []Cell                   `json:"cells"`
+	Sweeps           []Sweep                  `json:"gang_sweeps,omitempty"`
+	SampledSweeps    []SampledSweep           `json:"sampled_sweeps,omitempty"`
+	CrossSweeps      []CrossSweep             `json:"cross_sweeps,omitempty"`
+	PrepareSweeps    []PrepareSweep           `json:"prepare_sweeps,omitempty"`
 }
 
 // Config selects the measurement grid.
@@ -156,7 +184,18 @@ type Config struct {
 	GangWindow  int      // gang traversal window for the plain gang sweeps (experiments.Options.GangWindow encoding)
 	SampleSets  int      // also measure set-sampled sweeps at this -sample-sets (0 = skip)
 	ArtifactDir string   // persistent workload artifact store ("" = prepare in memory)
+	// PrepareWindow streams the report's own prepare phase in windows of
+	// this many instructions (0 = batch), mirroring -prepare-window.
+	PrepareWindow int
+	// PrepareSweeps adds the batch-vs-streamed cold-prepare measurements
+	// (wall + peak heap, over scratch stores) at N and 4N instructions.
+	PrepareSweeps bool
 }
+
+// DefaultPrepareWindow is the streaming window the prepare sweeps (and CI)
+// use when none is pinned: 64k instructions keeps the resident window
+// around 2 MB while staying far above the per-window fixed costs.
+const DefaultPrepareWindow = 1 << 16
 
 // DefaultSchemes is the tracked scheme set: the baseline, the learned and
 // oracle policies whose inner loops this repo optimizes, and the bypass
@@ -197,24 +236,32 @@ func Measure(cfg Config) (*Report, error) {
 	cfg.defaults()
 	s := experiments.NewSuite(cfg.N)
 	s.ArtifactDir = cfg.ArtifactDir
+	s.PrepareWindow = cfg.PrepareWindow
 	// An unusable artifact store would silently measure a cold prepare
 	// phase; fail like the -exp path does instead of benchmarking a lie.
 	if err := s.CacheError(); err != nil {
 		return nil, err
 	}
+	var w *experiments.Workload
 	prepStart := time.Now()
-	w, err := s.Workload(cfg.App)
+	peak, err := heapWatermark(func() error {
+		var err error
+		w, err = s.Workload(cfg.App)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	prepare := time.Since(prepStart)
 	rep := &Report{
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		N:             cfg.N,
-		PrepareWallNs: prepare.Nanoseconds(),
-		PrepareStages: s.PrepareStats(),
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		N:                cfg.N,
+		PrepareWallNs:    prepare.Nanoseconds(),
+		PreparePeakBytes: peak,
+		PrepareWindow:    cfg.PrepareWindow,
+		PrepareStages:    s.PrepareStats(),
 	}
 	for _, pf := range cfg.Prefetchers {
 		for _, scheme := range cfg.Schemes {
@@ -252,7 +299,161 @@ func Measure(cfg Config) (*Report, error) {
 			rep.CrossSweeps = append(rep.CrossSweeps, sweep)
 		}
 	}
+	if cfg.PrepareSweeps {
+		for _, n := range []int{cfg.N, 4 * cfg.N} {
+			sweep, err := measurePrepareSweep(cfg.App, n, cfg.PrepareWindow)
+			if err != nil {
+				return nil, fmt.Errorf("perf: prepare sweep n=%d: %w", n, err)
+			}
+			rep.PrepareSweeps = append(rep.PrepareSweeps, sweep)
+		}
+	}
 	return rep, nil
+}
+
+// heapWatermark runs fn while sampling the live heap every millisecond and
+// returns the high-water HeapAlloc growth over the GC-settled baseline
+// taken just before fn. A final read after fn catches work that outpaces
+// the ticker. Sampling is approximate by nature — short allocation spikes
+// between ticks can be missed — but the prepare phases it measures run for
+// hundreds of ticks, and the trajectory gate compares like against like.
+//
+// GC is tightened for the duration (GOGC 20) so the watermark tracks live
+// bytes rather than collector slack: under the default GOGC=100 deadband
+// HeapAlloc is allowed to reach ~2x the live set before a collection, a
+// slack proportional to allocation rate rather than footprint, which would
+// flatter whichever lane allocates less and keeps more resident. Both
+// prepare lanes are measured under the same setting.
+func heapWatermark(fn func() error) (int64, error) {
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base, high := ms.HeapAlloc, ms.HeapAlloc
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > high {
+					high = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	err := fn()
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > high {
+		high = ms.HeapAlloc
+	}
+	if high < base {
+		return 0, err
+	}
+	return int64(high - base), err
+}
+
+// measurePrepareSweep cold-prepares one workload of n instructions twice —
+// batch and streamed, each over its own scratch artifact store — and
+// verifies (a) the two lanes produced identical prepared arrays and (b) a
+// batch pipeline over the streamed store warm-loads it with zero
+// regenerations, before reporting the wall/peak-heap numbers.
+func measurePrepareSweep(app string, n, window int) (PrepareSweep, error) {
+	if window <= 0 {
+		window = DefaultPrepareWindow
+	}
+	lane := func(win int) (*experiments.Workload, string, int64, int64, error) {
+		dir, err := os.MkdirTemp("", "acic-prepare-sweep-*")
+		if err != nil {
+			return nil, "", 0, 0, err
+		}
+		pl, err := experiments.NewPipeline(experiments.PipelineConfig{N: n, Dir: dir, Window: win})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", 0, 0, err
+		}
+		var w *experiments.Workload
+		start := time.Now()
+		peak, err := heapWatermark(func() error {
+			var err error
+			w, err = pl.Workload(app)
+			return err
+		})
+		wall := time.Since(start).Nanoseconds()
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", 0, 0, err
+		}
+		return w, dir, wall, peak, nil
+	}
+
+	batchW, batchDir, batchWall, batchPeak, err := lane(0)
+	if err != nil {
+		return PrepareSweep{}, err
+	}
+	defer os.RemoveAll(batchDir)
+	// The identity check below reads only the prepared arrays, so drop the
+	// batch lane's instruction records before timing the streamed lane: GC
+	// pacing budgets heap growth proportional to *total* live bytes, and 32
+	// bytes/inst of dead batch state would hand the streamed lane extra
+	// slack its watermark would charge as its own.
+	batchW.Prog.Trace.Insts = nil
+	streamW, streamDir, streamWall, streamPeak, err := lane(window)
+	if err != nil {
+		return PrepareSweep{}, err
+	}
+	defer os.RemoveAll(streamDir)
+
+	identical := equalSlices(batchW.Prog.Desc, streamW.Prog.Desc) &&
+		equalSlices(batchW.Prog.Blocks, streamW.Prog.Blocks) &&
+		equalSlices(batchW.Prog.MemBlk, streamW.Prog.MemBlk) &&
+		equalSlices(batchW.Prog.DataLat, streamW.Prog.DataLat) &&
+		equalSlices(batchW.Ann, streamW.Ann) &&
+		equalSlices(batchW.NextAt, streamW.NextAt)
+
+	loadClean := false
+	if warm, err := experiments.NewPipeline(experiments.PipelineConfig{N: n, Dir: streamDir}); err == nil {
+		if _, err := warm.Workload(app); err == nil {
+			loadClean = warm.Regenerated() == 0
+		}
+	}
+
+	reduction := 0.0
+	if streamPeak > 0 {
+		reduction = float64(batchPeak) / float64(streamPeak)
+	}
+	return PrepareSweep{
+		App:                app,
+		N:                  n,
+		Window:             window,
+		BatchWallNs:        batchWall,
+		BatchPeakBytes:     batchPeak,
+		StreamedWallNs:     streamWall,
+		StreamedPeakBytes:  streamPeak,
+		PeakReduction:      reduction,
+		ArraysIdentical:    identical,
+		ArtifactsLoadClean: loadClean,
+	}, nil
+}
+
+func equalSlices[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // measureCrossSweep times one cross-prefetcher row three ways — the
@@ -529,7 +730,7 @@ func measureCell(w *experiments.Workload, app, scheme, pf string, repeats int) (
 		Scheme:         scheme,
 		Prefetcher:     pf,
 		Accesses:       accesses,
-		Instructions:   int64(len(w.Trace.Insts)),
+		Instructions:   int64(w.Prog.Len()),
 		Runs:           repeats,
 		NsPerAccess:    ns,
 		AccessesPerSec: 1e9 / ns,
@@ -569,16 +770,44 @@ func (r *Report) Table() *stats.Table {
 }
 
 // PrepareSummary renders the prepare-phase measurement as one line: the
-// wall-clock plus how many stage artifacts were regenerated vs. loaded
-// from the store.
+// wall-clock and peak live-heap growth, plus how many stage artifacts were
+// regenerated vs. loaded from the store.
 func (r *Report) PrepareSummary() string {
 	var computed, loaded int64
 	for _, st := range r.PrepareStages {
 		computed += st.Computed
 		loaded += st.FromStore
 	}
-	return fmt.Sprintf("prepare phase: %.1fms (%d stage artifacts regenerated, %d from store)",
-		float64(r.PrepareWallNs)/1e6, computed, loaded)
+	mode := ""
+	if r.PrepareWindow > 0 {
+		mode = fmt.Sprintf(", streamed window %d", r.PrepareWindow)
+	}
+	return fmt.Sprintf("prepare phase: %.1fms, peak heap +%.1fMB (%d stage artifacts regenerated, %d from store%s)",
+		float64(r.PrepareWallNs)/1e6, float64(r.PreparePeakBytes)/(1<<20), computed, loaded, mode)
+}
+
+// PrepareSweepTable renders the batch-vs-streamed cold-prepare
+// measurements (nil when none were run).
+func (r *Report) PrepareSweepTable() *stats.Table {
+	if len(r.PrepareSweeps) == 0 {
+		return nil
+	}
+	t := &stats.Table{Header: []string{
+		"n", "window", "batch-ms", "streamed-ms", "batch-peak-MB", "streamed-peak-MB", "peak-reduction", "identical"}}
+	for _, s := range r.PrepareSweeps {
+		ident := "yes"
+		if !s.ArraysIdentical || !s.ArtifactsLoadClean {
+			ident = "NO"
+		}
+		t.AddRow(s.N, s.Window,
+			fmt.Sprintf("%.1f", float64(s.BatchWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.StreamedWallNs)/1e6),
+			fmt.Sprintf("%.1f", float64(s.BatchPeakBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(s.StreamedPeakBytes)/(1<<20)),
+			fmt.Sprintf("%.2fx", s.PeakReduction),
+			ident)
+	}
+	return t
 }
 
 // SampledSweepTable renders the set-sampled fast-mode sweep measurements

@@ -217,6 +217,51 @@ func TestMeasurePrepareStats(t *testing.T) {
 	}
 }
 
+// TestMeasurePrepareSweep runs the batch-vs-streamed cold-prepare
+// measurement end to end at a small n: both identity verdicts must hold
+// (they gate the trajectory file's memory claim), the peaks must be
+// positive, and the table/summary renderers must carry the numbers.
+func TestMeasurePrepareSweep(t *testing.T) {
+	rep, err := Measure(Config{
+		App: "media-streaming", N: 20_000,
+		Schemes: []string{"lru"}, Prefetchers: []string{"none"},
+		Repeats: 1, GangSize: -1,
+		PrepareSweeps: true, PrepareWindow: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PrepareSweeps) != 2 {
+		t.Fatalf("measured %d prepare sweeps, want 2 (n and 4n)", len(rep.PrepareSweeps))
+	}
+	for _, s := range rep.PrepareSweeps {
+		if !s.ArraysIdentical {
+			t.Errorf("n=%d: streamed arrays diverge from batch", s.N)
+		}
+		if !s.ArtifactsLoadClean {
+			t.Errorf("n=%d: batch pipeline could not warm-load the streamed store", s.N)
+		}
+		if s.Window != 2048 {
+			t.Errorf("n=%d: window %d, want 2048", s.N, s.Window)
+		}
+		if s.BatchPeakBytes <= 0 || s.StreamedPeakBytes <= 0 || s.BatchWallNs <= 0 || s.StreamedWallNs <= 0 {
+			t.Errorf("implausible prepare sweep: %+v", s)
+		}
+	}
+	if rep.PrepareSweeps[1].N != 4*rep.PrepareSweeps[0].N {
+		t.Errorf("sweep rows n=%d,%d; want the second at 4x", rep.PrepareSweeps[0].N, rep.PrepareSweeps[1].N)
+	}
+	if tbl := rep.PrepareSweepTable(); tbl == nil || !strings.Contains(tbl.String(), "2048") {
+		t.Errorf("prepare sweep table = %v", tbl)
+	}
+	if st := (&Report{}).PrepareSweepTable(); st != nil {
+		t.Error("empty report must have no prepare sweep table")
+	}
+	if s := rep.PrepareSummary(); !strings.Contains(s, "peak heap") {
+		t.Errorf("prepare summary missing peak: %q", s)
+	}
+}
+
 // TestMeasureSkipsSweeps: a negative GangSize disables the sweep section.
 func TestMeasureSkipsSweeps(t *testing.T) {
 	rep, err := Measure(Config{

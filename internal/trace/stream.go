@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Packed instruction sections and chunked container writing.
+//
+// The original SecInsts payload spends ~4B per instruction: a varint PC
+// delta, a flags byte, and (for branches/mem ops) a raw operand varint.
+// The packed SecInstsZ payload folds the dominant structure of the stream
+// into single tokens:
+//
+//	payload := count uvarint, then records
+//	token   := uvarint(u<<5 | op)
+//	op 0..15:  one record; class = op>>1, taken = op&1,
+//	           u = zigzag((PC-prevPC)/4)   (instruction PCs are 4-aligned)
+//	           branches append uvarint(zigzag((Target-PC)/4))
+//	           loads/stores append uvarint(zigzag(MemAddr-prevMem))
+//	op 16:     a run of u sequential not-taken ALU instructions, each
+//	           advancing the PC by 4
+//	op 17:     escape for records the folded forms cannot carry (PC or
+//	           target not 4-aligned): uvarint(zigzag(PC-prevPC)), the
+//	           SecInsts flags byte, then the SecInsts operand encoding
+//
+// Sequential fetch makes the common tokens one byte (delta/4 = 1 folds to
+// token 64+op) and collapses straight-line ALU runs to one or two bytes,
+// so the packed stream lands well under the old 4B/inst. Each section is
+// self-contained — prevPC and prevMem reset to zero per section — which is
+// what lets the streaming writer emit one section per window and the
+// reader concatenate any number of SecInstsZ sections back into one trace.
+
+// SecInstsZ tags a packed instruction section. A container may carry
+// several (one per streamed window); Read concatenates them in order.
+const SecInstsZ = "INSZ"
+
+const (
+	packedOpShift  = 5
+	packedOpMask   = 1<<packedOpShift - 1
+	packedOpRun    = 16 // u = run length of sequential ALU records
+	packedOpEscape = 17 // raw SecInsts-style record follows
+)
+
+// EncodeInstsPacked encodes an instruction stream as a SecInstsZ payload.
+func EncodeInstsPacked(insts []Inst) []byte {
+	out := make([]byte, 0, len(insts)+len(insts)/2+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(insts)))
+	var prevPC, prevMem uint64
+	for i := 0; i < len(insts); {
+		in := &insts[i]
+		// Maximal run of sequential not-taken ALU instructions.
+		if in.Class == ClassALU && !in.Taken && in.PC == prevPC+instAlign {
+			j := i + 1
+			for j < len(insts) && insts[j].Class == ClassALU && !insts[j].Taken &&
+				insts[j].PC == insts[j-1].PC+instAlign {
+				j++
+			}
+			if run := j - i; run >= 2 {
+				out = binary.AppendUvarint(out, uint64(run)<<packedOpShift|packedOpRun)
+				prevPC = insts[j-1].PC
+				i = j
+				continue
+			}
+		}
+		pcDelta := int64(in.PC - prevPC)
+		tgtDelta := int64(in.Target - in.PC)
+		foldable := in.Class < 16 && pcDelta%instAlign == 0 &&
+			(!in.Class.IsBranch() || tgtDelta%instAlign == 0)
+		if foldable {
+			op := uint64(in.Class) << 1
+			if in.Taken {
+				op |= 1
+			}
+			out = binary.AppendUvarint(out, zigzag(pcDelta/instAlign)<<packedOpShift|op)
+			if in.Class.IsBranch() {
+				out = binary.AppendUvarint(out, zigzag(tgtDelta/instAlign))
+			}
+		} else {
+			out = binary.AppendUvarint(out, packedOpEscape) // u = 0
+			out = binary.AppendUvarint(out, zigzag(pcDelta))
+			flags := byte(in.Class)
+			if in.Taken {
+				flags |= 0x80
+			}
+			out = append(out, flags)
+			if in.Class.IsBranch() {
+				out = binary.AppendUvarint(out, zigzag(tgtDelta))
+			}
+		}
+		if in.Class.IsMem() {
+			out = binary.AppendUvarint(out, zigzag(int64(in.MemAddr-prevMem)))
+			prevMem = in.MemAddr
+		}
+		prevPC = in.PC
+		i++
+	}
+	return out
+}
+
+// instAlign is the fixed instruction encoding width assumed by the folded
+// token forms; anything else rides the escape op.
+const instAlign = 4
+
+// DecodeInstsPacked decodes one SecInstsZ payload.
+func DecodeInstsPacked(data []byte) ([]Inst, error) {
+	return AppendInstsPacked(nil, data)
+}
+
+// AppendInstsPacked decodes a SecInstsZ payload, appending to dst — the
+// reader uses it to concatenate the per-window sections a streamed
+// container carries.
+func AppendInstsPacked(dst []Inst, data []byte) ([]Inst, error) {
+	pos := 0
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	count, ok := uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: packed instruction count: truncated varint", ErrBadFormat)
+	}
+	// A run token covers many records in one payload byte, so the old
+	// ">= 1 byte per record" bound no longer caps count. Bound the upfront
+	// allocation instead: a lying count fails on a truncated token once
+	// the payload runs dry, after only bounded growth.
+	if count > maxSaneLen {
+		return nil, fmt.Errorf("%w: packed instruction count %d too large", ErrBadFormat, count)
+	}
+	if dst == nil {
+		dst = make([]Inst, 0, min(count, 1<<20))
+	}
+	var prevPC, prevMem uint64
+	for n := uint64(0); n < count; {
+		tok, ok := uvarint()
+		if !ok {
+			return nil, fmt.Errorf("%w: packed record %d: truncated token", ErrBadFormat, n)
+		}
+		op := tok & packedOpMask
+		u := tok >> packedOpShift
+		var in Inst
+		switch {
+		case op == packedOpRun:
+			if u < 1 || u > count-n {
+				return nil, fmt.Errorf("%w: packed record %d: run of %d exceeds count %d", ErrBadFormat, n, u, count)
+			}
+			for k := uint64(0); k < u; k++ {
+				prevPC += instAlign
+				dst = append(dst, Inst{PC: prevPC, Class: ClassALU})
+			}
+			n += u
+			continue
+		case op == packedOpEscape:
+			d, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("%w: packed record %d: truncated escape delta", ErrBadFormat, n)
+			}
+			if pos >= len(data) {
+				return nil, fmt.Errorf("%w: packed record %d: truncated flags", ErrBadFormat, n)
+			}
+			flags := data[pos]
+			pos++
+			in = Inst{PC: prevPC + uint64(unzigzag(d)), Class: Class(flags & 0x7f), Taken: flags&0x80 != 0}
+			if in.Class >= numClasses {
+				return nil, fmt.Errorf("%w: packed record %d: bad class %d", ErrBadFormat, n, in.Class)
+			}
+			if in.Class.IsBranch() {
+				td, ok := uvarint()
+				if !ok {
+					return nil, fmt.Errorf("%w: packed record %d: truncated target", ErrBadFormat, n)
+				}
+				in.Target = in.PC + uint64(unzigzag(td))
+			}
+		default:
+			in = Inst{PC: prevPC + uint64(unzigzag(u)*instAlign), Class: Class(op >> 1), Taken: op&1 != 0}
+			if in.Class >= numClasses {
+				return nil, fmt.Errorf("%w: packed record %d: bad class %d", ErrBadFormat, n, in.Class)
+			}
+			if in.Class.IsBranch() {
+				td, ok := uvarint()
+				if !ok {
+					return nil, fmt.Errorf("%w: packed record %d: truncated target", ErrBadFormat, n)
+				}
+				in.Target = in.PC + uint64(unzigzag(td)*instAlign)
+			}
+		}
+		if in.Class.IsMem() {
+			d, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("%w: packed record %d: truncated memaddr", ErrBadFormat, n)
+			}
+			in.MemAddr = prevMem + uint64(unzigzag(d))
+			prevMem = in.MemAddr
+		}
+		prevPC = in.PC
+		dst = append(dst, in)
+		n++
+	}
+	return dst, nil
+}
+
+// ContainerWriter writes a v2 container section by section, so a streamed
+// producer can append windows as they are generated instead of holding the
+// whole image in memory. The section count is not known up front; Close
+// patches it into the header, which is why the writer needs an
+// io.WriteSeeker (the artifact store hands it the temp file it later
+// renames into place).
+type ContainerWriter struct {
+	ws   io.WriteSeeker
+	bw   *bufio.Writer
+	nsec uint32
+	err  error
+}
+
+// nsecOffset is the byte offset of the section-count field in the
+// container header: magic[4] + version[4] + nameLen[4].
+const nsecOffset = 12
+
+// NewContainerWriter writes the container header with a zero section
+// count and returns a writer ready for WriteSection calls.
+func NewContainerWriter(ws io.WriteSeeker, name string) (*ContainerWriter, error) {
+	if len(name) > 1<<16 {
+		return nil, fmt.Errorf("trace: container name %d bytes exceeds the reader's %d limit", len(name), 1<<16)
+	}
+	bw := bufio.NewWriterSize(ws, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], codecVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(name)))
+	binary.LittleEndian.PutUint32(hdr[8:12], 0) // patched by Close
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &ContainerWriter{ws: ws, bw: bw}, nil
+}
+
+// WriteSection appends one tagged section.
+func (cw *ContainerWriter) WriteSection(tag string, data []byte) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if len(tag) != 4 {
+		return fmt.Errorf("trace: section tag %q must be 4 bytes", tag)
+	}
+	if uint64(len(data)) > maxSaneLen {
+		return fmt.Errorf("trace: section %q payload %d bytes exceeds the reader's limit", tag, len(data))
+	}
+	if cw.nsec >= 1<<10 {
+		cw.err = fmt.Errorf("trace: section count exceeds the reader's %d limit", 1<<10)
+		return cw.err
+	}
+	var sh [16]byte
+	copy(sh[0:4], tag)
+	binary.LittleEndian.PutUint64(sh[4:12], uint64(len(data)))
+	binary.LittleEndian.PutUint32(sh[12:16], crc32.ChecksumIEEE(data))
+	if _, err := cw.bw.Write(sh[:]); err != nil {
+		cw.err = err
+		return err
+	}
+	if _, err := cw.bw.Write(data); err != nil {
+		cw.err = err
+		return err
+	}
+	cw.nsec++
+	return nil
+}
+
+// Close flushes buffered sections and patches the section count into the
+// header, leaving the stream positioned at the end of the container.
+func (cw *ContainerWriter) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if err := cw.bw.Flush(); err != nil {
+		cw.err = err
+		return err
+	}
+	if _, err := cw.ws.Seek(nsecOffset, io.SeekStart); err != nil {
+		cw.err = err
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], cw.nsec)
+	if _, err := cw.ws.Write(n[:]); err != nil {
+		cw.err = err
+		return err
+	}
+	if _, err := cw.ws.Seek(0, io.SeekEnd); err != nil {
+		cw.err = err
+		return err
+	}
+	return nil
+}

@@ -138,20 +138,6 @@ func buildProgram(p Profile, r *rng) *program {
 	return pr
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // walker emits the dynamic trace from the static program.
 type walker struct {
 	pr       *program
@@ -334,21 +320,15 @@ func (w *walker) request(dispatcherPC *uint64) {
 	}
 }
 
-// Generate synthesizes a trace of at least n instructions for the profile.
+// Generate synthesizes a trace of n instructions for the profile. It is
+// the whole-trace form of GenerateStream: one window the size of the
+// trace, so the batch and streamed paths share the same walk by
+// construction.
 func Generate(p Profile, n int) *trace.Trace {
-	r := newRNG(p.Seed)
-	pr := buildProgram(p, r)
-	w := &walker{
-		pr:  pr,
-		p:   p,
-		r:   r,
-		out: make([]trace.Inst, 0, n+4096),
-		svZ: newZipf(r, len(pr.services), p.ServiceZipf),
+	s := GenerateStream(p, n, n)
+	insts := s.Next()
+	if insts == nil {
+		insts = []trace.Inst{}
 	}
-	dispatcherPC := uint64(appBase)
-	for len(w.out) < n {
-		w.request(&dispatcherPC)
-	}
-	w.out = w.out[:n]
-	return &trace.Trace{Name: p.Name, Insts: w.out}
+	return &trace.Trace{Name: p.Name, Insts: insts}
 }

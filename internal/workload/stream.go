@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"acic/internal/trace"
+)
+
+// Stream yields a synthesized trace in fixed-size instruction windows
+// instead of one whole-trace allocation. The walk is the same
+// deterministic RNG sequence Generate runs — requests are issued until the
+// cumulative instruction count reaches n, and the concatenation of the
+// returned windows is byte-identical to the batch trace at every window
+// size — but peak memory is O(window + one request burst) rather than
+// O(n). This is the front of the streaming prepare pipeline (DESIGN.md
+// §12).
+type Stream struct {
+	w            *walker
+	dispatcherPC uint64
+	n            int // total instructions to yield
+	window       int // max instructions per Next
+	emitted      int // yielded so far
+	pending      int // front of w.out already returned, shifted out lazily
+}
+
+// GenerateStream starts a streamed walk yielding n instructions for the
+// profile in windows of at most window instructions.
+func GenerateStream(p Profile, n, window int) *Stream {
+	if window <= 0 || window > n {
+		window = n
+	}
+	r := newRNG(p.Seed)
+	pr := buildProgram(p, r)
+	return &Stream{
+		w: &walker{
+			pr:  pr,
+			p:   p,
+			r:   r,
+			out: make([]trace.Inst, 0, window+4096),
+			svZ: newZipf(r, len(pr.services), p.ServiceZipf),
+		},
+		dispatcherPC: appBase,
+		n:            n,
+		window:       window,
+	}
+}
+
+// Next returns the next window of instructions, or nil when the stream is
+// exhausted. The returned slice aliases the stream's buffer and is only
+// valid until the following Next call; callers that retain a window must
+// copy it.
+func (s *Stream) Next() []trace.Inst {
+	if s.emitted >= s.n {
+		return nil
+	}
+	w := s.w
+	if s.pending > 0 {
+		rest := copy(w.out, w.out[s.pending:])
+		w.out = w.out[:rest]
+		s.pending = 0
+	}
+	want := min(s.window, s.n-s.emitted)
+	// Match the batch walk exactly: requests are issued only while the
+	// cumulative count is short of n, and the overshoot of the final
+	// request is truncated.
+	for len(w.out) < want && s.emitted+len(w.out) < s.n {
+		w.request(&s.dispatcherPC)
+	}
+	k := min(want, len(w.out))
+	s.pending = k
+	s.emitted += k
+	return w.out[:k]
+}
+
+// Emitted returns the number of instructions yielded so far.
+func (s *Stream) Emitted() int { return s.emitted }
+
+// Remaining returns the number of instructions the stream has yet to
+// yield.
+func (s *Stream) Remaining() int { return s.n - s.emitted }

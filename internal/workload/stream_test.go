@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"acic/internal/trace"
+)
+
+// streamAll drains a stream at the given window size, copying windows out
+// (Next's slice is only valid until the next call).
+func streamAll(p Profile, n, window int) []trace.Inst {
+	s := GenerateStream(p, n, window)
+	out := make([]trace.Inst, 0, n)
+	for chunk := s.Next(); chunk != nil; chunk = s.Next() {
+		out = append(out, chunk...)
+	}
+	return out
+}
+
+func TestGenerateStreamMatchesBatch(t *testing.T) {
+	p, _ := ByName("media-streaming")
+	const n = 50000
+	batch := Generate(p, n)
+	for _, window := range []int{1, 7, 1000, 4096, n, n + 5000} {
+		got := streamAll(p, n, window)
+		if len(got) != len(batch.Insts) {
+			t.Fatalf("window=%d: %d insts, want %d", window, len(got), len(batch.Insts))
+		}
+		for i := range got {
+			if got[i] != batch.Insts[i] {
+				t.Fatalf("window=%d: instruction %d differs: %+v vs %+v", window, i, got[i], batch.Insts[i])
+			}
+		}
+	}
+}
+
+func TestGenerateStreamWindowSizes(t *testing.T) {
+	p, _ := ByName("tpcc")
+	s := GenerateStream(p, 10000, 256)
+	var total, calls int
+	for chunk := s.Next(); chunk != nil; chunk = s.Next() {
+		if len(chunk) > 256 {
+			t.Fatalf("window overflow: %d", len(chunk))
+		}
+		total += len(chunk)
+		calls++
+	}
+	if total != 10000 || s.Emitted() != 10000 || s.Remaining() != 0 {
+		t.Fatalf("drained %d insts (emitted %d, remaining %d)", total, s.Emitted(), s.Remaining())
+	}
+	if calls < 10000/256 {
+		t.Fatalf("only %d windows for 10000/256", calls)
+	}
+	if s.Next() != nil {
+		t.Fatal("exhausted stream must keep returning nil")
+	}
+}
+
+func TestGenerateStreamZeroLength(t *testing.T) {
+	p, _ := ByName("gcc")
+	if got := streamAll(p, 0, 64); len(got) != 0 {
+		t.Fatalf("n=0 stream yielded %d insts", len(got))
+	}
+	if tr := Generate(p, 0); tr.Len() != 0 {
+		t.Fatalf("n=0 batch yielded %d insts", tr.Len())
+	}
+}
