@@ -25,6 +25,15 @@
 // past -regress-pct). -cpuprofile/-memprofile write pprof data for any
 // mode.
 //
+// The run is fault-hardened (DESIGN.md §13): a panicking or failing
+// experiment is reported and the rest still run (exit 1 at the end);
+// undecodable store entries quarantine and regenerate; -fault-spec (or
+// ACIC_FAULT_SPEC) injects deterministic faults to exercise exactly those
+// paths, with the recovery counters printed as a "faults:" line under
+// -progress and recorded in the -bench-json report. SIGINT/SIGTERM cancel
+// at cell boundaries and exit 130 with partial output flushed
+// (-bench-json marks the report "interrupted": true).
+//
 // The -sample-sets mode is the set-sampled fast lane (DESIGN.md §10):
 // only N of the 64 L1i sets are simulated and the statistics are
 // extrapolated, making exploratory -exp sweeps ~5-7x faster with
@@ -50,6 +59,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -156,7 +166,7 @@ func runFig6(s *experiments.Suite) (string, error) {
 // or |speedup| error exceeds errPct (DESIGN.md §10 documents the bounds
 // this mode regenerates). The result cache is deliberately not used:
 // both lanes must compute, or the wall-clock comparison is a lie.
-func runSampleValidate(sim *cliutil.SimFlags, n int, apps string, errPct float64) {
+func runSampleValidate(ctx context.Context, sim *cliutil.SimFlags, n int, apps string, errPct float64) {
 	cleanup := func() {}
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "acic-bench: -sample-validate: "+format+"\n", args...)
@@ -189,6 +199,7 @@ func runSampleValidate(sim *cliutil.SimFlags, n int, apps string, errPct float64
 
 	newSuite := func(sampled bool) *experiments.Suite {
 		s := experiments.NewSuite(n)
+		s.Context = ctx
 		s.Workers = sim.Workers
 		s.GangSize = sim.SuiteGangSize(s.N)
 		s.GangWindow, _ = sim.ResolveGangWindow() // validated by main
@@ -321,6 +332,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := sim.InstallFaults(); err != nil {
+		fmt.Fprintf(os.Stderr, "acic-bench: -fault-spec: %v\n", err)
+		os.Exit(1)
+	}
+	// SIGINT/SIGTERM cancel at cell boundaries: running cells finish, the
+	// stores stay consistent, partial output flushes, and the process
+	// exits cliutil.ExitInterrupted. A second signal kills immediately.
+	ctx, stopSignals := cliutil.InterruptContext()
+	defer stopSignals()
 
 	stopCPUProfile := func() {}
 	if *cpuProfile != "" {
@@ -399,13 +419,16 @@ func main() {
 	}
 
 	if *sampleValidate {
-		runSampleValidate(sim, *n, *apps, *sampleErrPct)
+		runSampleValidate(ctx, sim, *n, *apps, *sampleErrPct)
+		if ctx.Err() != nil {
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		return
 	}
 
 	if *benchJSON != "" {
-		cfg := perf.Config{App: *benchApp, N: *n, Repeats: *benchRepeats, ArtifactDir: sim.ArtifactDir,
-			PrepareWindow: sim.PrepareWindow, PrepareSweeps: *benchPrepare}
+		cfg := perf.Config{Context: ctx, App: *benchApp, N: *n, Repeats: *benchRepeats,
+			ArtifactDir: sim.ArtifactDir, PrepareWindow: sim.PrepareWindow, PrepareSweeps: *benchPrepare}
 		if ss, err := sim.ResolveSampleSets(); err != nil {
 			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 			os.Exit(1)
@@ -446,12 +469,21 @@ func main() {
 		if st := rep.PrepareSweepTable(); st != nil {
 			fmt.Printf("=== prepare sweeps: batch vs streamed cold prepare (scratch stores)\n%s", st)
 		}
+		if rep.Faults != nil {
+			fmt.Println(rep.Faults)
+		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 		// Finish the profiles before the comparison: its regression gate
 		// may os.Exit, and the profile of a regressed tree is exactly the
 		// one worth keeping intact.
 		stopCPUProfile()
 		writeMemProfile()
+		if rep.Interrupted {
+			// The partial report was flushed above with "interrupted":
+			// true; a comparison against it would be a lie, so skip it.
+			fmt.Fprintf(os.Stderr, "acic-bench: interrupted — %s holds a partial report\n", *benchJSON)
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		if *compare != "" {
 			runCompare(rep)
 		}
@@ -499,6 +531,7 @@ func main() {
 		os.Exit(1)
 	}
 	suite := experiments.NewSuite(*n)
+	suite.Context = ctx
 	suite.Workers = sim.Workers
 	suite.GangSize = sim.SuiteGangSize(suite.N)
 	suite.GangWindow, _ = sim.ResolveGangWindow() // validated above
@@ -524,15 +557,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 		os.Exit(1)
 	}
+	// One bad figure must not cost the rest of the run: failures are
+	// reported and the remaining experiments still execute (the engine has
+	// already contained the failure to the offending cells). An interrupt
+	// stops the loop instead — everything printed so far is complete.
+	var failed []string
+	interrupted := false
 	for _, e := range exps {
 		if *exp != "all" && !want[e.name] {
 			continue
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		out, err := e.run(suite)
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			failed = append(failed, e.name)
 			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			continue
 		}
 		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.name, e.desc, time.Since(start).Seconds(), out)
 	}
@@ -548,7 +596,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gangs: %d runs covering %d cells (%d cross-prefetcher), max width %d, window %d\n",
 				gs.Gangs, gs.Cells, gs.Mixed, gs.MaxWidth, gs.Window)
 		}
+		if fs := suite.FaultStats(); sim.FaultSpec != "" || fs.Any() {
+			fmt.Fprintln(os.Stderr, fs)
+		}
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "interrupted: true")
+		}
 	}
 	stopCPUProfile()
 	writeMemProfile()
+	switch {
+	case interrupted:
+		fmt.Fprintln(os.Stderr, "acic-bench: interrupted — output above is partial")
+		os.Exit(cliutil.ExitInterrupted)
+	case len(failed) > 0:
+		fmt.Fprintf(os.Stderr, "acic-bench: %d experiment(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 }

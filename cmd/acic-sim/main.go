@@ -8,6 +8,11 @@
 // a worker pool. -gang on|off overrides; results are identical in every
 // mode. Rows are always printed in the order the schemes were listed.
 //
+// A gang whose run panics or errors degrades to independent serial runs
+// with bounded retries (DESIGN.md §13); -fault-spec injects deterministic
+// faults to exercise that ladder. SIGINT/SIGTERM cancel not-yet-started
+// schemes and exit 130.
+//
 // With -artifact-dir (or ACIC_ARTIFACT_DIR) the prepared workload — trace,
 // annotated program, successor array, data-latency timeline — is loaded
 // from (and written to) the persistent artifact store shared with
@@ -24,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ import (
 	"acic/internal/cpu"
 	"acic/internal/experiments"
 	"acic/internal/experiments/engine"
+	"acic/internal/faults"
 	"acic/internal/icache"
 	"acic/internal/stats"
 	"acic/internal/workload"
@@ -78,6 +85,13 @@ func main() {
 	if err := sim.Validate(); err != nil {
 		fail("%v", err)
 	}
+	if err := sim.InstallFaults(); err != nil {
+		fail("-fault-spec: %v", err)
+	}
+	// SIGINT/SIGTERM cancel not-yet-started schemes; the one in flight
+	// finishes and the process exits cliutil.ExitInterrupted.
+	ctx, stopSignals := cliutil.InterruptContext()
+	defer stopSignals()
 	prof, ok := workload.ByName(*name)
 	if !ok {
 		fail("unknown workload %q", *name)
@@ -132,14 +146,20 @@ func main() {
 	// -gang-size schemes); otherwise cells run in parallel on the pool.
 	// Either way each scheme's result is identical.
 	runs := engine.NewGroup(pool, func(scheme string) (schemeRun, error) {
+		if err := ctx.Err(); err != nil {
+			return schemeRun{}, err
+		}
 		return runScheme(w, scheme, opts)
 	})
+	runs.Retry = engine.DefaultRetry()
 	if sim.GangEnabled(*n) && sim.GangSize > 1 {
-		if err := runGangs(w, order, opts, sim.GangSize, runs); err != nil {
-			fail("%v", err)
-		}
+		runGangs(ctx, w, order, opts, sim.GangSize, runs)
 	}
 	if err := runs.Require(order...); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "acic-sim: interrupted")
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		fail("%v", err)
 	}
 
@@ -210,8 +230,17 @@ func runScheme(w *experiments.Workload, scheme string, opts experiments.Options)
 // runGangs claims the not-yet-computed schemes of order and produces them
 // through gang simulations of at most gangSize members each, fulfilling
 // the run group's cells so rendering reads them exactly like serial runs.
-func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
-	gangSize int, runs *engine.Group[string, schemeRun]) error {
+// A gang that panics or errors degrades to independent serial runs with
+// bounded retries — one poisoned member must not take its gang-mates'
+// results down. Every claimed scheme is fulfilled on every path.
+func runGangs(ctx context.Context, w *experiments.Workload, order []string, opts experiments.Options,
+	gangSize int, runs *engine.Group[string, schemeRun]) {
+	rerunSerial := func(scheme string) {
+		run, err, _ := engine.Retry(runs.Retry, scheme, false, func() (schemeRun, error) {
+			return runScheme(w, scheme, opts)
+		})
+		runs.Fulfill(scheme, run, err)
+	}
 	var uniq []string
 	for _, s := range order {
 		if runs.TryClaim(s) {
@@ -220,12 +249,20 @@ func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
 	}
 	for at := 0; at < len(uniq); at += gangSize {
 		chunk := uniq[at:min(at+gangSize, len(uniq))]
+		if err := ctx.Err(); err != nil {
+			for _, scheme := range chunk {
+				runs.Fulfill(scheme, schemeRun{}, err)
+			}
+			continue
+		}
 		subs := make([]icache.Subsystem, 0, len(chunk))
 		captures := make([]*[]core.Decision, 0, len(chunk))
 		members := make([]string, 0, len(chunk))
 		for _, scheme := range chunk {
 			sub, err := experiments.NewSampledScheme(scheme, w, opts.Sample)
 			if err != nil {
+				// A bad scheme name is deterministic: fail that cell now
+				// rather than spending a serial rerun on it.
 				runs.Fulfill(scheme, schemeRun{}, err)
 				continue
 			}
@@ -233,12 +270,15 @@ func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
 			captures = append(captures, instrument(sub))
 			members = append(members, scheme)
 		}
-		res, err := experiments.RunGangSubsystems(w, subs, opts)
+		res, err := engine.Guard(fmt.Sprintf("gang[%d]", len(members)), true, func() ([]cpu.Result, error) {
+			faults.PanicPoint("gang")
+			return experiments.RunGangSubsystems(w, subs, opts)
+		})
 		if err != nil {
 			for _, scheme := range members {
-				runs.Fulfill(scheme, schemeRun{}, err)
+				rerunSerial(scheme)
 			}
-			return err
+			continue
 		}
 		for i, scheme := range members {
 			runs.Fulfill(scheme, schemeRun{
@@ -247,7 +287,6 @@ func runGangs(w *experiments.Workload, order []string, opts experiments.Options,
 			}, nil)
 		}
 	}
-	return nil
 }
 
 // acicNote summarizes a run's captured ACIC admission decisions against

@@ -35,6 +35,7 @@ import (
 	"acic/internal/analysis"
 	"acic/internal/experiments"
 	"acic/internal/experiments/engine"
+	"acic/internal/faults"
 	"acic/internal/stats"
 	"acic/internal/trace"
 	"acic/internal/workload"
@@ -137,9 +138,17 @@ func runWarm(args []string) {
 	workers := fs.Int("workers", 0, "preparation worker pool size (0 = ACIC_WORKERS or GOMAXPROCS)")
 	var prepareWindow int
 	cliutil.RegisterPrepareWindow(fs, &prepareWindow)
+	var faultSpec string
+	cliutil.RegisterFaultSpec(fs, &faultSpec)
 	fs.Parse(args)
 	if prepareWindow < 0 {
 		fail("-prepare-window must be >= 0, got %d", prepareWindow)
+	}
+	if err := faults.Validate(faultSpec); err != nil {
+		fail("-fault-spec: %v", err)
+	}
+	if err := faults.Install(faultSpec); err != nil {
+		fail("-fault-spec: %v", err)
 	}
 	if artifactDir == "" {
 		fail("warm needs -artifact-dir (or ACIC_ARTIFACT_DIR)")
@@ -198,6 +207,11 @@ func runWarm(args []string) {
 	fmt.Print(wt.String())
 	fmt.Printf("gang windows derived against host cache budget %d MiB (override: ACIC_LLC_BYTES)\n",
 		engine.LLCBytes()>>20)
+	if snap := faults.Snapshot(); faultSpec != "" || snap.IOErrs+snap.Corruptions+snap.Panics > 0 {
+		fmt.Printf("faults: injected %d io / %d corrupt / %d panic; recovered %d retries, %d stream-fallbacks, %d quarantined\n",
+			snap.IOErrs, snap.Corruptions, snap.Panics,
+			pl.Retries(), pl.StreamFallbacks(), pl.Quarantined())
+	}
 }
 
 // runInspect describes trace/artifact container files.
@@ -220,6 +234,7 @@ func runInspect(args []string) {
 			fail("%v", err)
 		}
 		files = append(files, matches...)
+		describeQuarantine(arg)
 	}
 	if len(files) == 0 {
 		fail("no .actr files to inspect")
@@ -235,6 +250,38 @@ func runInspect(args []string) {
 	}
 	if bad > 0 {
 		fail("%d of %d files unreadable", bad, len(files))
+	}
+}
+
+// describeQuarantine summarizes a store directory's quarantine/ subdir:
+// entries the engine moved aside as undecodable (and regenerated), each
+// with the reason its .reason companion recorded. Silent when the store
+// has never quarantined anything.
+func describeQuarantine(dir string) {
+	qdir := filepath.Join(dir, engine.QuarantineDirName)
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".reason") {
+			continue
+		}
+		n++
+		reason := "(no reason file)"
+		if data, err := os.ReadFile(filepath.Join(qdir, e.Name()+".reason")); err == nil {
+			// The "error:" line carries the decode failure; fall back to
+			// the whole file when the format is unexpected.
+			reason = strings.TrimSpace(string(data))
+			if _, after, ok := strings.Cut(string(data), "error: "); ok {
+				reason, _, _ = strings.Cut(after, "\n")
+			}
+		}
+		fmt.Printf("%s: quarantined  %s\n", filepath.Join(qdir, e.Name()), reason)
+	}
+	if n > 0 {
+		fmt.Printf("%s: %d quarantined entries (undecodable; regenerated on demand — delete the directory once diagnosed)\n", qdir, n)
 	}
 }
 

@@ -4,11 +4,30 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+
+	"acic/internal/faults"
 )
+
+// ExitInterrupted is the exit code for runs cancelled by SIGINT/SIGTERM
+// (128 + SIGINT, the shell convention): partial output was flushed, the
+// run did not complete.
+const ExitInterrupted = 130
+
+// InterruptContext returns a context cancelled on the first SIGINT or
+// SIGTERM. The CLIs thread it to experiments.Suite.Context / perf.Config.
+// Context, which drain at cell boundaries — in-flight cells finish, the
+// stores stay consistent, partial output flushes. A second signal kills
+// the process via the restored default disposition.
+func InterruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 // GangAutoThreshold is the trace length from which the gang's shared
 // traversal measurably beats per-cell execution (bench/trajectory gang
@@ -37,6 +56,7 @@ type SimFlags struct {
 	SampleSets    int
 	SampleStride  int
 	SampleOffset  int
+	FaultSpec     string
 }
 
 // RegisterSim declares the shared simulation flags on fs (usually
@@ -53,7 +73,23 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	fs.IntVar(&f.SampleOffset, "sample-offset", 0, "sampled set constituency to simulate, in [1,stride) (with -sample-sets/-sample-stride; 0 = derive per workload from the trace digest — constituency 0 is alignment-biased and never used)")
 	RegisterArtifactDir(fs, &f.ArtifactDir)
 	RegisterPrepareWindow(fs, &f.PrepareWindow)
+	RegisterFaultSpec(fs, &f.FaultSpec)
 	return f
+}
+
+// RegisterFaultSpec declares -fault-spec on fs (shared with acic-trace
+// warm). The default comes from ACIC_FAULT_SPEC so CI can fault a whole
+// tier without editing invocations.
+func RegisterFaultSpec(fs *flag.FlagSet, dst *string) {
+	fs.StringVar(dst, "fault-spec", os.Getenv("ACIC_FAULT_SPEC"),
+		"deterministic fault injection spec, e.g. \"io-err:p=0.01;corrupt-artifact:p=0.005;panic-cell:every=97;seed=1\" — injects store I/O errors, artifact bit flips, and compute panics that the engine must absorb; results stay byte-identical to a fault-free run (empty = no injection; default from ACIC_FAULT_SPEC)")
+}
+
+// InstallFaults installs the parsed -fault-spec process-wide (a no-op
+// when empty). Call after Validate; the spec was already syntax-checked
+// there.
+func (f *SimFlags) InstallFaults() error {
+	return faults.Install(f.FaultSpec)
 }
 
 // RegisterPrepareWindow declares -prepare-window on fs (shared with the
@@ -137,6 +173,9 @@ func (f *SimFlags) Validate() error {
 	}
 	if f.PrepareWindow < 0 {
 		return fmt.Errorf("-prepare-window must be >= 0 (0 = batch prepare), got %d", f.PrepareWindow)
+	}
+	if err := faults.Validate(f.FaultSpec); err != nil {
+		return fmt.Errorf("-fault-spec: %w", err)
 	}
 	return nil
 }

@@ -15,6 +15,14 @@ import (
 	"acic/internal/workload"
 )
 
+// stageRetry is the retry policy every pipeline stage group runs under:
+// transient failures (injected faults, MarkTransient-wrapped errors) are
+// re-attempted with jittered backoff; deterministic failures — a bad
+// profile, a genuine panic in derivation — fail the stage immediately.
+// Stage computes are idempotent (every fault site fires before state is
+// mutated), so re-entry is always safe.
+func stageRetry() engine.RetryPolicy { return engine.DefaultRetry() }
+
 // Pipeline is the staged workload-preparation pipeline: the monolithic
 // Prepare split into four content-addressed stages,
 //
@@ -58,7 +66,8 @@ type Pipeline struct {
 	nextatStore  *engine.DiskCache[string, []int64]
 	datalatStore *engine.DiskCache[string, []int16]
 
-	streamed atomic.Int64
+	streamed        atomic.Int64
+	streamFallbacks atomic.Int64 // streamed prepares that degraded to batch
 }
 
 // PipelineConfig configures NewPipeline.
@@ -129,6 +138,11 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		return prog.DataLat, nil
 	})
 	pl.workloads = engine.NewGroup(cfg.Pool, pl.assemble)
+	pl.traces.Retry = stageRetry()
+	pl.programs.Retry = stageRetry()
+	pl.nextats.Retry = stageRetry()
+	pl.datalats.Retry = stageRetry()
+	pl.workloads.Retry = stageRetry()
 
 	var err error
 	if cfg.Dir != "" {
@@ -285,8 +299,21 @@ func (pl *Pipeline) assemble(app string) (*Workload, error) {
 	// Windowed mode streams cold preparation; a fully warm store still
 	// takes the batch load path below (loading is already cheap and keeps
 	// the zero-regeneration warm semantics byte-for-byte identical).
+	//
+	// A streamed prepare that fails mid-window — panic or error, injected
+	// or genuine — degrades to the batch path instead of failing the
+	// workload: the two paths produce byte-identical workloads (DESIGN.md
+	// §12), so falling back trades the O(window) memory bound for a
+	// completed prepare. The aborted stream leaves nothing behind (its
+	// partial store entries are discarded under tmp/).
 	if pl.window > 0 && !pl.storeWarm(app) {
-		return pl.assembleStreamed(app, prof)
+		w, err := engine.Guard("stream:"+app, false, func() (*Workload, error) {
+			return pl.assembleStreamed(app, prof)
+		})
+		if err == nil {
+			return w, nil
+		}
+		pl.streamFallbacks.Add(1)
 	}
 	prog, err := pl.programs.Get(app)
 	if err != nil {
@@ -384,6 +411,27 @@ func (pl *Pipeline) Stats() []StageStats {
 // Streamed returns how many workloads were prepared through the fused
 // windowed pipeline (always 0 in batch mode or on a warm store).
 func (pl *Pipeline) Streamed() int64 { return pl.streamed.Load() }
+
+// StreamFallbacks returns how many streamed prepares failed mid-window
+// and degraded to the batch path.
+func (pl *Pipeline) StreamFallbacks() int64 { return pl.streamFallbacks.Load() }
+
+// Retries returns the total extra compute attempts the stage and workload
+// groups spent recovering transient failures.
+func (pl *Pipeline) Retries() int64 {
+	return pl.traces.Retries() + pl.programs.Retries() + pl.nextats.Retries() +
+		pl.datalats.Retries() + pl.workloads.Retries()
+}
+
+// Quarantined returns how many undecodable artifacts the stage stores
+// moved to quarantine/ (0 when no store is configured).
+func (pl *Pipeline) Quarantined() int64 {
+	if pl.traceStore == nil {
+		return 0
+	}
+	return pl.traceStore.Quarantined() + pl.programStore.Quarantined() +
+		pl.nextatStore.Quarantined() + pl.datalatStore.Quarantined()
+}
 
 // Regenerated returns the total number of stage artifacts produced by
 // compute functions (0 on a fully warm store).

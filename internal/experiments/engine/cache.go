@@ -2,11 +2,18 @@ package engine
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"acic/internal/faults"
 )
 
 // Cache is a persistent key/value store consulted by a Group before its
@@ -16,33 +23,85 @@ type Cache[K comparable, V any] interface {
 	Store(k K, v V)
 }
 
+const (
+	// tmpDirName is the store subdirectory holding in-progress writes.
+	// Keeping temps out of the store root means a crash mid-write can
+	// never leave a partial file next to live artifacts — anything in
+	// tmp/ is by definition incomplete and is swept when stale.
+	tmpDirName = "tmp"
+	// QuarantineDirName is the store subdirectory where undecodable
+	// entries are moved (with a sibling ".reason" file) instead of being
+	// silently re-read forever. Exported so tools and CI can assert no
+	// quarantined or partial file ever sits outside it.
+	QuarantineDirName = "quarantine"
+	// staleTempAge is how old a tmp/ file must be before construction-time
+	// sweeping deletes it. Generously longer than any write in flight, so
+	// concurrent processes sharing a store never reap each other's temps.
+	staleTempAge = time.Hour
+)
+
 // DiskCache persists encoded values under a directory, one file per key.
 // The caller supplies a canonical key function; its output is hashed
 // (SHA-256) into the filename, so keys may be arbitrarily long and should
 // include everything the value depends on (for simulation results: the
 // workload profile hash, trace length, scheme, prefetcher, options, and a
-// schema version). Values are JSON by default (NewDiskCache); a custom
-// byte codec (NewCodecDiskCache) lets the same store hold binary artifacts
-// such as trace-codec containers. Load and Store are best-effort:
-// unreadable, truncated, or corrupt entries are misses (the value is
-// regenerated and rewritten), and write failures are ignored — the cache
-// can only make reruns faster, never wrong results.
+// schema version). Values are JSON by default (NewDiskCache, framed with
+// a whole-payload CRC so bit rot cannot silently alter a cached result);
+// a custom byte codec (NewCodecDiskCache) lets the same store hold binary
+// artifacts such as trace-codec containers.
+//
+// Load and Store are best-effort: unreadable or truncated entries are
+// misses (the value is regenerated and rewritten) and write failures are
+// ignored — the cache can only make reruns faster, never wrong results.
+// Writes are crash-safe: encoded bytes go to a fsynced temp file under
+// tmp/ and are renamed into place atomically, so readers never observe a
+// partial entry and a crash leaves nothing in the store root. An entry
+// that reads but fails to decode is quarantined — moved to quarantine/
+// with a reason file — so corruption is preserved for diagnosis instead
+// of being re-read (and re-failed) on every warm run.
 type DiskCache[K comparable, V any] struct {
 	dir string
 	ext string
 	key func(K) string
 	enc func(V) ([]byte, error)
 	dec func(K, []byte) (V, error)
+
+	quarantined atomic.Int64
 }
 
-// NewDiskCache creates (if needed) dir and returns a JSON-encoded cache
-// over it.
+// jsonMagic frames JSON cache entries: magic, 4-byte little-endian IEEE
+// CRC-32 of the payload, payload. JSON alone has no integrity check — a
+// flipped bit inside a number still parses, which would serve a silently
+// wrong cached result — so the frame makes JSON entries as corruption-
+// evident as the checksummed trace containers.
+const jsonMagic = "ACJ1"
+
+// NewDiskCache creates (if needed) dir and returns a CRC-framed,
+// JSON-encoded cache over it. Entries written by older unframed versions
+// fail the frame check and are quarantined and regenerated on first read.
 func NewDiskCache[K comparable, V any](dir string, key func(K) string) (*DiskCache[K, V], error) {
 	return NewCodecDiskCache(dir, ".json", key,
-		func(v V) ([]byte, error) { return json.Marshal(v) },
+		func(v V) ([]byte, error) {
+			payload, err := json.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, len(jsonMagic)+4+len(payload))
+			copy(buf, jsonMagic)
+			binary.LittleEndian.PutUint32(buf[len(jsonMagic):], crc32.ChecksumIEEE(payload))
+			copy(buf[len(jsonMagic)+4:], payload)
+			return buf, nil
+		},
 		func(_ K, data []byte) (V, error) {
 			var v V
-			err := json.Unmarshal(data, &v)
+			if len(data) < len(jsonMagic)+4 || string(data[:len(jsonMagic)]) != jsonMagic {
+				return v, fmt.Errorf("engine: cache entry is not a %s frame", jsonMagic)
+			}
+			payload := data[len(jsonMagic)+4:]
+			if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(jsonMagic):]) {
+				return v, errors.New("engine: cache entry CRC mismatch")
+			}
+			err := json.Unmarshal(payload, &v)
 			return v, err
 		})
 }
@@ -51,26 +110,44 @@ func NewDiskCache[K comparable, V any](dir string, key func(K) string) (*DiskCac
 // whose values are encoded by enc and decoded by dec. dec receives the key
 // alongside the bytes so decoders can rebuild derived state from sibling
 // artifacts (a persisted Program is reconstructed against its trace); any
-// dec error is treated as a miss.
+// dec error quarantines the entry and reads as a miss.
 //
 // The directory is created with all missing parents, and its writability
 // is probed up front: Store is deliberately best-effort (a failed write
 // only costs a future recompute), so without the probe an unwritable
 // store — a read-only mount, a permission mismatch, a path whose parent
 // is a file — would silently persist nothing while the caller believes
-// it warmed a cache.
+// it warmed a cache. Construction also sweeps stale files out of tmp/,
+// reclaiming temps left by crashed writers.
 func NewCodecDiskCache[K comparable, V any](dir, ext string, key func(K) string,
 	enc func(V) ([]byte, error), dec func(K, []byte) (V, error)) (*DiskCache[K, V], error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	tmpDir := filepath.Join(dir, tmpDirName)
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: create cache dir %s: %w", dir, err)
 	}
-	probe, err := os.CreateTemp(dir, "probe-*")
+	probe, err := os.CreateTemp(tmpDir, "probe-*")
 	if err != nil {
 		return nil, fmt.Errorf("engine: cache dir %s is not writable: %w", dir, err)
 	}
 	probe.Close()
 	os.Remove(probe.Name())
+	sweepStaleTemps(tmpDir)
 	return &DiskCache[K, V]{dir: dir, ext: ext, key: key, enc: enc, dec: dec}, nil
+}
+
+// sweepStaleTemps removes tmp/ files older than staleTempAge: leftovers
+// from writers that crashed between CreateTemp and Rename.
+func sweepStaleTemps(tmpDir string) {
+	entries, err := os.ReadDir(tmpDir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		info, err := ent.Info()
+		if err == nil && time.Since(info.ModTime()) > staleTempAge {
+			os.Remove(filepath.Join(tmpDir, ent.Name()))
+		}
+	}
 }
 
 func (d *DiskCache[K, V]) path(k K) string {
@@ -78,15 +155,50 @@ func (d *DiskCache[K, V]) path(k K) string {
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+d.ext)
 }
 
-// Load implements Cache.
+func (d *DiskCache[K, V]) tmpDir() string { return filepath.Join(d.dir, tmpDirName) }
+
+// Quarantined returns how many undecodable entries this cache has moved
+// to quarantine/ (or deleted, when the move itself failed).
+func (d *DiskCache[K, V]) Quarantined() int64 { return d.quarantined.Load() }
+
+// quarantine takes a corrupt entry out of service: the file moves to
+// quarantine/ with a sibling reason file naming the key and the decode
+// error, so the evidence survives for diagnosis while every future read
+// regenerates cleanly. If the move fails the entry is deleted instead —
+// preserving it matters less than never re-reading it.
+func (d *DiskCache[K, V]) quarantine(path, key string, cause error) {
+	defer d.quarantined.Add(1)
+	qdir := filepath.Join(d.dir, QuarantineDirName)
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path)
+		return
+	}
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+		return
+	}
+	reason := fmt.Sprintf("key: %s\nerror: %v\nquarantined: %s\n",
+		key, cause, time.Now().UTC().Format(time.RFC3339))
+	os.WriteFile(dst+".reason", []byte(reason), 0o644)
+}
+
+// Load implements Cache. Unreadable entries are misses; entries that read
+// but fail to decode are quarantined and then miss, so the caller
+// regenerates (and re-stores) transparently.
 func (d *DiskCache[K, V]) Load(k K) (V, bool) {
 	var zero V
-	data, err := os.ReadFile(d.path(k))
+	if faults.FailIO() {
+		return zero, false
+	}
+	path := d.path(k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return zero, false
 	}
 	v, err := d.dec(k, data)
 	if err != nil {
+		d.quarantine(path, d.key(k), err)
 		return zero, false
 	}
 	return v, true
@@ -102,10 +214,10 @@ func (d *DiskCache[K, V]) Has(k K) bool {
 }
 
 // StreamEntry is a streaming Store in progress: the caller writes the
-// encoded value to F incrementally (F is a fresh temp file, so seeking is
-// allowed), then either Commit renames it into place atomically or Abort
-// discards it. Best-effort like Store: both outcomes only decide whether
-// a future Load hits.
+// encoded value to F incrementally (F is a fresh temp file under tmp/, so
+// seeking is allowed), then either Commit fsyncs and renames it into
+// place atomically or Abort discards it. Best-effort like Store: both
+// outcomes only decide whether a future Load hits.
 type StreamEntry struct {
 	F    *os.File
 	path string
@@ -115,20 +227,34 @@ type StreamEntry struct {
 // BeginStream starts a streaming Store for k. ok is false when the store
 // cannot create a temp file — callers skip persistence and continue.
 func (d *DiskCache[K, V]) BeginStream(k K) (*StreamEntry, bool) {
-	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if faults.FailIO() {
+		return nil, false
+	}
+	tmp, err := os.CreateTemp(d.tmpDir(), "tmp-*")
 	if err != nil {
 		return nil, false
 	}
 	return &StreamEntry{F: tmp, path: d.path(k)}, true
 }
 
-// Commit finalizes the entry: close, then atomic rename, so concurrent
-// readers never observe a partial artifact.
+// Commit finalizes the entry: fsync, close, then atomic rename, so
+// concurrent readers never observe a partial artifact and a post-rename
+// crash cannot leave the entry's bytes unflushed.
 func (e *StreamEntry) Commit() {
 	if e == nil || e.done {
 		return
 	}
 	e.done = true
+	if faults.FailIO() {
+		e.F.Close()
+		os.Remove(e.F.Name())
+		return
+	}
+	if err := e.F.Sync(); err != nil {
+		e.F.Close()
+		os.Remove(e.F.Name())
+		return
+	}
 	if err := e.F.Close(); err != nil {
 		os.Remove(e.F.Name())
 		return
@@ -138,7 +264,8 @@ func (e *StreamEntry) Commit() {
 	}
 }
 
-// Abort discards the in-progress entry.
+// Abort discards the in-progress entry. Safe on nil and after Commit, so
+// callers can unconditionally defer it as panic insurance.
 func (e *StreamEntry) Abort() {
 	if e == nil || e.done {
 		return
@@ -148,21 +275,27 @@ func (e *StreamEntry) Abort() {
 	os.Remove(e.F.Name())
 }
 
-// Store implements Cache. The value is written to a temp file and renamed
-// so concurrent readers never observe a partial entry.
+// Store implements Cache. The value is written to a fsynced temp file
+// under tmp/ and renamed into place, so concurrent readers never observe
+// a partial entry and a crash leaves nothing in the store root.
 func (d *DiskCache[K, V]) Store(k K, v V) {
+	if faults.FailIO() {
+		return
+	}
 	data, err := d.enc(v)
 	if err != nil {
 		return
 	}
+	data = faults.Corrupt(data)
 	path := d.path(k)
-	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	tmp, err := os.CreateTemp(d.tmpDir(), "tmp-*")
 	if err != nil {
 		return
 	}
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		return
 	}

@@ -15,11 +15,15 @@
 package engine
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"acic/internal/faults"
 )
 
 // Workers returns the default worker-pool width: the ACIC_WORKERS
@@ -38,6 +42,11 @@ func Workers() int {
 type Pool struct {
 	slots   chan struct{}
 	running atomic.Int64
+
+	// OnPanic, if non-nil, observes panics recovered in Go tasks (Each
+	// reports them through its error return instead). Called from worker
+	// goroutines; it must be safe for concurrent use.
+	OnPanic func(*CellError)
 }
 
 // NewPool creates a pool running at most workers tasks at once
@@ -88,18 +97,34 @@ func (p *Pool) Idle() int {
 // fulfills — batch executors pair Go with Group.TryClaim/Fulfill, whose
 // done channels the eventual Require waits on. Like Each, Go must not be
 // called from inside a pool task.
+//
+// A panic escaping fn is recovered (reported via OnPanic) rather than
+// killing the process. This is a last-resort backstop: a task that
+// panics between TryClaim and Fulfill still strands its claimed keys, so
+// batch executors must install their own recovery that fulfills — the
+// suite's gang runner does (see its degradation ladder).
 func (p *Pool) Go(fn func()) {
 	p.acquire()
 	go func() {
 		defer p.release()
+		defer func() {
+			if r := recover(); r != nil {
+				ce := recoveredError("pool task", false, r, debug.Stack())
+				if p.OnPanic != nil {
+					p.OnPanic(ce)
+				}
+			}
+		}()
 		fn()
 	}()
 }
 
 // Each runs fn(0..n-1) with bounded parallelism and waits for all calls,
-// returning the lowest-index error. It must not be called from inside a
-// pool task (a task waiting for its own pool's slots can deadlock);
-// nested work should use Group.Get, which computes inline.
+// returning the lowest-index error. A panicking call is recovered into a
+// *CellError for its index instead of killing the process. Each must not
+// be called from inside a pool task (a task waiting for its own pool's
+// slots can deadlock); nested work should use Group.Get, which computes
+// inline.
 func (p *Pool) Each(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -109,7 +134,9 @@ func (p *Pool) Each(n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer p.release()
-			errs[i] = fn(i)
+			_, errs[i] = Guard(fmt.Sprintf("task %d", i), false, func() (struct{}, error) {
+				return struct{}{}, fn(i)
+			})
 		}(i)
 	}
 	wg.Wait()
@@ -150,12 +177,19 @@ type Group[K comparable, V any] struct {
 	// (fromCache reports a persistent-cache hit). Called from worker
 	// goroutines; it must be safe for concurrent use.
 	OnDone func(key K, fromCache bool, err error)
+	// Retry bounds re-attempts of transient compute failures (injected
+	// faults, MarkTransient-wrapped errors). The zero value runs compute
+	// once — still panic-guarded, so a panicking compute fails its key
+	// with a *CellError instead of killing the process. Set before first
+	// use.
+	Retry RetryPolicy
 
 	mu    sync.Mutex
 	cells map[K]*cell[V]
 
 	computed  atomic.Int64 // keys produced by compute
 	cacheHits atomic.Int64 // keys served from Cache
+	retries   atomic.Int64 // extra compute attempts spent on transient failures
 }
 
 // NewGroup creates a memoizing group executing batch work on pool.
@@ -190,7 +224,14 @@ func (g *Group[K, V]) run(k K, c *cell[V]) {
 			return
 		}
 	}
-	c.val, c.err = g.compute(k)
+	var retried int
+	c.val, c.err, retried = Retry(g.Retry, fmt.Sprint(k), false, func() (V, error) {
+		faults.PanicPoint("compute")
+		return g.compute(k)
+	})
+	if retried > 0 {
+		g.retries.Add(int64(retried))
+	}
 	g.computed.Add(1)
 	if c.err == nil && g.Cache != nil {
 		g.Cache.Store(k, c.val)
@@ -333,3 +374,7 @@ func (g *Group[K, V]) Computed() int64 { return g.computed.Load() }
 
 // CacheHits returns how many keys were served from the persistent cache.
 func (g *Group[K, V]) CacheHits() int64 { return g.cacheHits.Load() }
+
+// Retries returns how many extra compute attempts were spent recovering
+// transient failures across all keys.
+func (g *Group[K, V]) Retries() int64 { return g.retries.Load() }

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"acic/internal/faults"
+)
+
+// FaultStats aggregates the suite's fault handling: what the injector
+// fired (zero without -fault-spec) and what the engine absorbed —
+// retries, gang degradations, serial reruns, stream fallbacks, and
+// quarantined store entries. Every field counts recovery work; results
+// themselves stay byte-identical to a fault-free run, which is the
+// invariant CI's fault smoke pins.
+type FaultStats struct {
+	// Spec is the installed fault spec ("" = no injection).
+	Spec string `json:"spec,omitempty"`
+	// InjectedIOErrs / InjectedCorruptions / InjectedPanics count the
+	// faults the injector fired process-wide.
+	InjectedIOErrs      int64 `json:"injected_io_errs"`
+	InjectedCorruptions int64 `json:"injected_corruptions"`
+	InjectedPanics      int64 `json:"injected_panics"`
+	// Retries counts extra compute attempts spent recovering transient
+	// failures across the result group, the pipeline stages, and the
+	// serial-rerun ladder.
+	Retries int64 `json:"retries"`
+	// GangDegraded counts gang runs that died whole and degraded to
+	// serial; SerialReruns counts the individual cells the ladder re-ran
+	// (members of degraded gangs plus per-slot failures).
+	GangDegraded int64 `json:"gang_degraded"`
+	SerialReruns int64 `json:"serial_reruns"`
+	// StreamFallbacks counts streamed prepares that failed mid-window and
+	// fell back to batch.
+	StreamFallbacks int64 `json:"stream_fallbacks"`
+	// Quarantined counts undecodable store entries moved to quarantine/.
+	Quarantined int64 `json:"quarantined"`
+}
+
+// Any reports whether any fault activity — injected or absorbed — was
+// recorded.
+func (f FaultStats) Any() bool {
+	return f.InjectedIOErrs != 0 || f.InjectedCorruptions != 0 || f.InjectedPanics != 0 ||
+		f.Retries != 0 || f.GangDegraded != 0 || f.SerialReruns != 0 ||
+		f.StreamFallbacks != 0 || f.Quarantined != 0
+}
+
+// String renders the single-line summary -progress and the bench tier
+// print, e.g.
+//
+//	faults: injected 12 io / 3 corrupt / 5 panic; recovered 5 retries, 2 gang-degraded, 9 serial-reruns, 1 stream-fallback, 3 quarantined
+func (f FaultStats) String() string {
+	return fmt.Sprintf("faults: injected %d io / %d corrupt / %d panic; recovered %d retries, %d gang-degraded, %d serial-reruns, %d stream-fallbacks, %d quarantined",
+		f.InjectedIOErrs, f.InjectedCorruptions, f.InjectedPanics,
+		f.Retries, f.GangDegraded, f.SerialReruns, f.StreamFallbacks, f.Quarantined)
+}
+
+// FaultStats reports the suite's fault handling so far. Injector counts
+// are process-wide (the injector is installed globally); engine counts
+// are this suite's.
+func (s *Suite) FaultStats() FaultStats {
+	s.init()
+	snap := faults.Snapshot()
+	fs := FaultStats{
+		Spec:                snap.Spec,
+		InjectedIOErrs:      snap.IOErrs,
+		InjectedCorruptions: snap.Corruptions,
+		InjectedPanics:      snap.Panics,
+		Retries:             s.results.Retries() + s.pipeline.Retries() + s.ladderRetries.Load(),
+		GangDegraded:        s.gangDegraded.Load(),
+		SerialReruns:        s.serialReruns.Load(),
+		StreamFallbacks:     s.pipeline.StreamFallbacks(),
+		Quarantined:         s.pipeline.Quarantined(),
+	}
+	if s.resultStore != nil {
+		fs.Quarantined += s.resultStore.Quarantined()
+	}
+	return fs
+}

@@ -6,6 +6,7 @@ import (
 	"acic/internal/analysis"
 	"acic/internal/cpu"
 	"acic/internal/experiments/engine"
+	"acic/internal/faults"
 	"acic/internal/trace"
 	"acic/internal/workload"
 )
@@ -48,9 +49,13 @@ func (pl *Pipeline) assembleStreamed(app string, prof workload.Profile) (*Worklo
 
 	// Best-effort streaming write of the trace artifact: a failure at any
 	// point aborts persistence (a later run regenerates it) but never the
-	// preparation itself.
+	// preparation itself. The deferred Abort is panic insurance — if this
+	// pass dies mid-window (the workload group's guard converts that into
+	// a batch fallback), the half-written entry is discarded rather than
+	// left in flight; Abort is a no-op on nil and after Commit.
 	var entry *engine.StreamEntry
 	var cw *trace.ContainerWriter
+	defer func() { entry.Abort() }()
 	if pl.traceStore != nil {
 		if e, ok := pl.traceStore.BeginStream(app); ok {
 			if w, err := trace.NewContainerWriter(e.F, prof.Name); err == nil {
@@ -62,6 +67,7 @@ func (pl *Pipeline) assembleStreamed(app string, prof workload.Profile) (*Worklo
 	}
 
 	for chunk := stream.Next(); chunk != nil; chunk = stream.Next() {
+		faults.PanicPoint("stream-window")
 		if cw != nil {
 			if err := cw.WriteSection(trace.SecInstsZ, trace.EncodeInstsPacked(chunk)); err != nil {
 				entry.Abort()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"acic/internal/cache"
 	"acic/internal/cpu"
 	"acic/internal/experiments/engine"
+	"acic/internal/faults"
 	"acic/internal/workload"
 )
 
@@ -110,13 +112,23 @@ type Suite struct {
 	// running done count, the number of cells planned so far, and a
 	// human-readable label. Called from worker goroutines.
 	Progress func(done, total int, label string)
+	// Context, when non-nil, cancels work that has not started yet: cells
+	// (and gang tasks) check it before simulating and fail with the
+	// context's error once it is done. Cells already inside a simulation
+	// run to completion — the per-access hot path stays free of
+	// cancellation checks — so cancellation drains within one cell's
+	// latency. CLIs wire SIGINT/SIGTERM here for graceful shutdown.
+	Context context.Context
 
 	once     sync.Once
 	pool     *engine.Pool
 	pipeline *Pipeline
 	results  *engine.Group[Cell, cpu.Result]
-	done     atomic.Int64
-	cacheErr error
+	// resultStore is the disk cache behind results (nil without CacheDir),
+	// retained so FaultStats can report its quarantine count.
+	resultStore *engine.DiskCache[Cell, cpu.Result]
+	done        atomic.Int64
+	cacheErr    error
 
 	sampleMu sync.Mutex
 	samples  map[string]cpu.SampleConfig // per-app sampling config (digest-derived offsets)
@@ -126,6 +138,10 @@ type Suite struct {
 	gangMixed    atomic.Int64 // gang runs spanning >1 prefetcher platform
 	gangMaxWidth atomic.Int64 // widest gang simulated
 	gangWindow   atomic.Int64 // traversal window of the most recent gang run
+
+	gangDegraded  atomic.Int64 // gangs that died whole and degraded to serial
+	serialReruns  atomic.Int64 // cells re-run serially by the degradation ladder
+	ladderRetries atomic.Int64 // retries spent inside serial reruns
 }
 
 // GangStats summarizes the suite's gang scheduling so far: how many gang
@@ -174,12 +190,14 @@ func (s *Suite) init() {
 		var plErr error
 		s.pipeline, plErr = NewPipeline(PipelineConfig{N: s.N, Dir: s.ArtifactDir, Pool: s.pool, Window: s.PrepareWindow})
 		s.results = engine.NewGroup(s.pool, s.computeCell)
+		s.results.Retry = engine.DefaultRetry()
 		if s.CacheDir != "" {
 			cache, err := engine.NewDiskCache[Cell, cpu.Result](s.CacheDir, s.cacheKey)
 			if err != nil {
 				s.cacheErr = err
 			} else {
 				s.results.Cache = cache
+				s.resultStore = cache
 			}
 		}
 		s.cacheErr = errors.Join(s.cacheErr, plErr, sampleErr)
@@ -250,8 +268,22 @@ func (s *Suite) options(app string) Options {
 // shared structures scale like the planned cells' do.
 func (s *Suite) sampleFilter(app string) cache.SampleFilter { return s.sampleFor(app).Filter() }
 
-// computeCell runs one simulation cell.
+// ctxErr reports the suite's cancellation state: non-nil once the
+// configured Context is done.
+func (s *Suite) ctxErr() error {
+	if s.Context == nil {
+		return nil
+	}
+	return s.Context.Err()
+}
+
+// computeCell runs one simulation cell. Cells that have not started when
+// the suite's Context is cancelled fail with the context error instead of
+// simulating.
 func (s *Suite) computeCell(c Cell) (cpu.Result, error) {
+	if err := s.ctxErr(); err != nil {
+		return cpu.Result{}, err
+	}
 	w, err := s.pipeline.Workload(c.App)
 	if err != nil {
 		return cpu.Result{}, err
@@ -409,6 +441,18 @@ func splitBalanced(batch []Cell, parts int) [][]Cell {
 // directly, the rest — whatever mix of schemes and prefetcher platforms
 // survived the cache — run as a single RunGangCells over the shared
 // workload.
+//
+// Failures walk a degradation ladder rather than failing the gang. A
+// panic anywhere in the gang run (the members share one Program
+// traversal, so no per-slot result can be trusted) degrades the whole
+// gang: every pending cell re-runs serially. A per-slot error with the
+// rest of the gang healthy re-runs just that cell serially while the
+// survivors' results stand. Serial reruns go through the guarded,
+// bounded-retry path (rerunSerial) and deliberately sit at the bottom of
+// the ladder — a cell that still fails there fails its figure with a
+// typed CellError, never the run. Every cell claimed by this task is
+// fulfilled on every path; an unfulfilled claim would deadlock the
+// Require waiting on it.
 func (s *Suite) runGangTask(gang []Cell) {
 	pending := gang[:0:0]
 	for _, c := range gang {
@@ -417,6 +461,12 @@ func (s *Suite) runGangTask(gang []Cell) {
 		}
 	}
 	if len(pending) == 0 {
+		return
+	}
+	if err := s.ctxErr(); err != nil {
+		for _, c := range pending {
+			s.results.Fulfill(c, cpu.Result{}, err)
+		}
 		return
 	}
 	w, err := s.pipeline.Workload(pending[0].App)
@@ -433,7 +483,14 @@ func (s *Suite) runGangTask(gang []Cell) {
 		gcells[i] = GangCell{Scheme: c.Scheme, Prefetcher: c.Prefetcher}
 		pfs[c.Prefetcher] = true
 	}
-	results, window, errs := RunGangCells(w, gcells, opts)
+	results, window, errs, gangErr := s.gangAttempt(w, pending[0].App, gcells, opts)
+	if gangErr != nil {
+		s.gangDegraded.Add(1)
+		for _, c := range pending {
+			s.rerunSerial(c)
+		}
+		return
+	}
 	s.gangRuns.Add(1)
 	s.gangCells.Add(int64(len(pending)))
 	if len(pfs) > 1 {
@@ -446,8 +503,45 @@ func (s *Suite) runGangTask(gang []Cell) {
 	}
 	s.gangWindow.Store(int64(window))
 	for i, c := range pending {
-		s.results.Fulfill(c, results[i], errs[i])
+		if errs[i] != nil {
+			s.rerunSerial(c)
+			continue
+		}
+		s.results.Fulfill(c, results[i], nil)
 	}
+}
+
+// gangAttempt runs one gang simulation under panic isolation. A non-nil
+// error means the gang as a whole produced nothing usable (the caller
+// degrades to serial); per-slot construction errors come back in errs
+// with the other slots' results intact.
+func (s *Suite) gangAttempt(w *Workload, app string, gcells []GangCell, opts Options) ([]cpu.Result, int, []error, error) {
+	type gangOut struct {
+		results []cpu.Result
+		window  int
+		errs    []error
+	}
+	out, err := engine.Guard(fmt.Sprintf("gang:%s[%d]", app, len(gcells)), true, func() (gangOut, error) {
+		faults.PanicPoint("gang")
+		results, window, errs := RunGangCells(w, gcells, opts)
+		return gangOut{results, window, errs}, nil
+	})
+	return out.results, out.window, out.errs, err
+}
+
+// rerunSerial is the bottom rung of the degradation ladder: one cell,
+// re-run on its own through the guarded bounded-retry path, then
+// fulfilled with whatever came out — a result, or a typed error that
+// fails only the figures needing this cell.
+func (s *Suite) rerunSerial(c Cell) {
+	s.serialReruns.Add(1)
+	res, err, retried := engine.Retry(s.results.Retry, c.String(), false, func() (cpu.Result, error) {
+		return s.computeCell(c)
+	})
+	if retried > 0 {
+		s.ladderRetries.Add(int64(retried))
+	}
+	s.results.Fulfill(c, res, err)
 }
 
 // GangStats reports the suite's gang scheduling counters so far.

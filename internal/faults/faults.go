@@ -1,0 +1,288 @@
+// Package faults is a deterministic, spec-driven fault injector for
+// exercising the engine's failure paths in tests and CI. A spec names
+// fault classes and their rates, e.g.
+//
+//	io-err:p=0.01;corrupt-artifact:p=0.005;panic-cell:every=97;seed=7
+//
+// and is installed process-wide (from -fault-spec or ACIC_FAULT_SPEC).
+// Production code calls the cheap hook functions (FailIO, Corrupt,
+// PanicPoint) at its fault sites; with no injector installed each hook is
+// a single atomic load and injects nothing, so the hooks can sit on warm
+// paths — though never on the per-access simulation hot path, which stays
+// hook-free (DESIGN.md §13).
+//
+// Decisions are deterministic: each class keeps an atomic draw counter,
+// and draw n of class c fires iff splitmix64(seed, c, n) maps below the
+// class's probability (or n is a multiple of its period for every=N
+// rules). For a fixed sequence of hook calls the injected faults are
+// therefore reproducible; under concurrency the interleaving (and so the
+// site each draw lands on) may vary, which is fine because correctness
+// never depends on fault placement — only recovery does, and recovery is
+// what the injector exists to exercise.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Class identifies one injectable fault kind.
+type Class int
+
+const (
+	// IOErr makes a DiskCache read or write fail as if the underlying
+	// storage errored: loads become misses, stores are skipped. Always
+	// survivable — the cache is best-effort by contract.
+	IOErr Class = iota
+	// CorruptArtifact flips one bit in an encoded value before it is
+	// persisted, simulating a torn or bit-rotted write. The corruption is
+	// caught by the container/entry checksums on the next load, which
+	// quarantines the file and regenerates.
+	CorruptArtifact
+	// PanicCell panics at a worker task boundary (group compute, gang
+	// start, stream window) with an Injected value, exercising panic
+	// isolation, retry, and the degradation ladder.
+	PanicCell
+
+	numClasses
+)
+
+var classNames = [numClasses]string{"io-err", "corrupt-artifact", "panic-cell"}
+
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("faults.Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// rule is one class's firing schedule: probabilistic (p) or periodic
+// (every). Exactly one is non-zero in a parsed rule.
+type rule struct {
+	p     float64
+	every int64
+}
+
+// Injector holds a parsed spec plus per-class draw and fire counters.
+// All methods are safe for concurrent use.
+type Injector struct {
+	spec  string
+	seed  uint64
+	rules [numClasses]rule
+	draws [numClasses]atomic.Int64
+	fired [numClasses]atomic.Int64
+}
+
+// Parse compiles a spec string. Grammar: semicolon-separated fields, each
+// either "seed=N" or "class:param=value[,param=value]" where class is one
+// of io-err, corrupt-artifact, panic-cell and param is p (probability in
+// [0,1]) or every (fire on every Nth draw, N >= 1). An empty spec is
+// valid and injects nothing.
+func Parse(spec string) (*Injector, error) {
+	in := &Injector{spec: spec, seed: 1}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if s, ok := strings.CutPrefix(field, "seed="); ok {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", s, err)
+			}
+			in.seed = n
+			continue
+		}
+		name, params, ok := strings.Cut(field, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: field %q is not class:param=value or seed=N", field)
+		}
+		class := Class(-1)
+		for c, cn := range classNames {
+			if cn == name {
+				class = Class(c)
+			}
+		}
+		if class < 0 {
+			return nil, fmt.Errorf("faults: unknown class %q (want io-err, corrupt-artifact, or panic-cell)", name)
+		}
+		var r rule
+		for _, kv := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: %s: parameter %q is not key=value", name, kv)
+			}
+			switch k {
+			case "p":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("faults: %s: p=%q is not a probability in [0,1]", name, v)
+				}
+				r.p = p
+			case "every":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faults: %s: every=%q is not a positive integer", name, v)
+				}
+				r.every = n
+			default:
+				return nil, fmt.Errorf("faults: %s: unknown parameter %q (want p or every)", name, k)
+			}
+		}
+		if r.p != 0 && r.every != 0 {
+			return nil, fmt.Errorf("faults: %s: p and every are mutually exclusive", name)
+		}
+		if r.p == 0 && r.every == 0 {
+			return nil, fmt.Errorf("faults: %s: rule needs p= or every=", name)
+		}
+		in.rules[class] = r
+	}
+	return in, nil
+}
+
+// Validate reports whether spec parses, without installing it.
+func Validate(spec string) error {
+	_, err := Parse(spec)
+	return err
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixing
+// function. Exported for callers that need deterministic pseudo-random
+// decisions without math/rand's locking (backoff jitter, bit selection).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fire draws once for class c, returning whether the fault fires and the
+// zero-based draw index (for deriving secondary decisions such as which
+// bit to flip).
+func (in *Injector) fire(c Class) (bool, int64) {
+	r := in.rules[c]
+	if r.p == 0 && r.every == 0 {
+		return false, 0
+	}
+	n := in.draws[c].Add(1) - 1
+	hit := false
+	if r.every > 0 {
+		hit = n%r.every == r.every-1
+	} else {
+		u := Mix64(in.seed ^ uint64(c)<<32 ^ uint64(n))
+		hit = float64(u>>11)/(1<<53) < r.p
+	}
+	if hit {
+		in.fired[c].Add(1)
+	}
+	return hit, n
+}
+
+// Stats is a snapshot of injection activity.
+type Stats struct {
+	Spec        string `json:"spec,omitempty"`
+	IOErrs      int64  `json:"io_errs"`
+	Corruptions int64  `json:"corruptions"`
+	Panics      int64  `json:"panics"`
+}
+
+// Injected is the panic value raised by PanicPoint. Recovery code uses
+// IsInjected to classify such panics as transient (retryable): the panic
+// was environmental, not a simulator bug, so re-running the work is both
+// safe and expected to succeed.
+type Injected struct {
+	Site string // hook site, e.g. "compute", "gang", "stream-window"
+	Draw int64  // draw index that fired
+}
+
+func (i *Injected) String() string {
+	return fmt.Sprintf("injected fault at %s (draw %d)", i.Site, i.Draw)
+}
+
+// IsInjected reports whether a recovered panic value came from PanicPoint.
+func IsInjected(r any) bool {
+	_, ok := r.(*Injected)
+	return ok
+}
+
+// active is the process-wide injector; nil means no injection.
+var active atomic.Pointer[Injector]
+
+// Install parses and installs spec process-wide, replacing any previous
+// injector (and its counters). An empty spec uninstalls.
+func Install(spec string) error {
+	if spec == "" {
+		active.Store(nil)
+		return nil
+	}
+	in, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	active.Store(in)
+	return nil
+}
+
+// Snapshot returns the installed injector's activity counters, or a zero
+// Stats when none is installed.
+func Snapshot() Stats {
+	in := active.Load()
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Spec:        in.spec,
+		IOErrs:      in.fired[IOErr].Load(),
+		Corruptions: in.fired[CorruptArtifact].Load(),
+		Panics:      in.fired[PanicCell].Load(),
+	}
+}
+
+// FailIO reports whether an injected IO error fires at this call site.
+// Callers treat a true result exactly like a real storage error: loads
+// miss, stores skip.
+func FailIO() bool {
+	in := active.Load()
+	if in == nil {
+		return false
+	}
+	hit, _ := in.fire(IOErr)
+	return hit
+}
+
+// Corrupt flips one deterministically-chosen bit of data in place when
+// the corrupt-artifact rule fires, and returns data either way. The bit
+// is drawn from the second half of the buffer so that for checksummed
+// container formats it always lands in a CRC-covered region (headers and
+// names are a small prefix); JSON cache entries are whole-file
+// checksummed, so any position is caught there.
+func Corrupt(data []byte) []byte {
+	in := active.Load()
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	hit, n := in.fire(CorruptArtifact)
+	if !hit {
+		return data
+	}
+	bits := uint64(len(data)) * 8
+	lo := bits / 2
+	bit := lo + Mix64(in.seed^0xc0ffee^uint64(n))%(bits-lo)
+	data[bit/8] ^= 1 << (bit % 8)
+	return data
+}
+
+// PanicPoint panics with an *Injected value when the panic-cell rule
+// fires at this site. Sites are placed at task boundaries (before any
+// state is mutated) so that recovery can always retry cleanly.
+func PanicPoint(site string) {
+	in := active.Load()
+	if in == nil {
+		return
+	}
+	if hit, n := in.fire(PanicCell); hit {
+		panic(&Injected{Site: site, Draw: n})
+	}
+}

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []string{
+		"",
+		"seed=42",
+		"io-err:p=0.01",
+		"corrupt-artifact:p=1",
+		"panic-cell:every=97",
+		"io-err:p=0.01;corrupt-artifact:p=0.005;panic-cell:every=97;seed=7",
+		" io-err:p=0.5 ; seed=1 ;",
+	}
+	for _, spec := range cases {
+		if err := Validate(spec); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", spec, err)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"bogus", "not class:param=value"},
+		{"warp-core:p=0.1", "unknown class"},
+		{"io-err:p=2", "probability"},
+		{"io-err:p=-0.5", "probability"},
+		{"io-err:every=0", "positive integer"},
+		{"io-err:q=0.5", "unknown parameter"},
+		{"io-err:p=0.5,every=3", "mutually exclusive"},
+		{"io-err:", "key=value"},
+		{"panic-cell:p=0;seed=1", "needs p= or every="},
+		{"seed=xyz", "bad seed"},
+	}
+	for _, c := range cases {
+		err := Validate(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Validate(%q) = %v, want error containing %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestEveryIsPeriodic(t *testing.T) {
+	in, err := Parse("panic-cell:every=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fires []int64
+	for i := 0; i < 20; i++ {
+		if hit, n := in.fire(PanicCell); hit {
+			fires = append(fires, n)
+		}
+	}
+	want := []int64{4, 9, 14, 19}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestProbabilityEndpointsAndDeterminism(t *testing.T) {
+	always, _ := Parse("io-err:p=1")
+	for i := 0; i < 100; i++ {
+		if hit, _ := always.fire(IOErr); !hit {
+			t.Fatalf("p=1 draw %d did not fire", i)
+		}
+	}
+	// Two injectors with the same spec fire on the same draw indices.
+	a, _ := Parse("io-err:p=0.3;seed=11")
+	b, _ := Parse("io-err:p=0.3;seed=11")
+	for i := 0; i < 1000; i++ {
+		ha, _ := a.fire(IOErr)
+		hb, _ := b.fire(IOErr)
+		if ha != hb {
+			t.Fatalf("draw %d diverged between identical injectors", i)
+		}
+	}
+	if a.fired[IOErr].Load() == 0 {
+		t.Fatal("p=0.3 never fired in 1000 draws")
+	}
+}
+
+func TestInstallHooksAndSnapshot(t *testing.T) {
+	defer Install("")
+	if err := Install("io-err:p=1;corrupt-artifact:p=1;panic-cell:every=1;seed=9"); err != nil {
+		t.Fatal(err)
+	}
+	if !FailIO() {
+		t.Fatal("FailIO did not fire with p=1")
+	}
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	data := append([]byte(nil), orig...)
+	Corrupt(data)
+	if bytes.Equal(data, orig) {
+		t.Fatal("Corrupt did not flip a bit with p=1")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Corrupt changed %d bytes, want exactly 1", diff)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !IsInjected(r) {
+				t.Fatalf("PanicPoint recovered %v, want *Injected", r)
+			}
+		}()
+		PanicPoint("test")
+	}()
+	s := Snapshot()
+	if s.IOErrs != 1 || s.Corruptions != 1 || s.Panics != 1 {
+		t.Fatalf("Snapshot = %+v, want one fire per class", s)
+	}
+	if s.Spec == "" {
+		t.Fatal("Snapshot.Spec empty with injector installed")
+	}
+}
+
+func TestUninstalledHooksAreInert(t *testing.T) {
+	Install("")
+	if FailIO() {
+		t.Fatal("FailIO fired with no injector")
+	}
+	data := []byte{1, 2, 3}
+	Corrupt(data)
+	if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+		t.Fatal("Corrupt mutated data with no injector")
+	}
+	PanicPoint("test") // must not panic
+	if s := Snapshot(); s != (Stats{}) {
+		t.Fatalf("Snapshot = %+v, want zero", s)
+	}
+}
+
+func TestIsInjectedRejectsOtherPanics(t *testing.T) {
+	if IsInjected("boom") || IsInjected(42) || IsInjected(nil) {
+		t.Fatal("IsInjected accepted a non-injected value")
+	}
+}

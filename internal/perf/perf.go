@@ -17,6 +17,7 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -171,10 +172,25 @@ type Report struct {
 	SampledSweeps    []SampledSweep           `json:"sampled_sweeps,omitempty"`
 	CrossSweeps      []CrossSweep             `json:"cross_sweeps,omitempty"`
 	PrepareSweeps    []PrepareSweep           `json:"prepare_sweeps,omitempty"`
+	// Faults records the run's fault-injection and recovery activity
+	// (always present; all-zero without -fault-spec). Injected faults on
+	// the measurement path would distort timings, so bench runs are
+	// normally fault-free — the block exists so CI can assert that and so
+	// faulted diagnostics runs are self-describing.
+	Faults *experiments.FaultStats `json:"faults,omitempty"`
+	// Interrupted marks a report cut short by SIGINT/SIGTERM (Config.
+	// Context): the measurements present are valid, the grid is partial.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Config selects the measurement grid.
 type Config struct {
+	// Context, when non-nil, lets the caller cancel the measurement run
+	// (SIGINT/SIGTERM in acic-bench). Cancellation is honored between
+	// cells and between sweep families — the measurement in flight
+	// finishes — and yields a partial Report with Interrupted set, not an
+	// error; the caller decides the exit code.
+	Context     context.Context
 	App         string   // workload name (default "media-streaming")
 	N           int      // trace length (0 = experiments.DefaultTraceLen)
 	Schemes     []string // scheme names (default DefaultSchemes)
@@ -237,6 +253,7 @@ func Measure(cfg Config) (*Report, error) {
 	s := experiments.NewSuite(cfg.N)
 	s.ArtifactDir = cfg.ArtifactDir
 	s.PrepareWindow = cfg.PrepareWindow
+	s.Context = cfg.Context
 	// An unusable artifact store would silently measure a cold prepare
 	// phase; fail like the -exp path does instead of benchmarking a lie.
 	if err := s.CacheError(); err != nil {
@@ -263,8 +280,28 @@ func Measure(cfg Config) (*Report, error) {
 		PrepareWindow:    cfg.PrepareWindow,
 		PrepareStages:    s.PrepareStats(),
 	}
+	// canceled gates each measurement: the first true marks the report
+	// interrupted and every later call short-circuits, so the partial
+	// report flushes without starting further multi-second measurements.
+	canceled := func() bool {
+		if rep.Interrupted {
+			return true
+		}
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			rep.Interrupted = true
+		}
+		return rep.Interrupted
+	}
+	finish := func() (*Report, error) {
+		fs := s.FaultStats()
+		rep.Faults = &fs
+		return rep, nil
+	}
 	for _, pf := range cfg.Prefetchers {
 		for _, scheme := range cfg.Schemes {
+			if canceled() {
+				return finish()
+			}
 			cell, err := measureCell(w, cfg.App, scheme, pf, cfg.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("perf: %s/%s: %w", scheme, pf, err)
@@ -274,6 +311,9 @@ func Measure(cfg Config) (*Report, error) {
 	}
 	if cfg.GangSize >= 0 {
 		for _, pf := range cfg.Prefetchers {
+			if canceled() {
+				return finish()
+			}
 			sweep, err := measureSweep(w, cfg, pf)
 			if err != nil {
 				return nil, fmt.Errorf("perf: sweep %s: %w", pf, err)
@@ -283,6 +323,9 @@ func Measure(cfg Config) (*Report, error) {
 	}
 	if cfg.SampleSets > 0 {
 		for _, pf := range cfg.Prefetchers {
+			if canceled() {
+				return finish()
+			}
 			sweep, err := measureSampledSweep(w, cfg, pf)
 			if err != nil {
 				return nil, fmt.Errorf("perf: sampled sweep %s: %w", pf, err)
@@ -292,6 +335,9 @@ func Measure(cfg Config) (*Report, error) {
 	}
 	if cfg.GangSize >= 0 {
 		for _, row := range CrossSweepRows() {
+			if canceled() {
+				return finish()
+			}
 			sweep, err := measureCrossSweep(w, cfg, row)
 			if err != nil {
 				return nil, fmt.Errorf("perf: cross sweep %s: %w", row.Name, err)
@@ -301,6 +347,9 @@ func Measure(cfg Config) (*Report, error) {
 	}
 	if cfg.PrepareSweeps {
 		for _, n := range []int{cfg.N, 4 * cfg.N} {
+			if canceled() {
+				return finish()
+			}
 			sweep, err := measurePrepareSweep(cfg.App, n, cfg.PrepareWindow)
 			if err != nil {
 				return nil, fmt.Errorf("perf: prepare sweep n=%d: %w", n, err)
@@ -308,7 +357,7 @@ func Measure(cfg Config) (*Report, error) {
 			rep.PrepareSweeps = append(rep.PrepareSweeps, sweep)
 		}
 	}
-	return rep, nil
+	return finish()
 }
 
 // heapWatermark runs fn while sampling the live heap every millisecond and

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -259,6 +260,94 @@ func TestMeasurePrepareSweep(t *testing.T) {
 	}
 	if s := rep.PrepareSummary(); !strings.Contains(s, "peak heap") {
 		t.Errorf("prepare summary missing peak: %q", s)
+	}
+}
+
+// TestReportFaultsRoundTrip: the faults block and the interrupted flag
+// survive the JSON cycle, and a clean report omits "interrupted" so the
+// trajectory baselines stay byte-stable.
+func TestReportFaultsRoundTrip(t *testing.T) {
+	want := sampleReport()
+	want.Faults = &experiments.FaultStats{
+		Spec: "io-err:p=0.01", InjectedIOErrs: 3, Retries: 2, Quarantined: 1,
+	}
+	want.Interrupted = true
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := want.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"faults"`, `"interrupted": true`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("serialized report missing %s:\n%s", key, raw)
+		}
+	}
+	clean := sampleReport()
+	cleanPath := filepath.Join(t.TempDir(), "clean.json")
+	if err := clean.WriteJSON(cleanPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "interrupted") {
+		t.Errorf("clean report must omit the interrupted flag:\n%s", raw)
+	}
+}
+
+// TestMeasureInterrupted: a cancelled Config.Context yields a partial
+// report flagged interrupted — not an error — so the caller can flush it
+// before exiting 130.
+func TestMeasureInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Measure(Config{
+		Context: ctx,
+		App:     "media-streaming", N: 20_000,
+		Schemes: []string{"lru"}, Prefetchers: []string{"none"},
+		Repeats: 1, GangSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Error("report not marked interrupted")
+	}
+	if len(rep.Cells) != 0 || len(rep.Sweeps) != 0 {
+		t.Errorf("cancelled run still measured %d cells, %d sweeps", len(rep.Cells), len(rep.Sweeps))
+	}
+	if rep.Faults == nil {
+		t.Error("interrupted report must still carry the faults block")
+	}
+}
+
+// TestMeasureFaultsBlock: every report carries the faults block; without
+// an installed spec it is all-zero.
+func TestMeasureFaultsBlock(t *testing.T) {
+	rep, err := Measure(Config{
+		App: "media-streaming", N: 20_000,
+		Schemes: []string{"lru"}, Prefetchers: []string{"none"},
+		Repeats: 1, GangSize: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == nil {
+		t.Fatal("report missing faults block")
+	}
+	if rep.Faults.Any() || rep.Faults.Spec != "" {
+		t.Errorf("fault-free run recorded fault activity: %+v", rep.Faults)
 	}
 }
 

@@ -200,6 +200,51 @@ func FindSection(secs []Section, tag string) ([]byte, bool) {
 	return nil, false
 }
 
+// SectionSpan locates one section's payload inside an encoded container:
+// Off is the payload's byte offset from the start of the container, Len
+// its length. Spans let corruption tooling (and the fault-injection
+// tests) target a precise CRC-covered byte range without re-encoding —
+// rewriting through WriteContainer would recompute the checksum and hide
+// the damage.
+type SectionSpan struct {
+	Tag string
+	Off int
+	Len int
+}
+
+// SectionSpans walks an encoded v2 container's layout without decoding
+// payloads and returns each section's payload span. The walk applies the
+// same sanity limits as ReadContainer; payload CRCs are not verified (the
+// caller is usually about to break them on purpose).
+func SectionSpans(data []byte) ([]SectionSpan, error) {
+	if len(data) < 16 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: not a container", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadFormat, v, codecVersion)
+	}
+	nameLen := binary.LittleEndian.Uint32(data[8:12])
+	nsec := binary.LittleEndian.Uint32(data[12:16])
+	if nameLen > 1<<16 || nsec > 1<<10 {
+		return nil, fmt.Errorf("%w: implausible header (name %d, sections %d)", ErrBadFormat, nameLen, nsec)
+	}
+	off := 16 + int(nameLen)
+	spans := make([]SectionSpan, 0, nsec)
+	for i := uint32(0); i < nsec; i++ {
+		if off+16 > len(data) {
+			return nil, fmt.Errorf("%w: truncated at section %d header", ErrBadFormat, i)
+		}
+		tag := string(data[off : off+4])
+		plen := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		if plen > maxSaneLen || off+16+int(plen) > len(data) {
+			return nil, fmt.Errorf("%w: truncated in section %q payload", ErrBadFormat, tag)
+		}
+		spans = append(spans, SectionSpan{Tag: tag, Off: off + 16, Len: int(plen)})
+		off += 16 + int(plen)
+	}
+	return spans, nil
+}
+
 // EncodeInsts encodes an instruction stream as an SecInsts payload: the
 // record count followed by varint-delta records.
 func EncodeInsts(insts []Inst) []byte {

@@ -343,3 +343,39 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// SectionSpans must locate every payload exactly where ReadContainer
+// finds it, so corruption tooling can hit a precise CRC-covered range.
+func TestSectionSpans(t *testing.T) {
+	secs := []Section{
+		{Tag: "AAAA", Data: []byte("alpha-payload")},
+		{Tag: "BBBB", Data: []byte{}},
+		{Tag: "CCCC", Data: []byte{1, 2, 3}},
+	}
+	var b bytes.Buffer
+	if err := WriteContainer(&b, "spans-test", secs); err != nil {
+		t.Fatal(err)
+	}
+	data := b.Bytes()
+	spans, err := SectionSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(secs) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(secs))
+	}
+	for i, sp := range spans {
+		if sp.Tag != secs[i].Tag || sp.Len != len(secs[i].Data) {
+			t.Fatalf("span %d = %+v, want tag %s len %d", i, sp, secs[i].Tag, len(secs[i].Data))
+		}
+		if got := data[sp.Off : sp.Off+sp.Len]; !bytes.Equal(got, secs[i].Data) {
+			t.Fatalf("span %d payload = %q, want %q", i, got, secs[i].Data)
+		}
+	}
+	if _, err := SectionSpans([]byte("not a container")); err == nil {
+		t.Fatal("SectionSpans accepted garbage")
+	}
+	if _, err := SectionSpans(data[:len(data)-2]); err == nil {
+		t.Fatal("SectionSpans accepted a truncated container")
+	}
+}
