@@ -75,88 +75,6 @@ import (
 	"acic/internal/stats"
 )
 
-type experiment struct {
-	name string
-	desc string
-	run  func(s *experiments.Suite) (string, error)
-}
-
-func tableExp(name, desc string, f func(*experiments.Suite) (*stats.Table, error)) experiment {
-	return experiment{name: name, desc: desc, run: func(s *experiments.Suite) (string, error) {
-		t, err := f(s)
-		if err != nil {
-			return "", err
-		}
-		return t.String(), nil
-	}}
-}
-
-// staticExp wraps suite-independent tables (Table I/II/IV).
-func staticExp(name, desc string, f func() *stats.Table) experiment {
-	return tableExp(name, desc, func(*experiments.Suite) (*stats.Table, error) { return f(), nil })
-}
-
-func allExperiments() []experiment {
-	return []experiment{
-		staticExp("table1", "ACIC storage breakdown (Table I)", experiments.Table1),
-		staticExp("table2", "simulation parameters (Table II)", experiments.Table2),
-		tableExp("table3", "per-app baseline L1i MPKI (Table III)", (*experiments.Suite).Table3),
-		staticExp("table4", "per-scheme storage overhead (Table IV)", experiments.Table4),
-		tableExp("fig1a", "reuse-distance distributions (Fig 1a)", (*experiments.Suite).Fig1a),
-		tableExp("fig1b", "reuse-distance Markov chain, media-streaming (Fig 1b)",
-			func(s *experiments.Suite) (*stats.Table, error) { return s.Fig1b("media-streaming") }),
-		tableExp("fig3a", "i-Filter / access-count / OPT speedups (Fig 3a)", (*experiments.Suite).Fig3a),
-		{name: "fig3b", desc: "reuse-delta of incoming vs OPT-outgoing blocks (Fig 3b)", run: runFig3b},
-		{name: "fig6", desc: "CSHR entry lifetime distribution, data-caching (Fig 6)", run: runFig6},
-		tableExp("fig10", "speedup of all schemes over LRU+FDP (Fig 10)", (*experiments.Suite).Fig10),
-		tableExp("fig11", "MPKI reduction of all schemes (Fig 11)", (*experiments.Suite).Fig11),
-		tableExp("fig12a", "ACIC bypass accuracy by reuse range (Fig 12a)", (*experiments.Suite).Fig12a),
-		tableExp("fig12b", "random-60% bypass vs ACIC (Fig 12b)", (*experiments.Suite).Fig12b),
-		tableExp("fig13", "fraction of i-Filter victims admitted (Fig 13)", (*experiments.Suite).Fig13),
-		tableExp("fig14", "parallel vs instant predictor update (Fig 14)", (*experiments.Suite).Fig14),
-		tableExp("fig15", "parameter sensitivity (Fig 15)", (*experiments.Suite).Fig15),
-		tableExp("fig16", "ACIC speedup over LRU+i-Filter baseline (Fig 16)", (*experiments.Suite).Fig16),
-		tableExp("fig17", "simplified-design ablation (Fig 17)", (*experiments.Suite).Fig17),
-		tableExp("fig18", "SPEC speedups (Fig 18)", (*experiments.Suite).Fig18),
-		tableExp("fig19", "SPEC MPKI reductions (Fig 19)", (*experiments.Suite).Fig19),
-		tableExp("fig20", "speedups over entangling baseline (Fig 20)", (*experiments.Suite).Fig20),
-		tableExp("fig21", "MPKI reductions over entangling baseline (Fig 21)", (*experiments.Suite).Fig21),
-		tableExp("energy", "chip-energy delta of ACIC (Section III-D)", (*experiments.Suite).Energy),
-		tableExp("ext-schemes", "extension baselines: DIP family, EAF, PLRU, pf-aware ACIC",
-			(*experiments.Suite).ExtendedComparison),
-		tableExp("ext-pfaware", "prefetch-aware ACIC (paper future work)", (*experiments.Suite).PrefetchAware),
-		tableExp("ext-headroom", "LRU miss-ratio curve over capacity", (*experiments.Suite).Headroom),
-		tableExp("ext-prefetchers", "baseline under each prefetcher", (*experiments.Suite).PrefetcherBaselines),
-		tableExp("ext-evict-train", "CSHR unresolved-eviction training ablation", experiments.AblationCSHRDefault),
-	}
-}
-
-func runFig3b(s *experiments.Suite) (string, error) {
-	h, wrong, err := s.Fig3b("media-streaming")
-	if err != nil {
-		return "", err
-	}
-	labels := []string{"<=-10000", "-1000", "-100", "-10", "<=0", "10", "100", "1000", "10000", ">10000"}
-	t := &stats.Table{Header: []string{"delta bucket", "fraction"}}
-	for i, f := range h.Fractions() {
-		t.AddRow(labels[i], stats.Percent(f))
-	}
-	return t.String() + fmt.Sprintf("wrong insertions (delta>0): %s (paper: 38.38%%)\n", stats.Percent(wrong)), nil
-}
-
-func runFig6(s *experiments.Suite) (string, error) {
-	h, err := s.Fig6("data-caching")
-	if err != nil {
-		return "", err
-	}
-	labels := []string{"0-50", "50-100", "100-150", "150-200", "200-250", "250-300", "300-350", "350-400", "InF"}
-	t := &stats.Table{Header: []string{"comparisons", "fraction"}}
-	for i, f := range h.Fractions() {
-		t.AddRow(labels[i], stats.Percent(f))
-	}
-	return t.String(), nil
-}
-
 // runSampleValidate measures the set-sampled fast mode against the full
 // reference: the headline grid (every Fig 10/11 scheme plus the baseline,
 // all datacenter apps, FDP platform) is simulated through both lanes,
@@ -315,6 +233,7 @@ func main() {
 		benchRepeats = flag.Int("bench-repeats", 3, "timed repetitions per -bench-json cell (best kept)")
 		benchSweeps  = flag.Bool("bench-sweeps", true, "also measure per-prefetcher gang-vs-serial sweep wall-clocks in -bench-json mode")
 		benchPrepare = flag.Bool("bench-prepare-sweeps", true, "also measure batch-vs-streamed cold-prepare wall-clock and peak heap (at n and 4n, scratch stores) in -bench-json mode")
+		benchDist    = flag.Bool("bench-distributed", false, "also measure the distributed sweep in -bench-json mode: the full app x scheme grid single-process vs coordinator + 1/2/4 workers over a cold shared store, per-cell results verified identical (adds several cold full-grid lanes — minutes)")
 
 		compare    = flag.String("compare", "", "baseline bench JSON: compare per-cell ns/access against it and exit (new side: -compare-to, or the report just measured by -bench-json)")
 		compareTo  = flag.String("compare-to", "", "new-side bench JSON for -compare (empty = the -bench-json report measured in this run)")
@@ -428,7 +347,8 @@ func main() {
 
 	if *benchJSON != "" {
 		cfg := perf.Config{Context: ctx, App: *benchApp, N: *n, Repeats: *benchRepeats,
-			ArtifactDir: sim.ArtifactDir, PrepareWindow: sim.PrepareWindow, PrepareSweeps: *benchPrepare}
+			ArtifactDir: sim.ArtifactDir, PrepareWindow: sim.PrepareWindow,
+			PrepareSweeps: *benchPrepare, DistributedSweeps: *benchDist}
 		if ss, err := sim.ResolveSampleSets(); err != nil {
 			fmt.Fprintf(os.Stderr, "acic-bench: %v\n", err)
 			os.Exit(1)
@@ -469,6 +389,9 @@ func main() {
 		if st := rep.PrepareSweepTable(); st != nil {
 			fmt.Printf("=== prepare sweeps: batch vs streamed cold prepare (scratch stores)\n%s", st)
 		}
+		if st := rep.DistributedSweepTable(); st != nil {
+			fmt.Printf("=== distributed sweeps: single-process vs coordinator + workers, cold shared store per lane\n%s", st)
+		}
 		if rep.Faults != nil {
 			fmt.Println(rep.Faults)
 		}
@@ -495,10 +418,10 @@ func main() {
 		return
 	}
 
-	exps := allExperiments()
+	exps := experiments.Registry()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.name, e.desc)
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -510,7 +433,7 @@ func main() {
 		}
 		known := map[string]bool{}
 		for _, e := range exps {
-			known[e.name] = true
+			known[e.Name] = true
 		}
 		var unknown []string
 		for w := range want {
@@ -564,7 +487,7 @@ func main() {
 	var failed []string
 	interrupted := false
 	for _, e := range exps {
-		if *exp != "all" && !want[e.name] {
+		if *exp != "all" && !want[e.Name] {
 			continue
 		}
 		if ctx.Err() != nil {
@@ -572,17 +495,17 @@ func main() {
 			break
 		}
 		start := time.Now()
-		out, err := e.run(suite)
+		out, err := e.Run(suite)
 		if err != nil {
 			if ctx.Err() != nil {
 				interrupted = true
 				break
 			}
-			failed = append(failed, e.name)
-			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.name, err)
+			failed = append(failed, e.Name)
+			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.Name, err)
 			continue
 		}
-		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.name, e.desc, time.Since(start).Seconds(), out)
+		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.Name, e.Desc, time.Since(start).Seconds(), out)
 	}
 	if *progress {
 		computed, fromCache, workloads := suite.Stats()

@@ -82,7 +82,7 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 // tier without editing invocations.
 func RegisterFaultSpec(fs *flag.FlagSet, dst *string) {
 	fs.StringVar(dst, "fault-spec", os.Getenv("ACIC_FAULT_SPEC"),
-		"deterministic fault injection spec, e.g. \"io-err:p=0.01;corrupt-artifact:p=0.005;panic-cell:every=97;seed=1\" — injects store I/O errors, artifact bit flips, and compute panics that the engine must absorb; results stay byte-identical to a fault-free run (empty = no injection; default from ACIC_FAULT_SPEC)")
+		"deterministic fault injection spec, e.g. \"io-err:p=0.01;corrupt-artifact:p=0.005;panic-cell:every=97;net-err:p=0.01;seed=1\" — injects store I/O errors, artifact bit flips, compute panics, and (for remote stores and the coordinator protocol) network errors that the engine must absorb; results stay byte-identical to a fault-free run (empty = no injection; default from ACIC_FAULT_SPEC)")
 }
 
 // InstallFaults installs the parsed -fault-spec process-wide (a no-op
@@ -90,6 +90,13 @@ func RegisterFaultSpec(fs *flag.FlagSet, dst *string) {
 // there.
 func (f *SimFlags) InstallFaults() error {
 	return faults.Install(f.FaultSpec)
+}
+
+// InstallFaultSpec validates and installs a standalone -fault-spec value,
+// for CLIs (acic-worker) that register only the fault flag rather than
+// the whole SimFlags set.
+func InstallFaultSpec(spec string) error {
+	return faults.Install(spec)
 }
 
 // RegisterPrepareWindow declares -prepare-window on fs (shared with the

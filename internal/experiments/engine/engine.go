@@ -42,6 +42,7 @@ func Workers() int {
 type Pool struct {
 	slots   chan struct{}
 	running atomic.Int64
+	queued  atomic.Int64
 
 	// OnPanic, if non-nil, observes panics recovered in Go tasks (Each
 	// reports them through its error return instead). Called from worker
@@ -65,7 +66,9 @@ func (p *Pool) Width() int { return cap(p.slots) }
 // release undoes both. Every slot user goes through this pair so the
 // occupancy counters stay exact.
 func (p *Pool) acquire() {
+	p.queued.Add(1)
 	p.slots <- struct{}{}
+	p.queued.Add(-1)
 	p.running.Add(1)
 }
 
@@ -90,6 +93,14 @@ func (p *Pool) Idle() int {
 	}
 	return idle
 }
+
+// Queued returns how many tasks are currently blocked waiting for a slot.
+// Together with Running and Idle this completes the occupancy snapshot:
+// the distributed worker's claim sizing uses Idle − Queued headroom to
+// decide how many batches to steal, so a worker with a backlog stops
+// asking for more work instead of hoarding batches other workers could
+// run.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
 
 // Go starts fn as one pool task, blocking the caller until a slot frees
 // (the same submitter backpressure as Each and Require) and returning as
@@ -350,6 +361,30 @@ func (g *Group[K, V]) Fulfill(k K, v V, err error) {
 		g.OnDone(k, false, err)
 	}
 	close(c.done)
+}
+
+// Forget drops a COMPLETED key from the memo so the next demand
+// recomputes it, returning whether anything was dropped. A key still in
+// flight (claimed but its done channel not yet closed) is left alone —
+// forgetting it would strand waiters on a cell no future Fulfill can
+// reach. The distributed worker uses Forget after a transient cell
+// failure: the coordinator will requeue the cell (possibly to this very
+// worker), and the retry must run the compute again rather than replay
+// the memoized error.
+func (g *Group[K, V]) Forget(k K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.cells[k]
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+		delete(g.cells, k)
+		return true
+	default:
+		return false
+	}
 }
 
 func (g *Group[K, V]) cellOf(k K) *cell[V] {

@@ -277,3 +277,67 @@ func TestGroupUsesCache(t *testing.T) {
 		t.Error("failed key must recompute and fail again, not hit cache")
 	}
 }
+
+// TestGroupForget: a completed key — success or failure — can be dropped
+// from the memo so the next demand recomputes, while an in-flight key is
+// left alone (forgetting it would strand waiters). This is what lets the
+// distributed worker retry a transiently failed cell the coordinator
+// requeues to it.
+func TestGroupForget(t *testing.T) {
+	var calls atomic.Int64
+	fail := atomic.Bool{}
+	fail.Store(true)
+	g := NewGroup(NewPool(2), func(k string) (string, error) {
+		calls.Add(1)
+		if fail.Load() {
+			return "", errors.New("transient blip")
+		}
+		return "v:" + k, nil
+	})
+
+	if g.Forget("a") {
+		t.Error("Forget of an unclaimed key returned true")
+	}
+	if _, err := g.Get("a"); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	if _, err := g.Get("a"); err == nil {
+		t.Fatal("memoized error should replay without Forget")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times before Forget, want 1", n)
+	}
+	if !g.Forget("a") {
+		t.Fatal("Forget of a completed key returned false")
+	}
+	fail.Store(false)
+	if v, err := g.Get("a"); err != nil || v != "v:a" {
+		t.Fatalf("Get after Forget = %q, %v", v, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("compute ran %d times after Forget, want 2", n)
+	}
+
+	// An in-flight key must not be forgettable.
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	g2 := NewGroup(NewPool(2), func(k string) (string, error) {
+		close(entered)
+		<-hold
+		return k, nil
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g2.Get("slow")
+	}()
+	<-entered
+	if g2.Forget("slow") {
+		t.Error("Forget of an in-flight key returned true")
+	}
+	close(hold)
+	<-done
+	if !g2.Forget("slow") {
+		t.Error("Forget after completion returned false")
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -35,6 +36,62 @@ func TestPoolOccupancy(t *testing.T) {
 	wg.Wait()
 	if p.Running() != 0 || p.Idle() != 4 {
 		t.Errorf("drained pool: running %d idle %d, want 0 and 4", p.Running(), p.Idle())
+	}
+}
+
+// TestPoolQueued pins the third leg of the occupancy snapshot: submitters
+// blocked waiting for a slot count as queued, and move to running the
+// moment a slot frees. The distributed worker's steal sizing subtracts
+// Queued from Idle, so a stuck-at-zero or leaking counter would make
+// workers hoard or starve.
+func TestPoolQueued(t *testing.T) {
+	p := NewPool(2)
+	if p.Queued() != 0 {
+		t.Fatalf("fresh pool: queued %d", p.Queued())
+	}
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		p.Go(func() {
+			defer wg.Done()
+			started <- struct{}{}
+			<-hold
+		})
+	}
+	<-started
+	<-started
+
+	// The pool is full; three more submissions must block in acquire and
+	// show up as queued.
+	queued := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			queued <- struct{}{}
+			p.Go(func() {
+				defer wg.Done()
+				<-hold
+			})
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-queued
+	}
+	// The three submitters are between the channel send above and slot
+	// acquisition; poll until all have registered.
+	for p.Queued() != 3 {
+		runtime.Gosched()
+	}
+	if r := p.Running(); r != 2 {
+		t.Errorf("Running() = %d with a full pool, want 2", r)
+	}
+	close(hold)
+	wg.Wait()
+	if p.Queued() != 0 || p.Running() != 0 {
+		t.Errorf("drained pool: queued %d running %d, want 0 and 0", p.Queued(), p.Running())
 	}
 }
 

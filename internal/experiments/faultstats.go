@@ -15,11 +15,12 @@ import (
 type FaultStats struct {
 	// Spec is the installed fault spec ("" = no injection).
 	Spec string `json:"spec,omitempty"`
-	// InjectedIOErrs / InjectedCorruptions / InjectedPanics count the
-	// faults the injector fired process-wide.
+	// InjectedIOErrs / InjectedCorruptions / InjectedPanics /
+	// InjectedNetErrs count the faults the injector fired process-wide.
 	InjectedIOErrs      int64 `json:"injected_io_errs"`
 	InjectedCorruptions int64 `json:"injected_corruptions"`
 	InjectedPanics      int64 `json:"injected_panics"`
+	InjectedNetErrs     int64 `json:"injected_net_errs"`
 	// Retries counts extra compute attempts spent recovering transient
 	// failures across the result group, the pipeline stages, and the
 	// serial-rerun ladder.
@@ -40,17 +41,17 @@ type FaultStats struct {
 // recorded.
 func (f FaultStats) Any() bool {
 	return f.InjectedIOErrs != 0 || f.InjectedCorruptions != 0 || f.InjectedPanics != 0 ||
-		f.Retries != 0 || f.GangDegraded != 0 || f.SerialReruns != 0 ||
-		f.StreamFallbacks != 0 || f.Quarantined != 0
+		f.InjectedNetErrs != 0 || f.Retries != 0 || f.GangDegraded != 0 ||
+		f.SerialReruns != 0 || f.StreamFallbacks != 0 || f.Quarantined != 0
 }
 
 // String renders the single-line summary -progress and the bench tier
 // print, e.g.
 //
-//	faults: injected 12 io / 3 corrupt / 5 panic; recovered 5 retries, 2 gang-degraded, 9 serial-reruns, 1 stream-fallback, 3 quarantined
+//	faults: injected 12 io / 3 corrupt / 5 panic / 4 net; recovered 5 retries, 2 gang-degraded, 9 serial-reruns, 1 stream-fallback, 3 quarantined
 func (f FaultStats) String() string {
-	return fmt.Sprintf("faults: injected %d io / %d corrupt / %d panic; recovered %d retries, %d gang-degraded, %d serial-reruns, %d stream-fallbacks, %d quarantined",
-		f.InjectedIOErrs, f.InjectedCorruptions, f.InjectedPanics,
+	return fmt.Sprintf("faults: injected %d io / %d corrupt / %d panic / %d net; recovered %d retries, %d gang-degraded, %d serial-reruns, %d stream-fallbacks, %d quarantined",
+		f.InjectedIOErrs, f.InjectedCorruptions, f.InjectedPanics, f.InjectedNetErrs,
 		f.Retries, f.GangDegraded, f.SerialReruns, f.StreamFallbacks, f.Quarantined)
 }
 
@@ -65,6 +66,7 @@ func (s *Suite) FaultStats() FaultStats {
 		InjectedIOErrs:      snap.IOErrs,
 		InjectedCorruptions: snap.Corruptions,
 		InjectedPanics:      snap.Panics,
+		InjectedNetErrs:     snap.NetErrs,
 		Retries:             s.results.Retries() + s.pipeline.Retries() + s.ladderRetries.Load(),
 		GangDegraded:        s.gangDegraded.Load(),
 		SerialReruns:        s.serialReruns.Load(),

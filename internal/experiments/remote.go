@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"acic/internal/cpu"
+	"acic/internal/experiments/engine"
+)
+
+// Remote is the seam between a Suite and a distributed executor (the
+// coordinator in acic-coord). When set, Require routes each batch's
+// not-yet-planned cells here instead of the local gang scheduler: Submit
+// receives one same-app group at a time — the steal unit, sized so a
+// worker can run it as a single gang and keep the one-traversal-many-
+// schemes win — and must arrange for done to be called exactly once per
+// cell, from any goroutine, without blocking inside Submit itself.
+//
+// The error passed to done drives the suite's ladder exactly like PR 8's
+// local split: nil means the cell's result was published to the shared
+// store (the suite loads it from there); a transient error (worker death,
+// injected fault, requeue budget exhausted) falls back to computing the
+// cell locally; a deterministic error fails just the figures needing the
+// cell.
+type Remote interface {
+	Submit(app string, cells []Cell, done func(c Cell, err error))
+}
+
+// remoteChunk bounds the steal unit when GangSize does not: same-app
+// groups are split into chunks of at most this many cells, so a wide
+// grid still spreads across workers.
+const remoteChunk = 10
+
+// submitRemote claims the batch's not-yet-planned cells and hands them to
+// the Remote in same-app chunks, in first-appearance order. Cells the
+// shared store already holds are completed immediately — the coordinator
+// never ships work whose result exists. Cells claimed here are completed
+// by remoteDone on every path; the results.Require that follows only
+// waits on them.
+func (s *Suite) submitRemote(cells []Cell) {
+	claimed := make(map[string][]Cell)
+	var order []string
+	for _, c := range cells {
+		if !s.results.TryClaim(c) {
+			continue // computed, in flight, or a duplicate within the batch
+		}
+		if s.results.TryCache(c) {
+			continue // warm store: completed without shipping
+		}
+		if _, ok := claimed[c.App]; !ok {
+			order = append(order, c.App)
+		}
+		claimed[c.App] = append(claimed[c.App], c)
+	}
+	chunk := s.GangSize
+	if chunk < 1 {
+		chunk = remoteChunk
+	}
+	for _, app := range order {
+		group := claimed[app]
+		parts := (len(group) + chunk - 1) / chunk
+		for _, unit := range splitBalanced(group, parts) {
+			s.Remote.Submit(app, unit, s.remoteDone)
+		}
+	}
+}
+
+// remoteDone completes one remotely executed cell. Success means the
+// worker published the result to the shared store; loading it through
+// TryCache is what makes distributed output byte-identical — the bytes
+// the renderer sees round-tripped the same content-addressed entry a
+// warm local run would read. A success whose entry cannot be loaded
+// (store lost the write, injected net-err on our side) and any transient
+// failure fall back to the local serial ladder, which keeps the run live
+// even with zero healthy workers; a deterministic failure is recorded
+// as the cell's typed error without wasting a local rerun.
+func (s *Suite) remoteDone(c Cell, err error) {
+	switch {
+	case err == nil:
+		if s.results.TryCache(c) {
+			return
+		}
+		s.rerunSerial(c)
+	case engine.IsTransient(err):
+		s.rerunSerial(c)
+	default:
+		s.results.Fulfill(c, cpu.Result{}, err)
+	}
+}
+
+// Forget drops a completed cell from the suite's memo so the next demand
+// recomputes it (see engine.Group.Forget). The distributed worker calls
+// it after reporting a transient cell failure: the coordinator may
+// requeue the cell back to this worker, and the retry must re-run the
+// simulation instead of replaying the memoized error.
+func (s *Suite) Forget(c Cell) bool {
+	s.init()
+	return s.results.Forget(c)
+}
+
+// Occupancy reports the suite pool's instantaneous occupancy snapshot —
+// running tasks, free slots, and submitters blocked waiting for a slot.
+// The distributed worker sends it with every claim so the coordinator
+// sizes steals against real load instead of guessing.
+func (s *Suite) Occupancy() (running, idle, queued int) {
+	s.init()
+	return s.pool.Running(), s.pool.Idle(), s.pool.Queued()
+}

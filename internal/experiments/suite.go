@@ -112,6 +112,13 @@ type Suite struct {
 	// running done count, the number of cells planned so far, and a
 	// human-readable label. Called from worker goroutines.
 	Progress func(done, total int, label string)
+	// Remote, when non-nil, routes each Require batch's new cells to a
+	// distributed executor instead of the local gang scheduler (see the
+	// Remote interface in remote.go). Results come back through the
+	// shared store, so rendered output stays byte-identical to local
+	// execution; transiently failed cells fall back to the local serial
+	// ladder.
+	Remote Remote
 	// Context, when non-nil, cancels work that has not started yet: cells
 	// (and gang tasks) check it before simulating and fail with the
 	// context's error once it is done. Cells already inside a simulation
@@ -348,7 +355,10 @@ func (s *Suite) wl(app string) *Workload {
 // results so their output does not depend on execution order.
 func (s *Suite) Require(cells ...Cell) error {
 	s.init()
-	if s.GangSize > 1 {
+	switch {
+	case s.Remote != nil:
+		s.submitRemote(cells)
+	case s.GangSize > 1:
 		s.submitGangs(cells)
 	}
 	return s.results.Require(cells...)

@@ -45,11 +45,17 @@ const (
 	// start, stream window) with an Injected value, exercising panic
 	// isolation, retry, and the degradation ladder.
 	PanicCell
+	// NetErr makes an HTTP round trip fail as if the network dropped it:
+	// remote store loads become misses, stores are skipped, and the
+	// distributed coordinator/worker protocol sees a transport error its
+	// retry ladder must absorb. Always survivable — remote callers treat
+	// it exactly like a refused connection.
+	NetErr
 
 	numClasses
 )
 
-var classNames = [numClasses]string{"io-err", "corrupt-artifact", "panic-cell"}
+var classNames = [numClasses]string{"io-err", "corrupt-artifact", "panic-cell", "net-err"}
 
 func (c Class) String() string {
 	if c < 0 || c >= numClasses {
@@ -106,7 +112,7 @@ func Parse(spec string) (*Injector, error) {
 			}
 		}
 		if class < 0 {
-			return nil, fmt.Errorf("faults: unknown class %q (want io-err, corrupt-artifact, or panic-cell)", name)
+			return nil, fmt.Errorf("faults: unknown class %q (want io-err, corrupt-artifact, panic-cell, or net-err)", name)
 		}
 		var r rule
 		for _, kv := range strings.Split(params, ",") {
@@ -186,6 +192,7 @@ type Stats struct {
 	IOErrs      int64  `json:"io_errs"`
 	Corruptions int64  `json:"corruptions"`
 	Panics      int64  `json:"panics"`
+	NetErrs     int64  `json:"net_errs"`
 }
 
 // Injected is the panic value raised by PanicPoint. Recovery code uses
@@ -237,6 +244,7 @@ func Snapshot() Stats {
 		IOErrs:      in.fired[IOErr].Load(),
 		Corruptions: in.fired[CorruptArtifact].Load(),
 		Panics:      in.fired[PanicCell].Load(),
+		NetErrs:     in.fired[NetErr].Load(),
 	}
 }
 
@@ -249,6 +257,20 @@ func FailIO() bool {
 		return false
 	}
 	hit, _ := in.fire(IOErr)
+	return hit
+}
+
+// FailNet reports whether an injected network error fires at this call
+// site. Remote-store and coordinator clients treat a true result exactly
+// like a transport failure: the request is never issued, loads miss,
+// stores skip, and protocol calls surface a transient error for the
+// retry ladder.
+func FailNet() bool {
+	in := active.Load()
+	if in == nil {
+		return false
+	}
+	hit, _ := in.fire(NetErr)
 	return hit
 }
 

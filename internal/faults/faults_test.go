@@ -150,3 +150,37 @@ func TestIsInjectedRejectsOtherPanics(t *testing.T) {
 		t.Fatal("IsInjected accepted a non-injected value")
 	}
 }
+
+func TestNetErrClass(t *testing.T) {
+	if err := Validate("net-err:p=0.25;seed=3"); err != nil {
+		t.Fatalf("Validate(net-err) = %v, want nil", err)
+	}
+	if err := Install("net-err:p=1;seed=3"); err != nil {
+		t.Fatal(err)
+	}
+	defer Install("")
+	for i := 0; i < 3; i++ {
+		if !FailNet() {
+			t.Fatalf("FailNet() draw %d = false under p=1", i)
+		}
+	}
+	// The other hooks stay inert: net-err must never bleed into local
+	// store I/O or compute paths.
+	if FailIO() {
+		t.Fatal("FailIO fired under a net-err-only spec")
+	}
+	PanicPoint("compute") // must not panic
+	if got := Snapshot().NetErrs; got != 3 {
+		t.Fatalf("Snapshot().NetErrs = %d, want 3", got)
+	}
+	if Snapshot().IOErrs != 0 || Snapshot().Panics != 0 {
+		t.Fatal("net-err draws leaked into other class counters")
+	}
+}
+
+func TestFailNetUninstalledIsInert(t *testing.T) {
+	Install("")
+	if FailNet() {
+		t.Fatal("FailNet() fired with no injector installed")
+	}
+}

@@ -172,6 +172,9 @@ type Report struct {
 	SampledSweeps    []SampledSweep           `json:"sampled_sweeps,omitempty"`
 	CrossSweeps      []CrossSweep             `json:"cross_sweeps,omitempty"`
 	PrepareSweeps    []PrepareSweep           `json:"prepare_sweeps,omitempty"`
+	// DistributedSweeps records the coordinator/worker lane measurements
+	// (distributed.go) when Config.DistributedSweeps asked for them.
+	DistributedSweeps []DistributedSweep `json:"distributed_sweeps,omitempty"`
 	// Faults records the run's fault-injection and recovery activity
 	// (always present; all-zero without -fault-spec). Injected faults on
 	// the measurement path would distort timings, so bench runs are
@@ -206,6 +209,12 @@ type Config struct {
 	// PrepareSweeps adds the batch-vs-streamed cold-prepare measurements
 	// (wall + peak heap, over scratch stores) at N and 4N instructions.
 	PrepareSweeps bool
+	// DistributedSweeps adds the distributed-execution measurements: the
+	// full DistributedSchemes × datacenter-apps grid under FDP, run
+	// single-process and through a coordinator at each worker count in
+	// DistributedWorkerCounts, every lane over its own cold store, with
+	// per-cell results verified identical (DESIGN.md §14).
+	DistributedSweeps bool
 }
 
 // DefaultPrepareWindow is the streaming window the prepare sweeps (and CI)
@@ -356,6 +365,16 @@ func Measure(cfg Config) (*Report, error) {
 			}
 			rep.PrepareSweeps = append(rep.PrepareSweeps, sweep)
 		}
+	}
+	if cfg.DistributedSweeps {
+		if canceled() {
+			return finish()
+		}
+		sweep, err := measureDistributedSweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perf: distributed sweep: %w", err)
+		}
+		rep.DistributedSweeps = append(rep.DistributedSweeps, sweep)
 	}
 	return finish()
 }

@@ -33,6 +33,13 @@ func sampleReport() *Report {
 			Runs: 3, Accesses: 1000, SerialWallNs: 2_000_000, GangWallNs: 1_000_000,
 			GangSpeedup: 2, SerialNsPerAccess: 1000, GangNsPerAccess: 500,
 		}},
+		DistributedSweeps: []DistributedSweep{{
+			Apps: []string{"a"}, Schemes: []string{"lru", "opt"}, Prefetcher: "fdp",
+			GangSize: 2, PoolWidth: 1, HostCPUs: 2, Cells: 2, SingleWallNs: 2_000_000,
+			Lanes: []DistributedLane{
+				{Workers: 2, WallNs: 1_000_000, Speedup: 2, RemoteCells: 2, Identical: true},
+			},
+		}},
 	}
 }
 
@@ -83,6 +90,42 @@ func TestCellLookupAndTables(t *testing.T) {
 	}
 	if st := (&Report{}).SweepTable(); st != nil {
 		t.Error("empty report must have no sweep table")
+	}
+	if st := r.DistributedSweepTable(); st == nil || !strings.Contains(st.String(), "2 workers") {
+		t.Errorf("distributed sweep table = %v", st)
+	}
+	if st := (&Report{}).DistributedSweepTable(); st != nil {
+		t.Error("empty report must have no distributed sweep table")
+	}
+}
+
+// TestMeasureDistributedSweep runs the distributed lane measurement at a
+// tiny trace length: every lane must produce results cell-identical to
+// the single-process reference, completed remotely by its workers.
+func TestMeasureDistributedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-lane simulation grids")
+	}
+	sweep, err := measureDistributedSweep(Config{N: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Cells != len(sweep.Apps)*len(sweep.Schemes) || sweep.SingleWallNs <= 0 {
+		t.Fatalf("implausible sweep: %+v", sweep)
+	}
+	if len(sweep.Lanes) != len(DistributedWorkerCounts()) {
+		t.Fatalf("measured %d lanes, want %d", len(sweep.Lanes), len(DistributedWorkerCounts()))
+	}
+	for _, l := range sweep.Lanes {
+		if !l.Identical {
+			t.Errorf("lane workers=%d diverged from single-process results", l.Workers)
+		}
+		if l.RemoteCells == 0 {
+			t.Errorf("lane workers=%d completed no cells remotely", l.Workers)
+		}
+		if l.WallNs <= 0 || l.Speedup <= 0 {
+			t.Errorf("implausible lane: %+v", l)
+		}
 	}
 }
 
