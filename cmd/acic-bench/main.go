@@ -421,25 +421,24 @@ func main() {
 	exps := experiments.Registry()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+			fmt.Printf("%-8s %s\n", e.Slug, e.Desc)
 		}
 		return
 	}
 
+	// -exp names resolve through the registry's slug lookup — the same
+	// identifiers /v1/experiments serves, so the CLI and the API cannot
+	// drift.
 	want := map[string]bool{}
 	if *exp != "all" {
-		for _, e := range strings.Split(*exp, ",") {
-			want[strings.TrimSpace(e)] = true
-		}
-		known := map[string]bool{}
-		for _, e := range exps {
-			known[e.Name] = true
-		}
 		var unknown []string
-		for w := range want {
-			if !known[w] {
+		for _, w := range strings.Split(*exp, ",") {
+			w = strings.TrimSpace(w)
+			if _, ok := experiments.LookupExperiment(w); !ok {
 				unknown = append(unknown, w)
+				continue
 			}
+			want[w] = true
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
@@ -487,7 +486,7 @@ func main() {
 	var failed []string
 	interrupted := false
 	for _, e := range exps {
-		if *exp != "all" && !want[e.Name] {
+		if *exp != "all" && !want[e.Slug] {
 			continue
 		}
 		if ctx.Err() != nil {
@@ -501,11 +500,11 @@ func main() {
 				interrupted = true
 				break
 			}
-			failed = append(failed, e.Name)
-			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.Name, err)
+			failed = append(failed, e.Slug)
+			fmt.Fprintf(os.Stderr, "acic-bench: %s: %v\n", e.Slug, err)
 			continue
 		}
-		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.Name, e.Desc, time.Since(start).Seconds(), out)
+		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.Slug, e.Desc, time.Since(start).Seconds(), out)
 	}
 	if *progress {
 		computed, fromCache, workloads := suite.Stats()

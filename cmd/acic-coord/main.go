@@ -185,24 +185,19 @@ func main() {
 	exps := experiments.Registry()
 	want := map[string]bool{}
 	if *exp != "all" {
-		for _, e := range strings.Split(*exp, ",") {
-			want[strings.TrimSpace(e)] = true
-		}
-		known := map[string]bool{}
-		for _, e := range exps {
-			known[e.Name] = true
-		}
-		for w := range want {
-			if !known[w] {
+		for _, w := range strings.Split(*exp, ",") {
+			w = strings.TrimSpace(w)
+			if _, ok := experiments.LookupExperiment(w); !ok {
 				fail("unknown experiment %q (see acic-bench -list)", w)
 			}
+			want[w] = true
 		}
 	}
 
 	var failed []string
 	interrupted := false
 	for _, e := range exps {
-		if *exp != "all" && !want[e.Name] {
+		if *exp != "all" && !want[e.Slug] {
 			continue
 		}
 		if ctx.Err() != nil {
@@ -216,11 +211,11 @@ func main() {
 				interrupted = true
 				break
 			}
-			failed = append(failed, e.Name)
-			fmt.Fprintf(os.Stderr, "acic-coord: %s: %v\n", e.Name, err)
+			failed = append(failed, e.Slug)
+			fmt.Fprintf(os.Stderr, "acic-coord: %s: %v\n", e.Slug, err)
 			continue
 		}
-		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.Name, e.Desc, time.Since(start).Seconds(), out)
+		fmt.Printf("=== %s: %s (%.1fs)\n%s\n", e.Slug, e.Desc, time.Since(start).Seconds(), out)
 	}
 
 	// Rendering is done: release the workers, then wait for the local

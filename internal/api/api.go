@@ -1,0 +1,164 @@
+// Package api is the versioned JSON wire contract shared by every HTTP
+// surface of the system: the acic-serve query daemon, the distributed
+// coordinator/worker protocol (internal/distrib), and the engine's blob
+// store handler. Before this package each of those spoke its own ad-hoc
+// JSON — three error shapes, three spellings of a grid cell — and a
+// client could not tell a transient failure from a deterministic one
+// without string matching. Now there is exactly one error envelope
+// (Envelope), one cell spelling (Cell), and one path prefix (Prefix)
+// for the query API, and the transient/deterministic split of the
+// engine's error taxonomy (engine.CellError, DESIGN.md §13) crosses the
+// wire as a typed field instead of folklore.
+//
+// The package deliberately imports nothing from the rest of the module:
+// wire types must be constructible by any layer — the engine below the
+// experiments suite as much as the daemons above it — without import
+// cycles.
+//
+// Versioning policy (DESIGN.md §15): the query API lives under /v1/.
+// Additive changes (new fields, new endpoints, new error codes) happen
+// in place — clients must ignore unknown fields and codes. Any change
+// that alters the meaning of an existing field, removes one, or changes
+// an endpoint's semantics bumps Version and mounts the new contract
+// under the new prefix; /v1/ then either co-serves or disappears, but is
+// never silently redefined.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Version is the current query-API version; Prefix is the path prefix
+// every versioned endpoint lives under.
+const (
+	Version = "v1"
+	Prefix  = "/" + Version + "/"
+)
+
+// Error codes. The set is open — clients must treat an unknown code like
+// CodeInternal — but these spellings are stable: tests pin them, and a
+// renamed code is a breaking change under the versioning policy.
+const (
+	// CodeBadRequest: the request itself is malformed — unparseable
+	// body, missing or invalid parameter, malformed store entry name.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: no such endpoint, experiment, cell grid member, or
+	// store entry.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the endpoint exists but not for this verb.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeCellError: a simulation cell failed deterministically (the
+	// engine's non-transient CellError class) — retrying will not help.
+	CodeCellError = "cell_error"
+	// CodeTransient: the failure is environmental (worker death, store
+	// hiccup, injected fault past the retry budget) and a retry has a
+	// real chance of succeeding.
+	CodeTransient = "transient"
+	// CodeCircuitOpen: the per-cell circuit breaker has tripped on
+	// consecutive deterministic failures; the server refuses to re-run
+	// the cell until the cooldown admits a probe.
+	CodeCircuitOpen = "circuit_open"
+	// CodeFaultBudget: serving the request consumed more fault-recovery
+	// work than its budget allows; the infrastructure is degraded and
+	// the client should back off and retry.
+	CodeFaultBudget = "fault_budget_exhausted"
+	// CodeStoreWrite: the blob store could not stage or publish a write.
+	CodeStoreWrite = "store_write_failed"
+	// CodeInternal: anything the server cannot classify better.
+	CodeInternal = "internal"
+)
+
+// Error is the one JSON error shape every surface speaks, wrapped in
+// Envelope on the wire. It implements error so protocol layers can hand
+// it straight up their call chains.
+type Error struct {
+	// Code is one of the Code* constants (or a future addition).
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// Transient carries the engine's retryable/deterministic split
+	// across the wire: true means a retry has a real chance.
+	Transient bool `json:"transient,omitempty"`
+	// Cell attributes the failure to a grid cell ("app|scheme|pf") when
+	// one is to blame.
+	Cell string `json:"cell,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.Cell != "" {
+		return fmt.Sprintf("api: %s: %s: %s", e.Code, e.Cell, e.Message)
+	}
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// Envelope wraps Error on the wire: every non-2xx JSON response body is
+// exactly {"error": {...}}.
+type Envelope struct {
+	Err *Error `json:"error"`
+}
+
+// Cell is the wire form of one simulation grid cell. It mirrors
+// experiments.Cell (which cannot be used directly — this package sits
+// below the experiments layer) and is comparable, so protocol code can
+// key maps by it.
+type Cell struct {
+	App        string `json:"app"`
+	Scheme     string `json:"scheme"`
+	Prefetcher string `json:"prefetcher"`
+}
+
+func (c Cell) String() string { return c.App + "|" + c.Scheme + "|" + c.Prefetcher }
+
+// Health is the /healthz body (serve and store handler alike).
+type Health struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
+// Ack acknowledges a side-effecting request with no other payload
+// (store quarantine).
+type Ack struct {
+	Status string `json:"status"`
+}
+
+// WriteJSON writes v as the response body with the given status and the
+// JSON content type. Encoding errors are unreportable at this point
+// (the status line is gone) and deliberately ignored.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the error envelope with the given status.
+func WriteError(w http.ResponseWriter, status int, e *Error) {
+	WriteJSON(w, status, Envelope{Err: e})
+}
+
+// ReadError extracts the error envelope from a non-2xx response,
+// consuming (a bounded prefix of) the body. A body that is not an
+// envelope — a proxy's HTML error page, a pre-envelope server — degrades
+// to a synthesized Error classified by status code, so callers can rely
+// on a non-nil, typed result either way.
+func ReadError(resp *http.Response) *Error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Err != nil && env.Err.Code != "" {
+		return env.Err
+	}
+	e := &Error{Code: CodeInternal, Message: resp.Status}
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		e.Code = CodeBadRequest
+	case resp.StatusCode == http.StatusNotFound:
+		e.Code = CodeNotFound
+	case resp.StatusCode == http.StatusMethodNotAllowed:
+		e.Code = CodeMethodNotAllowed
+	case resp.StatusCode >= 500:
+		e.Transient = true
+	}
+	return e
+}

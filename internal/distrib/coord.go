@@ -2,13 +2,13 @@ package distrib
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"acic/internal/api"
 	"acic/internal/experiments"
 	"acic/internal/experiments/engine"
 )
@@ -160,7 +160,11 @@ func (c *Coordinator) Claim(req ClaimRequest) ClaimResponse {
 		b.deadline = deadline
 		b.worker = req.Worker
 		c.leased[b.id] = b
-		resp.Batches = append(resp.Batches, Batch{ID: b.id, App: b.app, Cells: b.cells})
+		wire := make([]api.Cell, len(b.cells))
+		for i, cell := range b.cells {
+			wire[i] = cell.API()
+		}
+		resp.Batches = append(resp.Batches, Batch{ID: b.id, App: b.app, Cells: wire})
 	}
 	c.ready = append(c.ready[:0], c.ready[n:]...)
 	c.claimed.Add(int64(n))
@@ -184,19 +188,22 @@ func (c *Coordinator) Complete(req CompleteRequest) {
 		return
 	}
 
-	reported := make(map[experiments.Cell]CellResult, len(req.Results))
+	reported := make(map[api.Cell]CellResult, len(req.Results))
 	for _, r := range req.Results {
 		reported[r.Cell] = r
 	}
 	var transient []experiments.Cell
 	for _, cell := range b.cells {
-		r, ok := reported[cell]
+		r, ok := reported[cell.API()]
 		switch {
-		case !ok || (r.Err != "" && r.Transient):
+		case !ok || (r.Error != nil && r.Error.Transient):
 			transient = append(transient, cell)
-		case r.Err != "":
+		case r.Error != nil:
+			// A deterministic wire error settles the cell as-is: the
+			// *api.Error flows into the suite's memo as the cell's typed
+			// error, exactly like a local CellError would.
 			c.completed.Add(1)
-			b.done(cell, errors.New(r.Err))
+			b.done(cell, r.Error)
 		default:
 			c.completed.Add(1)
 			b.done(cell, nil)
@@ -299,31 +306,56 @@ func (c *Coordinator) Stats() CoordinatorStats {
 //	POST /api/claim    — ClaimRequest -> ClaimResponse
 //	POST /api/complete — CompleteRequest -> 204
 //
-// Mount it alongside an engine.NewStoreHandler on one listener and a
-// single -coord URL serves both scheduling and the shared store.
+// Errors are api.Envelope: malformed bodies are bad_request, wrong
+// verbs are method_not_allowed. Mount it alongside an
+// engine.NewStoreHandler on one listener and a single -coord URL serves
+// both scheduling and the shared store.
 func (c *Coordinator) Handler() http.Handler {
+	// Methods are checked by hand rather than with mux method patterns so
+	// a wrong verb gets the envelope, not ServeMux's plain-text 405.
+	requireMethod := func(w http.ResponseWriter, r *http.Request, method string) bool {
+		if r.Method != method {
+			api.WriteError(w, http.StatusMethodNotAllowed, &api.Error{
+				Code: api.CodeMethodNotAllowed, Message: r.URL.Path + " requires " + method})
+			return false
+		}
+		return true
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/config", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(c.cfg)
-	})
-	mux.HandleFunc("/api/claim", func(w http.ResponseWriter, r *http.Request) {
-		var req ClaimRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !requireMethod(w, r, http.MethodGet) {
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(c.Claim(req))
+		api.WriteJSON(w, http.StatusOK, c.cfg)
+	})
+	mux.HandleFunc("/api/claim", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req ClaimRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			api.WriteError(w, http.StatusBadRequest, &api.Error{
+				Code: api.CodeBadRequest, Message: "claim body: " + err.Error()})
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, c.Claim(req))
 	})
 	mux.HandleFunc("/api/complete", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
 		var req CompleteRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, &api.Error{
+				Code: api.CodeBadRequest, Message: "complete body: " + err.Error()})
 			return
 		}
 		c.Complete(req)
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/api/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, http.StatusNotFound, &api.Error{
+			Code: api.CodeNotFound, Message: "no such endpoint: " + r.URL.Path})
 	})
 	return mux
 }

@@ -6,92 +6,48 @@
 // coordinator's render path reads bytes identical to a single-process
 // run at any worker count (DESIGN.md §14).
 //
-// The protocol is three endpoints. GET /api/config tells a fresh worker
+// The wire types live in internal/api — the one versioned contract this
+// protocol shares with acic-serve and the store handler — and are
+// aliased here so coordinator and worker code reads naturally. The
+// protocol is three endpoints. GET /api/config tells a fresh worker
 // everything it needs to build its Suite — trace length, sampling, gang
 // policy, and the store URL — which is what makes workers stateless:
 // point acic-worker at a coordinator and it configures itself. POST
 // /api/claim is the steal: the worker sends its pool occupancy snapshot
 // (running/idle/queued) and how many batches it wants, the coordinator
-// grants up to that many. POST /api/complete reports per-cell outcomes,
-// split transient/deterministic exactly like the local ladder: transient
-// cells are requeued (bounded), deterministic failures are final.
-//
-// Failure handling is lease-based. A claimed batch carries a lease
-// deadline; a worker that dies mid-batch (or a completion lost to the
-// network) simply lets the lease expire, and the sweeper requeues the
-// batch under a fresh ID — the stale ID makes any late completion
-// harmless, and results the dead worker did publish still warm the
-// shared store for whoever re-runs the cells. When a batch exhausts its
-// requeue budget, or no worker has contacted the coordinator for
-// NoWorkerTimeout, its cells fail transiently back into the Suite, whose
-// ladder re-runs them locally — a coordinator with zero healthy workers
-// still finishes, just without the speedup.
+// grants up to that many. POST /api/complete reports per-cell outcomes
+// as api.CellResults, whose *api.Error carries PR 8's split as a typed
+// field: transient cells are requeued (bounded), deterministic failures
+// are final. Errors on every endpoint are api.Envelope.
 package distrib
 
-import (
-	"acic/internal/experiments"
+import "acic/internal/api"
+
+// Aliases into the shared wire contract. Cells travel as api.Cell on
+// the wire; the coordinator converts to and from experiments.Cell at
+// the protocol boundary (Claim/Complete), nowhere else.
+type (
+	// Config is everything a stateless worker needs to reconstruct the
+	// coordinator's Suite configuration (GET /api/config). The worker's
+	// own pool width is deliberately absent — that is per-process
+	// capacity, not plan configuration.
+	Config = api.WorkerConfig
+	// Batch is one steal unit: same-app cells a worker runs as a single
+	// gang. IDs are fresh per lease — a requeued batch gets a new one,
+	// fencing off late completions from its previous owner.
+	Batch = api.Batch
+	// ClaimRequest is a worker's steal: its occupancy snapshot plus how
+	// many batches it can absorb. Want 0 is a pure heartbeat.
+	ClaimRequest = api.ClaimRequest
+	// ClaimResponse grants batches, reports Done, or suggests a poll
+	// delay.
+	ClaimResponse = api.ClaimResponse
+	// CellResult is one cell's outcome: nil Error means computed and
+	// published to the shared store; Error.Transient requeues, anything
+	// else is final.
+	CellResult = api.CellResult
+	// CompleteRequest reports a finished batch. Cells of the batch
+	// missing from Results are treated as transient failures (a worker
+	// that half-reported is a worker that half-died).
+	CompleteRequest = api.CompleteRequest
 )
-
-// Config is everything a stateless worker needs to reconstruct the
-// coordinator's Suite configuration. Served by GET /api/config; the
-// worker's own pool width is deliberately absent — that is per-process
-// capacity, not plan configuration.
-type Config struct {
-	N             int      `json:"n"`
-	Apps          []string `json:"apps,omitempty"`
-	SampleSets    int      `json:"sample_sets,omitempty"`
-	SampleOffset  int      `json:"sample_offset,omitempty"`
-	GangSize      int      `json:"gang_size,omitempty"`
-	GangWindow    int      `json:"gang_window,omitempty"`
-	PrepareWindow int      `json:"prepare_window,omitempty"`
-	// StoreURL is the shared artifact + result store every worker points
-	// its CacheDir and ArtifactDir at.
-	StoreURL string `json:"store_url"`
-}
-
-// Batch is one steal unit: same-app cells a worker runs as a single gang
-// (one Program traversal driving every member). IDs are fresh per lease —
-// a requeued batch gets a new one, fencing off late completions from its
-// previous owner.
-type Batch struct {
-	ID    int64              `json:"id"`
-	App   string             `json:"app"`
-	Cells []experiments.Cell `json:"cells"`
-}
-
-// ClaimRequest is a worker's steal: its occupancy snapshot plus how many
-// batches it can absorb. Want 0 is a pure heartbeat — it grants nothing
-// but still counts as worker contact.
-type ClaimRequest struct {
-	Worker  string `json:"worker"`
-	Running int    `json:"running"`
-	Idle    int    `json:"idle"`
-	Queued  int    `json:"queued"`
-	Want    int    `json:"want"`
-}
-
-// ClaimResponse grants batches. Done tells the worker the run is over;
-// WaitMillis is the suggested poll delay when no work was available.
-type ClaimResponse struct {
-	Batches    []Batch `json:"batches,omitempty"`
-	Done       bool    `json:"done,omitempty"`
-	WaitMillis int     `json:"wait_millis,omitempty"`
-}
-
-// CellResult is one cell's outcome. Err "" means the result was computed
-// and published to the shared store; otherwise Transient carries PR 8's
-// error split across the wire — true requeues the cell, false is final.
-type CellResult struct {
-	Cell      experiments.Cell `json:"cell"`
-	Err       string           `json:"err,omitempty"`
-	Transient bool             `json:"transient,omitempty"`
-}
-
-// CompleteRequest reports a finished batch. Cells of the batch missing
-// from Results are treated as transient failures (a worker that
-// half-reported is a worker that half-died).
-type CompleteRequest struct {
-	Worker  string       `json:"worker"`
-	BatchID int64        `json:"batch_id"`
-	Results []CellResult `json:"results"`
-}

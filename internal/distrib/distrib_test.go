@@ -76,7 +76,7 @@ func renderAll(t *testing.T, s *experiments.Suite) string {
 	var sb strings.Builder
 	for _, e := range experiments.Registry() {
 		for _, want := range testExperiments {
-			if e.Name != want {
+			if e.Slug != want {
 				continue
 			}
 			out, err := e.Run(s)
@@ -84,10 +84,10 @@ func renderAll(t *testing.T, s *experiments.Suite) string {
 				// Errorf, not Fatalf: renderAll runs on background
 				// goroutines in the requeue test, where Goexit would
 				// strand the channel receive.
-				t.Errorf("%s: %v", e.Name, err)
+				t.Errorf("%s: %v", e.Slug, err)
 				continue
 			}
-			fmt.Fprintf(&sb, "=== %s\n%s\n", e.Name, out)
+			fmt.Fprintf(&sb, "=== %s\n%s\n", e.Slug, out)
 		}
 	}
 	return sb.String()

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"acic/internal/api"
 	"acic/internal/experiments"
 	"acic/internal/experiments/engine"
 	"acic/internal/faults"
@@ -57,13 +58,16 @@ func (cl *client) call(method, path string, in, out any) error {
 		return engine.MarkTransient(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
-		io.Copy(io.Discard, resp.Body)
-		return engine.MarkTransient(fmt.Errorf("distrib: %s %s: %s", method, path, resp.Status))
-	}
 	if resp.StatusCode >= 300 {
-		io.Copy(io.Discard, resp.Body)
-		return fmt.Errorf("distrib: %s %s: %s", method, path, resp.Status)
+		// The coordinator answers errors as api.Envelope; decode it so
+		// the typed code and message survive, and classify by the
+		// envelope's transient flag or the status class.
+		apiErr := api.ReadError(resp)
+		err := fmt.Errorf("distrib: %s %s: %w", method, path, apiErr)
+		if resp.StatusCode >= 500 || apiErr.Transient {
+			return engine.MarkTransient(err)
+		}
+		return err
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -207,25 +211,32 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 }
 
 // runBatch executes one batch on the worker's suite and classifies each
-// cell's outcome. Transient failures (injected faults past the retry
-// budget, cancellation mid-batch) are Forgotten from the local memo so a
-// requeue of the same cell to this worker recomputes instead of
-// replaying the memoized error.
+// cell's outcome into the wire taxonomy. Transient failures (injected
+// faults past the retry budget, cancellation mid-batch) are Forgotten
+// from the local memo so a requeue of the same cell to this worker
+// recomputes instead of replaying the memoized error.
 func runBatch(s *experiments.Suite, b Batch) []CellResult {
-	s.Require(b.Cells...) // per-cell outcomes read below
-	out := make([]CellResult, len(b.Cells))
+	cells := make([]experiments.Cell, len(b.Cells))
 	for i, c := range b.Cells {
+		cells[i] = experiments.CellFromAPI(c)
+	}
+	s.Require(cells...) // per-cell outcomes read below
+	out := make([]CellResult, len(cells))
+	for i, c := range cells {
 		_, err := s.Result(c.App, c.Scheme, c.Prefetcher)
 		if err == nil {
-			out[i] = CellResult{Cell: c}
+			out[i] = CellResult{Cell: b.Cells[i]}
 			continue
 		}
 		transient := engine.IsTransient(err) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		code := api.CodeCellError
 		if transient {
 			s.Forget(c)
+			code = api.CodeTransient
 		}
-		out[i] = CellResult{Cell: c, Err: err.Error(), Transient: transient}
+		out[i] = CellResult{Cell: b.Cells[i], Error: &api.Error{
+			Code: code, Message: err.Error(), Transient: transient, Cell: c.String()}}
 	}
 	return out
 }

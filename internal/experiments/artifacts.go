@@ -350,6 +350,32 @@ func (pl *Pipeline) Workload(app string) (*Workload, error) {
 	return pl.workloads.Get(app)
 }
 
+// ForgetTransient drops any stage memo for app whose outcome is a
+// transient error, so the next demand re-prepares instead of replaying
+// the failure. Successful stages and deterministic errors stand. Long-
+// lived processes call this when a cell fails transiently: the failure
+// may live in the prepare pipeline rather than the cell compute, and
+// forgetting only the cell would replay the poisoned stage forever.
+func (pl *Pipeline) ForgetTransient(app string) bool {
+	dropped := pl.workloads.ForgetTransient(app)
+	dropped = pl.traces.ForgetTransient(app) || dropped
+	dropped = pl.programs.ForgetTransient(app) || dropped
+	dropped = pl.nextats.ForgetTransient(app) || dropped
+	dropped = pl.datalats.ForgetTransient(app) || dropped
+	return dropped
+}
+
+// ForgetAllTransient sweeps transiently failed memos from every stage
+// for every app, returning how many entries were dropped.
+func (pl *Pipeline) ForgetAllTransient() int {
+	n := pl.workloads.ForgetAllTransient()
+	n += pl.traces.ForgetAllTransient()
+	n += pl.programs.ForgetAllTransient()
+	n += pl.nextats.ForgetAllTransient()
+	n += pl.datalats.ForgetAllTransient()
+	return n
+}
+
 // Require prepares the named workloads in parallel on the pool,
 // deduplicated against earlier work. Must not be called from inside a
 // pool task (use Workload, which computes inline).

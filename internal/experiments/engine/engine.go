@@ -387,6 +387,52 @@ func (g *Group[K, V]) Forget(k K) bool {
 	}
 }
 
+// ForgetTransient drops a completed key only when its memoized outcome
+// is a transient error, returning whether anything was dropped.
+// Successful results and deterministic errors stand — a long-lived
+// process (acic-serve, a distributed worker between requeues) uses this
+// to heal stage memos poisoned by injected faults or store outages
+// without discarding work that is still good.
+func (g *Group[K, V]) ForgetTransient(k K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.cells[k]
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+		if c.err == nil || !IsTransient(c.err) {
+			return false
+		}
+		delete(g.cells, k)
+		return true
+	default:
+		return false
+	}
+}
+
+// ForgetAllTransient sweeps every completed key whose memoized outcome
+// is a transient error, returning how many were dropped. Used when the
+// caller cannot name the poisoned keys — e.g. a figure render failed
+// transiently and any of its cells may hold the memoized fault.
+func (g *Group[K, V]) ForgetAllTransient() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for k, c := range g.cells {
+		select {
+		case <-c.done:
+			if c.err != nil && IsTransient(c.err) {
+				delete(g.cells, k)
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}
+
 func (g *Group[K, V]) cellOf(k K) *cell[V] {
 	g.mu.Lock()
 	defer g.mu.Unlock()

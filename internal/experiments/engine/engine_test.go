@@ -341,3 +341,71 @@ func TestGroupForget(t *testing.T) {
 		t.Error("Forget after completion returned false")
 	}
 }
+
+// TestGroupForgetTransient: only completed keys whose memoized outcome
+// is a transient error are dropped — successes and deterministic errors
+// stand, and the sweep variant counts exactly the poisoned keys.
+func TestGroupForgetTransient(t *testing.T) {
+	mode := map[string]error{
+		"ok":    nil,
+		"det":   errors.New("deterministic bug"),
+		"blip":  MarkTransient(errors.New("injected blip")),
+		"blip2": MarkTransient(errors.New("another blip")),
+	}
+	var calls atomic.Int64
+	g := NewGroup(NewPool(2), func(k string) (string, error) {
+		calls.Add(1)
+		return "v:" + k, mode[k]
+	})
+	for k := range mode {
+		g.Get(k)
+	}
+
+	if g.ForgetTransient("missing") {
+		t.Error("ForgetTransient of an unclaimed key returned true")
+	}
+	if g.ForgetTransient("ok") {
+		t.Error("ForgetTransient dropped a successful key")
+	}
+	if g.ForgetTransient("det") {
+		t.Error("ForgetTransient dropped a deterministic error")
+	}
+	if !g.ForgetTransient("blip") {
+		t.Error("ForgetTransient kept a transient error")
+	}
+	if n := g.ForgetAllTransient(); n != 1 {
+		t.Errorf("ForgetAllTransient dropped %d keys, want 1 (blip2)", n)
+	}
+
+	// The survivors replay from the memo; the dropped keys recompute.
+	before := calls.Load()
+	for k := range mode {
+		g.Get(k)
+	}
+	if n := calls.Load() - before; n != 2 {
+		t.Errorf("recomputed %d keys after the sweeps, want 2", n)
+	}
+
+	// An in-flight key is left alone even if it will fail transiently.
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	g2 := NewGroup(NewPool(2), func(k string) (string, error) {
+		close(entered)
+		<-hold
+		return "", MarkTransient(errors.New("slow blip"))
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g2.Get("slow")
+	}()
+	<-entered
+	if g2.ForgetTransient("slow") || g2.ForgetAllTransient() != 0 {
+		t.Error("in-flight key was forgotten")
+	}
+	close(hold)
+	<-done
+	if !g2.ForgetTransient("slow") {
+		t.Error("completed transient failure was not forgotten")
+	}
+}

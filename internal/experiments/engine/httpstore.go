@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"acic/internal/api"
 	"acic/internal/faults"
 )
 
@@ -213,20 +214,26 @@ func validName(name string) bool {
 func (s *storeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
+		api.WriteJSON(w, http.StatusOK, api.Health{Status: "ok", Version: api.Version})
 	case strings.HasPrefix(r.URL.Path, "/blob/"):
 		s.blob(w, r, strings.TrimPrefix(r.URL.Path, "/blob/"))
-	case strings.HasPrefix(r.URL.Path, "/quarantine/") && r.Method == http.MethodPost:
+	case strings.HasPrefix(r.URL.Path, "/quarantine/"):
+		if r.Method != http.MethodPost {
+			api.WriteError(w, http.StatusMethodNotAllowed, &api.Error{
+				Code: api.CodeMethodNotAllowed, Message: "quarantine requires POST"})
+			return
+		}
 		s.quarantine(w, r, strings.TrimPrefix(r.URL.Path, "/quarantine/"))
 	default:
-		http.NotFound(w, r)
+		api.WriteError(w, http.StatusNotFound, &api.Error{
+			Code: api.CodeNotFound, Message: "no such endpoint: " + r.URL.Path})
 	}
 }
 
 func (s *storeServer) blob(w http.ResponseWriter, r *http.Request, name string) {
 	if !validName(name) {
-		http.Error(w, "bad entry name", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeBadRequest, Message: "bad entry name"})
 		return
 	}
 	switch r.Method {
@@ -238,13 +245,15 @@ func (s *storeServer) blob(w http.ResponseWriter, r *http.Request, name string) 
 		}
 		f, err := os.Open(s.fs.path(name))
 		if err != nil {
-			http.NotFound(w, r)
+			api.WriteError(w, http.StatusNotFound, &api.Error{
+				Code: api.CodeNotFound, Message: "no such entry: " + name})
 			return
 		}
 		defer f.Close()
 		info, err := f.Stat()
 		if err != nil {
-			http.NotFound(w, r)
+			api.WriteError(w, http.StatusNotFound, &api.Error{
+				Code: api.CodeNotFound, Message: "no such entry: " + name})
 			return
 		}
 		w.Header().Set("ETag", etag)
@@ -259,30 +268,35 @@ func (s *storeServer) blob(w http.ResponseWriter, r *http.Request, name string) 
 		// the store root, and racing writers fence to one entry.
 		entry, ok := s.fs.begin(name)
 		if !ok {
-			http.Error(w, "store write failed", http.StatusInsufficientStorage)
+			api.WriteError(w, http.StatusInsufficientStorage, &api.Error{
+				Code: api.CodeStoreWrite, Message: "store write failed", Transient: true})
 			return
 		}
 		if _, err := io.Copy(entry.F, r.Body); err != nil {
 			entry.Abort()
-			http.Error(w, "upload truncated", http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, &api.Error{
+				Code: api.CodeBadRequest, Message: "upload truncated", Transient: true})
 			return
 		}
 		entry.Commit()
 		w.Header().Set("ETag", `"`+name+`"`)
 		w.WriteHeader(http.StatusCreated)
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		api.WriteError(w, http.StatusMethodNotAllowed, &api.Error{
+			Code: api.CodeMethodNotAllowed, Message: r.Method + " not allowed on /blob/"})
 	}
 }
 
 func (s *storeServer) quarantine(w http.ResponseWriter, r *http.Request, name string) {
 	if !validName(name) {
-		http.Error(w, "bad entry name", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeBadRequest, Message: "bad entry name"})
 		return
 	}
 	reason, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
 	if err != nil {
-		http.Error(w, "bad reason body", http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, &api.Error{
+			Code: api.CodeBadRequest, Message: "bad reason body"})
 		return
 	}
 	path := s.fs.path(name)
@@ -290,14 +304,14 @@ func (s *storeServer) quarantine(w http.ResponseWriter, r *http.Request, name st
 	dst := filepath.Join(qdir, name)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		os.Remove(path)
-		w.WriteHeader(http.StatusOK)
+		api.WriteJSON(w, http.StatusOK, api.Ack{Status: "removed"})
 		return
 	}
 	if err := os.Rename(path, dst); err != nil {
 		os.Remove(path)
-		w.WriteHeader(http.StatusOK)
+		api.WriteJSON(w, http.StatusOK, api.Ack{Status: "removed"})
 		return
 	}
 	os.WriteFile(dst+".reason", reason, 0o644)
-	w.WriteHeader(http.StatusOK)
+	api.WriteJSON(w, http.StatusOK, api.Ack{Status: "quarantined"})
 }

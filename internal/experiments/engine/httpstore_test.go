@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"acic/internal/api"
 	"acic/internal/faults"
 )
 
@@ -156,8 +158,27 @@ func TestHTTPStoreETag(t *testing.T) {
 	}
 }
 
+// decodeEnvelope asserts the response is a JSON api.Envelope and
+// returns its error.
+func decodeEnvelope(t *testing.T, resp *http.Response) *api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response content type = %q, want application/json", ct)
+	}
+	var env api.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error response body is not an envelope: %v", err)
+	}
+	if env.Err == nil {
+		t.Fatal("envelope has no error")
+	}
+	return env.Err
+}
+
 // Entry names come from the request path, so the handler must reject
-// anything that is not a plain content-hash name.
+// anything that is not a plain content-hash name — always 400 with the
+// bad_request code, never conflated with a missing entry's 404.
 func TestHTTPStoreRejectsBadNames(t *testing.T) {
 	url, _ := newStoreServer(t)
 	for _, name := range []string{"..%2F..%2Fetc%2Fpasswd", "a%2Fb.json", "UPPER.json", "has space.json"} {
@@ -165,11 +186,79 @@ func TestHTTPStoreRejectsBadNames(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			t.Fatalf("GET /blob/%s succeeded", name)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /blob/%s = %s, want 400", name, resp.Status)
 		}
+		if e := decodeEnvelope(t, resp); e.Code != api.CodeBadRequest {
+			t.Fatalf("GET /blob/%s error code = %q, want %q", name, e.Code, api.CodeBadRequest)
+		}
+	}
+}
+
+// The store handler speaks the shared api envelope on every error path,
+// with codes that distinguish the failure classes: missing entries are
+// not_found, wrong verbs are method_not_allowed, unknown paths are
+// not_found — all machine-readable, none plain text.
+func TestHTTPStoreErrorEnvelope(t *testing.T) {
+	url, _ := newStoreServer(t)
+
+	resp, err := http.Get(url + "/blob/aaaa1111.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing blob = %s, want 404", resp.Status)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeNotFound {
+		t.Fatalf("missing blob code = %q, want %q", e.Code, api.CodeNotFound)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, url+"/blob/aaaa1111.json", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE blob = %s, want 405", resp.Status)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeMethodNotAllowed {
+		t.Fatalf("DELETE blob code = %q, want %q", e.Code, api.CodeMethodNotAllowed)
+	}
+
+	resp, err = http.Get(url + "/quarantine/aaaa1111.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET quarantine = %s, want 405", resp.Status)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeMethodNotAllowed {
+		t.Fatalf("GET quarantine code = %q, want %q", e.Code, api.CodeMethodNotAllowed)
+	}
+
+	resp, err = http.Get(url + "/no-such-endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %s, want 404", resp.Status)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeNotFound {
+		t.Fatalf("unknown path code = %q, want %q", e.Code, api.CodeNotFound)
+	}
+
+	// healthz is JSON too, versioned so clients can detect the contract.
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if h.Status != "ok" || h.Version != api.Version {
+		t.Fatalf("healthz = %+v", h)
 	}
 }
 

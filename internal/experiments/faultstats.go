@@ -45,6 +45,16 @@ func (f FaultStats) Any() bool {
 		f.SerialReruns != 0 || f.StreamFallbacks != 0 || f.Quarantined != 0
 }
 
+// Recovered totals the recovery work the engine spent absorbing faults
+// — retries, degraded gangs, serial reruns, stream fallbacks, and
+// quarantines. acic-serve charges this total against per-request fault
+// budgets: a request whose service consumed excessive recovery work is
+// refused (CodeFaultBudget) rather than allowed to mask a degrading
+// store or injector behind ever-slower answers.
+func (f FaultStats) Recovered() int64 {
+	return f.Retries + f.GangDegraded + f.SerialReruns + f.StreamFallbacks + f.Quarantined
+}
+
 // String renders the single-line summary -progress and the bench tier
 // print, e.g.
 //

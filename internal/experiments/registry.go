@@ -7,20 +7,25 @@ import (
 )
 
 // Experiment is one runnable entry of the paper's experiment index: a
-// stable name (the -exp id), a one-line description, and a renderer that
-// executes its cells on the given suite and returns the printed output.
-// The registry lives here — not in acic-bench — so every driver (the
-// bench CLI, the distributed coordinator) runs the identical experiment
-// list and produces byte-identical output for a given suite
-// configuration.
+// stable slug (the -exp id and the /v1/figures/{name} path element — one
+// identifier, so CLI names and the serve API can never drift), a
+// one-line description, and a renderer that executes its cells on the
+// given suite and returns the printed output. The registry lives here —
+// not in acic-bench — so every driver (the bench CLI, the distributed
+// coordinator, acic-serve) runs the identical experiment list and
+// produces byte-identical output for a given suite configuration.
+//
+// Slugs are lowercase [a-z0-9-], unique, and stable: renaming one is a
+// breaking change to both the CLI and the versioned HTTP API
+// (registry_test.go pins the invariants).
 type Experiment struct {
-	Name string
+	Slug string
 	Desc string
 	Run  func(s *Suite) (string, error)
 }
 
-func tableExp(name, desc string, f func(*Suite) (*stats.Table, error)) Experiment {
-	return Experiment{Name: name, Desc: desc, Run: func(s *Suite) (string, error) {
+func tableExp(slug, desc string, f func(*Suite) (*stats.Table, error)) Experiment {
+	return Experiment{Slug: slug, Desc: desc, Run: func(s *Suite) (string, error) {
 		t, err := f(s)
 		if err != nil {
 			return "", err
@@ -30,8 +35,31 @@ func tableExp(name, desc string, f func(*Suite) (*stats.Table, error)) Experimen
 }
 
 // staticExp wraps suite-independent tables (Table I/II/IV).
-func staticExp(name, desc string, f func() *stats.Table) Experiment {
-	return tableExp(name, desc, func(*Suite) (*stats.Table, error) { return f(), nil })
+func staticExp(slug, desc string, f func() *stats.Table) Experiment {
+	return tableExp(slug, desc, func(*Suite) (*stats.Table, error) { return f(), nil })
+}
+
+// LookupExperiment resolves a slug to its registry entry. Every
+// by-name consumer — acic-bench -exp, acic-coord -exp, the serve
+// daemon's /v1/figures/{name} — resolves through here, which is what
+// makes the slug the single spelling of an experiment's identity.
+func LookupExperiment(slug string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.Slug == slug {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentSlugs returns every registry slug in presentation order.
+func ExperimentSlugs() []string {
+	reg := Registry()
+	slugs := make([]string, len(reg))
+	for i, e := range reg {
+		slugs[i] = e.Slug
+	}
+	return slugs
 }
 
 // Registry returns the full experiment index in presentation order (the
@@ -46,8 +74,8 @@ func Registry() []Experiment {
 		tableExp("fig1b", "reuse-distance Markov chain, media-streaming (Fig 1b)",
 			func(s *Suite) (*stats.Table, error) { return s.Fig1b("media-streaming") }),
 		tableExp("fig3a", "i-Filter / access-count / OPT speedups (Fig 3a)", (*Suite).Fig3a),
-		{Name: "fig3b", Desc: "reuse-delta of incoming vs OPT-outgoing blocks (Fig 3b)", Run: runFig3b},
-		{Name: "fig6", Desc: "CSHR entry lifetime distribution, data-caching (Fig 6)", Run: runFig6},
+		{Slug: "fig3b", Desc: "reuse-delta of incoming vs OPT-outgoing blocks (Fig 3b)", Run: runFig3b},
+		{Slug: "fig6", Desc: "CSHR entry lifetime distribution, data-caching (Fig 6)", Run: runFig6},
 		tableExp("fig10", "speedup of all schemes over LRU+FDP (Fig 10)", (*Suite).Fig10),
 		tableExp("fig11", "MPKI reduction of all schemes (Fig 11)", (*Suite).Fig11),
 		tableExp("fig12a", "ACIC bypass accuracy by reuse range (Fig 12a)", (*Suite).Fig12a),

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"regexp"
+	"testing"
+)
+
+// slugPattern is the contract slugs must satisfy to be usable verbatim
+// as -exp ids and /v1/figures/{name} path elements.
+var slugPattern = regexp.MustCompile(`^[a-z0-9-]+$`)
+
+// TestRegistrySlugsStable pins the registry's identity invariants:
+// slugs are unique, well-formed, and described. A violation here means
+// either a CLI name collision or a /v1/ API break.
+func TestRegistrySlugsStable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Registry() {
+		if !slugPattern.MatchString(e.Slug) {
+			t.Errorf("slug %q is not lowercase [a-z0-9-]", e.Slug)
+		}
+		if seen[e.Slug] {
+			t.Errorf("duplicate slug %q", e.Slug)
+		}
+		seen[e.Slug] = true
+		if e.Desc == "" {
+			t.Errorf("slug %q has no description", e.Slug)
+		}
+		if e.Run == nil {
+			t.Errorf("slug %q has no renderer", e.Slug)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("registry is empty")
+	}
+}
+
+// TestLookupExperiment: every slug resolves to itself; unknown slugs
+// miss cleanly.
+func TestLookupExperiment(t *testing.T) {
+	for _, slug := range ExperimentSlugs() {
+		e, ok := LookupExperiment(slug)
+		if !ok || e.Slug != slug {
+			t.Errorf("LookupExperiment(%q) = (%q, %v)", slug, e.Slug, ok)
+		}
+	}
+	if _, ok := LookupExperiment("no-such-experiment"); ok {
+		t.Error("unknown slug resolved")
+	}
+}
+
+// TestExperimentSlugsOrder: ExperimentSlugs mirrors Registry order —
+// the presentation order -exp all and /v1/experiments both follow.
+func TestExperimentSlugsOrder(t *testing.T) {
+	reg := Registry()
+	slugs := ExperimentSlugs()
+	if len(slugs) != len(reg) {
+		t.Fatalf("len mismatch: %d slugs, %d entries", len(slugs), len(reg))
+	}
+	for i := range reg {
+		if slugs[i] != reg[i].Slug {
+			t.Errorf("slug[%d] = %q, registry[%d] = %q", i, slugs[i], i, reg[i].Slug)
+		}
+	}
+}

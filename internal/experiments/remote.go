@@ -86,13 +86,26 @@ func (s *Suite) remoteDone(c Cell, err error) {
 }
 
 // Forget drops a completed cell from the suite's memo so the next demand
-// recomputes it (see engine.Group.Forget). The distributed worker calls
-// it after reporting a transient cell failure: the coordinator may
-// requeue the cell back to this worker, and the retry must re-run the
-// simulation instead of replaying the memoized error.
+// recomputes it (see engine.Group.Forget), along with any transiently
+// failed prepare stage for the cell's app — the transient failure may
+// live in the pipeline memo rather than the cell compute, and a retry
+// that re-runs only the cell would replay the poisoned stage forever.
+// The distributed worker and acic-serve call it after a transient cell
+// failure so the requeue/re-query re-runs the simulation instead of
+// replaying the memoized error.
 func (s *Suite) Forget(c Cell) bool {
 	s.init()
-	return s.results.Forget(c)
+	dropped := s.results.Forget(c)
+	return s.pipeline.ForgetTransient(c.App) || dropped
+}
+
+// ForgetTransient sweeps every transiently failed memo — result cells
+// and prepare stages alike — so the next demand recomputes them.
+// acic-serve calls it when a figure render fails transiently: the
+// render spans many cells and any of them may hold the memoized fault.
+func (s *Suite) ForgetTransient() int {
+	s.init()
+	return s.results.ForgetAllTransient() + s.pipeline.ForgetAllTransient()
 }
 
 // Occupancy reports the suite pool's instantaneous occupancy snapshot —

@@ -195,6 +195,11 @@ type Stats struct {
 	NetErrs     int64  `json:"net_errs"`
 }
 
+// Total is the number of faults fired across all hooks.
+func (s Stats) Total() int64 {
+	return s.IOErrs + s.Corruptions + s.Panics + s.NetErrs
+}
+
 // Injected is the panic value raised by PanicPoint. Recovery code uses
 // IsInjected to classify such panics as transient (retryable): the panic
 // was environmental, not a simulator bug, so re-running the work is both
